@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures through
+``repro.experiments`` and prints the resulting table, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the whole evaluation section.  ``--repro-scale`` shrinks or
+grows run durations (1.0 = the defaults used in EXPERIMENTS.md).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale", type=float, default=0.5,
+        help="Duration/request-count scale for experiment runs "
+             "(0.5 default keeps the suite fast; 1.0 for full runs)",
+    )
+
+
+@pytest.fixture
+def scale(request):
+    return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture
+def show(capsys):
+    """Print an experiment's table so it lands in the bench output."""
+    def _show(result):
+        with capsys.disabled():
+            print()
+            print(result.render())
+        return result
+    return _show

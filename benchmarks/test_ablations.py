@@ -1,0 +1,43 @@
+"""Ablation benchmarks for Concord's design choices (DESIGN.md s.5)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_estate(benchmark, scale, show):
+    result = benchmark.pedantic(
+        ablations.run_estate, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = {r["variant"]: r for r in result.rows()}
+    # The E-state fast path avoids all coherence messages on repeated writes.
+    assert rows["with E-state"]["coherence_msgs"] == 0
+    assert rows["with E-state"]["write_ms"] <= rows["without"]["write_ms"]
+
+
+def test_ablation_parallel_invalidations(benchmark, scale, show):
+    result = benchmark.pedantic(
+        ablations.run_parallel_inv, kwargs={"scale": scale},
+        rounds=1, iterations=1)
+    show(result)
+    rows = {r["variant"]: r for r in result.rows()}
+    assert rows["parallel"]["write_ms"] <= rows["serialized"]["write_ms"]
+
+
+def test_ablation_faast_annotations(benchmark, scale, show):
+    result = benchmark.pedantic(
+        ablations.run_faast_annotations, kwargs={"scale": scale},
+        rounds=1, iterations=1)
+    show(result)
+    rows = {r["variant"]: r for r in result.rows()}
+    # Annotations cut version checks but only slightly (5% read-only keys).
+    assert rows["annotated"]["version_checks"] <= rows["plain"]["version_checks"]
+
+
+def test_ablation_virtual_nodes(benchmark, scale, show):
+    result = benchmark.pedantic(
+        ablations.run_virtual_nodes, kwargs={"scale": scale},
+        rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    # More virtual nodes -> tighter balance; re-home volume ~1/16 always.
+    assert rows[-1]["max/mean_keys"] < rows[0]["max/mean_keys"]
+    assert all(r["rehomed_pct"] < 30.0 for r in rows)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the paper's char reads."""
+
+from repro.experiments import char_reads
+
+
+def test_char_reads(benchmark, scale, show):
+    result = benchmark.pedantic(
+        char_reads.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    by_op = {r["operation"]: r["measured_ms"] for r in rows}
+    assert by_op["local hit"] < by_op["remote hit"] < by_op["remote miss"]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the paper's fig01 breakdown."""
+
+from repro.experiments import fig01_breakdown
+
+
+def test_fig01(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig01_breakdown.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    storage_pcts = [r["storage_pct"] for r in rows if r["app"] != "Average"]
+    assert all(25.0 <= p <= 100.0 for p in storage_pcts)
+    # Read-heavy small-item apps are the most storage-bound.
+    by_app = {r["app"]: r["storage_pct"] for r in rows}
+    assert by_app["SocNet"] > by_app["VidProc"]

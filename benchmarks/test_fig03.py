@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the paper's fig03 version vs data."""
+
+from repro.experiments import fig03_version_vs_data
+
+
+def test_fig03(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig03_version_vs_data.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    small = [r for r in rows if r["size_kb"] <= 64]
+    large = [r for r in rows if r["size_kb"] >= 256]
+    # Comparable cost up to 64KB; clearly cheaper probe only above.
+    assert all(r["data/version"] < 1.5 for r in small)
+    assert all(r["data/version"] > 1.5 for r in large)

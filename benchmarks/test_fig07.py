@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's fig07 latency."""
+
+from repro.experiments import fig07_latency
+
+
+def test_fig07(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig07_latency.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    averages = [r for r in rows if r["app"] == "Average"]
+    assert all(r["ofc/concord"] > 1.0 for r in averages)
+    assert all(r["faast/concord"] > 1.0 for r in averages)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's fig08 throughput."""
+
+from repro.experiments import fig08_throughput
+
+
+def test_fig08(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig08_throughput.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    by_scheme = {r["scheme"]: r["max_rps"] for r in rows}
+    assert by_scheme["concord"] >= by_scheme["ofc"]
+    assert by_scheme["concord"] >= by_scheme["faast"]

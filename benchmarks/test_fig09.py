@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's fig09 invalidations."""
+
+from repro.experiments import fig09_invalidations
+
+
+def test_fig09(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig09_invalidations.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    average = next(r for r in rows if r["app"] == "Average")
+    assert 0.0 <= average["avg_invalidations"] < 3.0
+    assert average["max_invalidations"] < 16  # bounded by cluster size

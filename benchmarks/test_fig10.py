@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the paper's fig10 cas."""
+
+from repro.experiments import fig10_cas
+
+
+def test_fig10(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig10_cas.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    average = next(r for r in rows if r["app"] == "Average")
+    assert average["reduction_pct"] > 0.0  # CAS helps

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's fig11 write scaling."""
+
+from repro.experiments import fig11_write_scaling
+
+
+def test_fig11(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig11_write_scaling.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    first, last = rows[0], rows[-1]
+    # Writes grow only modestly with sharers; Faa$T stays flat.
+    assert last["concord_write_ms"] < first["concord_write_ms"] * 1.25
+    # Concord read hits beat Faa$T's version-checked hits at any scale.
+    assert all(r["concord_read_hit_ms"] < r["faast_read_hit_ms"] for r in rows
+               if r["nodes"] > 1)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's fig12 memory."""
+
+from repro.experiments import fig12_memory
+
+
+def test_fig12(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig12_memory.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    average = next(r for r in rows if r["app"] == "Average")
+    assert 0.0 < average["avg_instance_mb"] < 64.0
+    assert average["max_instance_mb"] >= average["avg_instance_mb"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the paper's fig13 churn."""
+
+from repro.experiments import fig13_churn
+
+
+def test_fig13(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig13_churn.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    moderate = [r for r in rows if r["removals_per_min"] <= 48]
+    assert all(r["normalized"] > 0.7 for r in moderate)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's fig15 transactions."""
+
+from repro.experiments import fig15_transactions
+
+
+def test_fig15(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig15_transactions.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    average = next(r for r in rows if r["app"] == "Average")
+    assert average["vs_saga_pct"] > 0.0   # Concord beats Saga
+    assert average["vs_beldi_pct"] > 0.0  # and Beldi

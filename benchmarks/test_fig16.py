@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the paper's fig16 placement."""
+
+from repro.experiments import fig16_placement
+
+
+def test_fig16(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig16_placement.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    average = next(r for r in rows if r["app"] == "Average")
+    assert average["reduction_pct"] > 0.0

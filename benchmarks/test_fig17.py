@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's fig17 apta."""
+
+from repro.experiments import fig17_apta
+
+
+def test_fig17(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig17_apta.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    by_env = {r["environment"]: r["mean_ms"] for r in rows}
+    assert by_env["Concord-Az"] < by_env["Apta-Az"]
+    assert by_env["Concord-Mem"] < by_env["Apta-Mem"]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the paper's tab1 sharers."""
+
+from repro.experiments import tab1_sharers
+
+
+def test_tab1(benchmark, scale, show):
+    result = benchmark.pedantic(
+        tab1_sharers.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    average = next(r for r in rows if r["app"] == "Average")
+    low_avg = float(average["low"].split("/")[0])
+    high_avg = float(average["high"].split("/")[0])
+    assert low_avg >= 1.0
+    assert high_avg >= low_avg  # sharing grows with load

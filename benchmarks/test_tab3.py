@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper's tab3 read mix."""
+
+from repro.experiments import tab3_read_mix
+
+
+def test_tab3(benchmark, scale, show):
+    result = benchmark.pedantic(
+        tab3_read_mix.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    average = next(r for r in rows if r["app"] == "Average")
+    nocas_local, cas_local = average["local% (NoCAS-C)"].split(" - ")
+    assert float(cas_local) > float(nocas_local)  # CAS raises local hits

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the paper's verify protocol."""
+
+from repro.experiments import verify_protocol
+
+
+def test_verify(benchmark, scale, show):
+    result = benchmark.pedantic(
+        verify_protocol.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = result.rows()
+    assert rows
+    assert all(r["violations"] == 0 for r in rows)
+    assert all(r["deadlocks"] == 0 for r in rows)

@@ -1,0 +1,29 @@
+"""Concord reproduction: distributed coherence for serverless software caches.
+
+This package reproduces the system described in "Concord: Rethinking
+Distributed Coherence for Software Caches in Serverless Environments"
+(HPCA 2025) on top of a from-scratch discrete-event simulator.
+
+Layering (bottom to top):
+
+- :mod:`repro.sim` -- deterministic discrete-event simulation kernel.
+- :mod:`repro.net` -- internode message fabric and RPC.
+- :mod:`repro.storage` -- global blob storage model.
+- :mod:`repro.cluster` -- nodes, memory accounting, failure injection.
+- :mod:`repro.coord` -- coordination service (membership, heartbeats).
+- :mod:`repro.faas` -- serverless platform (containers, schedulers).
+- :mod:`repro.caching` -- cache substrate + OFC / Faa$T baselines.
+- :mod:`repro.core` -- the Concord coherence protocol (the contribution).
+- :mod:`repro.txn` -- transactional storage accesses (+ Saga / Beldi).
+- :mod:`repro.placement` -- communication-aware function placement.
+- :mod:`repro.apta` -- software Apta comparison protocol.
+- :mod:`repro.verify` -- explicit-state protocol model checker.
+- :mod:`repro.workloads` -- benchmark application models and generators.
+- :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.config import LatencyModel, SimConfig
+
+__all__ = ["LatencyModel", "SimConfig", "__version__"]

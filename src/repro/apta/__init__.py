@@ -1,0 +1,13 @@
+"""Software version of the Apta fault-tolerant coherence protocol.
+
+Apta (DSN '23) targets CXL-disaggregated memory: separate compute and
+memory nodes, the directory at the memory nodes, write-through caches,
+*lazy invalidations* (writes complete before sharers are invalidated) and
+coherence-aware scheduling (functions are not scheduled onto nodes that
+temporarily hold stale data).  The paper builds a software version on its
+cluster and compares (Section VII); this package is that software version.
+"""
+
+from repro.apta.system import AptaScheduler, AptaSystem, make_memory_tier
+
+__all__ = ["AptaScheduler", "AptaSystem", "make_memory_tier"]

@@ -1,0 +1,30 @@
+"""Software cache substrate and baseline caching schemes.
+
+- :mod:`repro.caching.base` -- byte-accounted LRU cache instance and the
+  abstract ``StorageAPI`` all schemes implement.
+- :mod:`repro.caching.nocache` -- direct-to-storage (Figure 1 breakdown).
+- :mod:`repro.caching.ofc` -- OFC: single-home per-node shared cache.
+- :mod:`repro.caching.faast` -- Faa$T: per-app caches, version protocol.
+"""
+
+from repro.caching.base import (
+    AccessContext,
+    CacheEntry,
+    EvictionPinned,
+    LruCache,
+    StorageAPI,
+)
+from repro.caching.nocache import DirectStorage
+from repro.caching.ofc import OfcSystem
+from repro.caching.faast import FaastSystem
+
+__all__ = [
+    "AccessContext",
+    "CacheEntry",
+    "DirectStorage",
+    "EvictionPinned",
+    "FaastSystem",
+    "LruCache",
+    "OfcSystem",
+    "StorageAPI",
+]

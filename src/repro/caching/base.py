@@ -1,0 +1,212 @@
+"""Byte-accounted LRU cache instances and the abstract storage API.
+
+Every caching scheme in this package (OFC, Faa$T, Concord, Apta) stores
+data in :class:`LruCache` instances and exposes the same :class:`StorageAPI`
+to function code, so workloads are scheme-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Generator, Iterable, Optional
+
+from repro.metrics import AccessStats
+from repro.net.sizes import sizeof
+
+# Cache entry coherence states (paper Section III-C1: MESI without M).
+EXCLUSIVE = "E"
+SHARED = "S"
+# Baselines without a coherence protocol use VALID.
+VALID = "V"
+
+
+class EvictionPinned(Exception):
+    """Raised when an insert cannot fit because pinned entries fill the cache."""
+
+
+@dataclass
+class AccessContext:
+    """Attribution for one storage operation.
+
+    Passed by the platform into :meth:`StorageAPI.read`/``write`` so
+    schemes can attribute traffic: Concord's placement learning uses
+    ``function``; transactions use ``txn_id`` to tag speculative state.
+    """
+
+    function: str = ""
+    invocation_id: int = 0
+    txn_id: Optional[str] = None
+
+
+@dataclass
+class CacheEntry:
+    """One cached data item."""
+
+    key: str
+    value: object
+    state: str = VALID
+    size_bytes: int = 0
+    #: Version number (used by the Faa$T protocol).
+    version: int = 0
+    #: Transactional speculation marks: process ids that speculatively
+    #: read / wrote this entry (used by repro.txn).
+    spec_readers: set = field(default_factory=set)
+    spec_writer: Optional[str] = None
+    #: Pinned entries are never evicted (in-flight protocol operations,
+    #: buffered speculative writes).
+    pinned: bool = False
+
+    @property
+    def speculative(self) -> bool:
+        return bool(self.spec_readers) or self.spec_writer is not None
+
+
+class LruCache:
+    """An LRU cache with byte-size accounting and dynamic capacity.
+
+    Capacity may shrink at runtime (the cache agent returns memory to the
+    application, paper Section III-E); shrinking evicts LRU entries.  An
+    insert larger than the capacity is refused (large objects are cached
+    only if sufficient unused memory is available).
+    """
+
+    def __init__(self, capacity_bytes: int, name: str = ""):
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._used_bytes = 0
+        self.evictions = 0
+        #: High-water mark of bytes used (Figure 12 reports max memory).
+        self.peak_bytes = 0
+
+    # -- inspection -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def keys(self) -> Iterable[str]:
+        return list(self._entries.keys())
+
+    def peek(self, key: str) -> Optional[CacheEntry]:
+        """Look up without touching recency."""
+        return self._entries.get(key)
+
+    # -- access ---------------------------------------------------------------
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """Look up ``key``, refreshing its recency."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, entry: CacheEntry) -> list[CacheEntry]:
+        """Insert/replace ``entry``; returns the entries evicted to fit.
+
+        Raises :class:`EvictionPinned` if pinned entries make it impossible
+        to free enough space; refuses (returns without caching) values
+        larger than the whole capacity by raising ``ValueError``.
+        """
+        size = entry.size_bytes or sizeof(entry.value)
+        entry.size_bytes = size
+        if size > self.capacity_bytes:
+            raise ValueError(
+                f"entry {entry.key!r} ({size}B) exceeds cache capacity "
+                f"({self.capacity_bytes}B)"
+            )
+        old = self._entries.pop(entry.key, None)
+        if old is not None:
+            self._used_bytes -= old.size_bytes
+        evicted = self._make_room(size)
+        self._entries[entry.key] = entry
+        self._used_bytes += size
+        self.peak_bytes = max(self.peak_bytes, self._used_bytes)
+        return evicted
+
+    def remove(self, key: str) -> Optional[CacheEntry]:
+        """Drop ``key`` (invalidation or silent eviction)."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._used_bytes -= entry.size_bytes
+        return entry
+
+    def resize(self, capacity_bytes: int) -> list[CacheEntry]:
+        """Change capacity; shrinking evicts LRU entries to fit."""
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity_bytes = capacity_bytes
+        evicted = []
+        for key in list(self._entries):
+            if self._used_bytes <= capacity_bytes:
+                break
+            entry = self._entries[key]
+            if entry.pinned:
+                continue
+            evicted.append(self._evict(key))
+        return evicted
+
+    def clear(self) -> list[CacheEntry]:
+        """Drop everything (cache instance teardown / squash flush)."""
+        dropped = list(self._entries.values())
+        self._entries.clear()
+        self._used_bytes = 0
+        return dropped
+
+    # -- internals -------------------------------------------------------------
+    def _make_room(self, size: int) -> list[CacheEntry]:
+        evicted = []
+        while self._used_bytes + size > self.capacity_bytes:
+            victim_key = None
+            for key, entry in self._entries.items():  # LRU order
+                if not entry.pinned:
+                    victim_key = key
+                    break
+            if victim_key is None:
+                raise EvictionPinned(
+                    f"cache {self.name!r}: pinned entries block insert of {size}B"
+                )
+            evicted.append(self._evict(victim_key))
+        return evicted
+
+    def _evict(self, key: str) -> CacheEntry:
+        entry = self._entries.pop(key)
+        self._used_bytes -= entry.size_bytes
+        self.evictions += 1
+        return entry
+
+
+class StorageAPI(abc.ABC):
+    """The storage interface exposed to function code.
+
+    ``read`` and ``write`` are generators (simulation sub-processes): use
+    them with ``yield from`` inside function handlers.  ``ctx`` carries the
+    invocation context (node, function name, inputs) so schemes that care —
+    Concord's placement learning, transactions — can attribute traffic.
+    """
+
+    #: Scheme name for reporting.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def read(self, node_id: str, key: str, ctx: Optional[object] = None) -> Generator:
+        """Read ``key`` from the perspective of ``node_id``; returns value."""
+
+    @abc.abstractmethod
+    def write(
+        self, node_id: str, key: str, value: object, ctx: Optional[object] = None
+    ) -> Generator:
+        """Write ``key`` from ``node_id``; returns when durably stored."""
+
+    @property
+    @abc.abstractmethod
+    def stats(self) -> AccessStats:
+        """Aggregate access statistics for reporting."""

@@ -1,0 +1,42 @@
+"""Direct-to-storage access path (no caching).
+
+Used for the Figure-1 breakdown: every read/write pays the full global
+storage round trip, showing why FaaS response time is dominated by storage.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.caching.base import StorageAPI
+from repro.metrics import AccessStats, OpKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster
+
+
+class DirectStorage(StorageAPI):
+    """Every operation goes straight to global storage."""
+
+    name = "nocache"
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self._stats = AccessStats()
+
+    @property
+    def stats(self) -> AccessStats:
+        return self._stats
+
+    def read(self, node_id: str, key: str, ctx: Optional[object] = None):
+        start = self.sim.now
+        value, _version = yield from self.cluster.storage.read(key)
+        self._stats.record(OpKind.READ_MISS, self.sim.now - start)
+        return value
+
+    def write(self, node_id: str, key: str, value: object, ctx: Optional[object] = None):
+        start = self.sim.now
+        yield from self.cluster.storage.write(key, value, writer=node_id)
+        self._stats.record(OpKind.WRITE_MISS, self.sim.now - start)
+        return None

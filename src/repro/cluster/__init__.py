@@ -1,0 +1,6 @@
+"""Simulated cluster: nodes, memory accounting, failure injection."""
+
+from repro.cluster.node import Container, Node
+from repro.cluster.cluster import Cluster
+
+__all__ = ["Cluster", "Container", "Node"]

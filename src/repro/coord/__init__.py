@@ -1,0 +1,9 @@
+"""Distributed coordination service (ZooKeeper stand-in).
+
+Manages per-application membership groups, detects member failures through
+heartbeats, and notifies the surviving members (paper Section III-F).
+"""
+
+from repro.coord.service import CoordinationService, MembershipEvent
+
+__all__ = ["CoordinationService", "MembershipEvent"]

@@ -1,0 +1,21 @@
+"""Concord: the paper's directory-based distributed coherence protocol.
+
+Public surface:
+
+- :class:`~repro.core.concord.ConcordSystem` -- per-application distributed
+  cache with the full coherence protocol, fault tolerance and dynamic
+  coherence domains.
+- :class:`~repro.core.hashring.ConsistentHashRing` -- home assignment.
+- :class:`~repro.core.directory.DataDirectory` -- per-home directory.
+"""
+
+from repro.core.hashring import ConsistentHashRing
+from repro.core.directory import DataDirectory, DirectoryEntry
+from repro.core.concord import ConcordSystem
+
+__all__ = [
+    "ConcordSystem",
+    "ConsistentHashRing",
+    "DataDirectory",
+    "DirectoryEntry",
+]

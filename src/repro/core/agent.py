@@ -1,0 +1,773 @@
+"""The Concord Cache Agent: the data path of the coherence protocol.
+
+One agent per (application, node) manages the local cache instance and the
+data directory for locally-homed items (paper Section III-B).  It
+implements the six coherence operations of Section III-C2:
+
+- local read hit, remote read hit, read miss,
+- local write hit (E and S flavours), remote write hit, write miss,
+
+with the paper's optimizations: silent evictions, E-state writes that go
+straight to storage bypassing the home, and invalidations sent in parallel
+with the storage update (except the single-owner case, which is serial).
+
+Fault tolerance and domain changes use a *barrier* mechanism: when a
+member fails or the domain is reconfiguring, operations on the keys whose
+home is affected wait until the new ring is committed everywhere
+(Sections III-D, III-F, III-H).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.caching.base import AccessContext, CacheEntry, EXCLUSIVE, LruCache, SHARED
+from repro.core.directory import DataDirectory
+from repro.metrics import OpKind
+from repro.net.rpc import Endpoint, Reply, RpcError, RpcTimeout
+from repro.net.sizes import sizeof
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.concord import ConcordSystem
+
+
+class ProtocolError(Exception):
+    """An operation could not complete after exhausting retries."""
+
+
+class NotHome(RpcError):
+    """The contacted agent is not the key's home per its current ring."""
+
+
+class NotCached:
+    """Sentinel reply from an owner that silently evicted the item."""
+
+
+#: Delay between retries when an operation must re-resolve its home.
+RETRY_DELAY_MS = 1.0
+MAX_ATTEMPTS = 60
+
+
+class CacheAgent:
+    """The per-node protocol engine of one application's Concord cache."""
+
+    def __init__(self, system: "ConcordSystem", node_id: str, capacity_bytes: int):
+        self.system = system
+        self.sim = system.sim
+        self.node_id = node_id
+        self.app = system.app
+        self.cache = LruCache(capacity_bytes, name=f"concord:{system.app}:{node_id}")
+        self.directory = DataDirectory(node_id)
+        self.ring = system.ring_template.copy()
+        node = system.cluster.nodes.get(node_id)
+        self.endpoint = Endpoint(
+            system.cluster.network, node_id, f"concord-{system.app}",
+            service_time_ms=system.latency.agent_service_ms,
+            cpu=node.cores if node is not None else None,
+        )
+        #: Home-side per-key serialization (directory is the write
+        #: serialization point, Section III-C2).
+        self._key_locks: dict[str, Resource] = {}
+        #: Owner-side lock held during an E-state direct-to-storage write
+        #: ("the local cache agent does not accept external requests for
+        #: the data item until the storage acknowledges the update").
+        self._owner_locks: dict[str, Resource] = {}
+        #: Active barriers: affected member -> (ring snapshot that still
+        #: contains the member, event fired when the barrier lifts).
+        self._barriers: dict[str, tuple] = {}
+        #: Producer tracking for placement learning: key -> (node, function).
+        self._last_writer: dict[str, tuple] = {}
+        #: Hook installed by repro.txn for conflict detection.
+        self.txn_manager = None
+        self.alive = True
+        #: Bumped on every membership change visible to this agent; long
+        #: home operations re-check it before mutating the directory.
+        self.epoch = 0
+        #: member -> event fired when that member leaves this agent's ring
+        #: (lets in-flight invalidations/fetches to dead peers abort early).
+        self._removal_events: dict[str, object] = {}
+        #: True once this agent learned it was (possibly falsely) declared
+        #: failed; it flushes and rejoins before serving again.
+        self.ejected = False
+
+        handlers = {
+            "read": self._handle_read,
+            "write": self._handle_write,
+            "rfo": self._handle_rfo,
+            "fetch_downgrade": self._handle_fetch_downgrade,
+            "invalidate": self._handle_invalidate,
+            "external_write": self._handle_external_write,
+        }
+        for method, handler in handlers.items():
+            self.endpoint.register_handler(method, handler)
+
+    # ------------------------------------------------------------------
+    # Public data path (called by ConcordSystem.read / write)
+    # ------------------------------------------------------------------
+    def read(self, key: str, ctx: Optional[AccessContext] = None):
+        """Read ``key``; returns ``(value, OpKind)``."""
+        yield self.sim.timeout(self.system.latency.local_access)
+        entry = self.cache.get(key)
+        while entry is not None:
+            verdict = True
+            if self.txn_manager is not None:
+                verdict = self.txn_manager.on_local_access(
+                    key, entry, ctx, is_write=False)
+            if verdict is True:
+                return entry.value, OpKind.LOCAL_READ_HIT
+            if verdict is False:
+                # A conflicting transaction was squashed and the entry
+                # discarded; resolve the committed value via the home.
+                entry = None
+                break
+            # A protected transaction owns the entry: wait, then retry.
+            yield verdict
+            entry = self.cache.get(key)
+
+        value, state, dir_hit, cacheable = yield from self._read_via_home(key, ctx)
+        if value is not None and cacheable:
+            self._install(key, value, state, ctx)
+        kind = OpKind.REMOTE_READ_HIT if dir_hit else OpKind.READ_MISS
+        return value, kind
+
+    def write(self, key: str, value: object, ctx: Optional[AccessContext] = None):
+        """Write ``key``; returns the OpKind once durably stored."""
+        yield self.sim.timeout(self.system.latency.local_access)
+        entry = self.cache.get(key)
+        while entry is not None and self.txn_manager is not None:
+            verdict = self.txn_manager.on_local_access(
+                key, entry, ctx, is_write=True)
+            if verdict is True:
+                break
+            if verdict is False:
+                entry = None  # conflicting speculation squashed; start over
+                break
+            yield verdict  # protected transaction owns it: wait, retry
+            entry = self.cache.get(key)
+
+        if (entry is not None and entry.state == EXCLUSIVE
+                and self.system.estate_writes):
+            # Local write hit in E: update locally, write straight to
+            # storage, bypassing the home (Section III-C2).
+            lock = self._lock(self._owner_locks, key)
+            yield lock.acquire()
+            try:
+                entry.value = value
+                entry.size_bytes = sizeof(value)
+                yield from self.system.storage.write(key, value, writer=self.node_id)
+                self.system.stats.invalidations_per_write.record(0)
+            finally:
+                lock.release()
+            return OpKind.LOCAL_WRITE_HIT
+
+        had_local_copy = entry is not None  # S state: still a local hit
+        kind, cacheable = yield from self._write_via_home(key, value, ctx)
+        if cacheable:
+            self._install(key, value, EXCLUSIVE, ctx)
+        else:
+            # The value is durably in storage but the coherence state for
+            # it was disturbed (membership changed mid-write): hold no copy.
+            self.cache.remove(key)
+        if had_local_copy:
+            return OpKind.LOCAL_WRITE_HIT
+        return kind
+
+    # ------------------------------------------------------------------
+    # Requester-side routing with barriers and retries
+    # ------------------------------------------------------------------
+    def _read_via_home(self, key: str, ctx):
+        fn = ctx.function if ctx is not None else ""
+        for _attempt in range(MAX_ATTEMPTS):
+            yield from self._barrier_wait(key)
+            home = self.ring.home(key)
+            if home == self.node_id:
+                try:
+                    return (yield from self._home_read(key, self.node_id, fn))
+                except NotHome:
+                    yield self.sim.timeout(RETRY_DELAY_MS)
+                    continue
+            try:
+                reply = yield from self.endpoint.call(
+                    f"{home}/concord-{self.app}", "read", (key, self.node_id, fn),
+                    size_bytes=len(key) + 8,
+                    timeout=self.system.config.rpc_timeout_ms,
+                )
+                return reply
+            except RpcTimeout:
+                yield from self._peer_unreachable(home)
+            except NotHome:
+                yield self.sim.timeout(RETRY_DELAY_MS)
+        raise ProtocolError(f"read({key!r}) exhausted retries at {self.node_id}")
+
+    def _write_via_home(self, key: str, value: object, ctx):
+        fn = ctx.function if ctx is not None else ""
+        for _attempt in range(MAX_ATTEMPTS):
+            yield from self._barrier_wait(key)
+            home = self.ring.home(key)
+            if home == self.node_id:
+                try:
+                    return (yield from self._home_write(key, value, self.node_id, fn))
+                except NotHome:
+                    yield self.sim.timeout(RETRY_DELAY_MS)
+                    continue
+            try:
+                kind_name, cacheable = yield from self.endpoint.call(
+                    f"{home}/concord-{self.app}", "write",
+                    (key, value, self.node_id, fn),
+                    size_bytes=sizeof(value) + len(key),
+                    timeout=self.system.config.rpc_timeout_ms,
+                )
+                return OpKind(kind_name), cacheable
+            except RpcTimeout:
+                yield from self._peer_unreachable(home)
+            except NotHome:
+                yield self.sim.timeout(RETRY_DELAY_MS)
+        raise ProtocolError(f"write({key!r}) exhausted retries at {self.node_id}")
+
+    def acquire_exclusive(self, key: str, ctx: Optional[AccessContext] = None):
+        """Read-for-ownership (transactions, Section IV-A): become the
+        exclusive owner of ``key`` — invalidating other sharers — without
+        writing storage.  Returns the current committed value.
+
+        The transactional runtime buffers speculative writes in entries
+        acquired this way, so conflicting remote reads and writes are
+        guaranteed to arrive at this agent (as fetch_downgrade /
+        invalidate) and trigger a squash.
+        """
+        yield self.sim.timeout(self.system.latency.local_access)
+        entry = self.cache.get(key)
+        if entry is not None and entry.state == EXCLUSIVE:
+            return entry.value
+        has_local = entry is not None
+        for _attempt in range(MAX_ATTEMPTS):
+            yield from self._barrier_wait(key)
+            home = self.ring.home(key)
+            try:
+                if home == self.node_id:
+                    value, cacheable = yield from self._home_rfo(
+                        key, self.node_id, has_local)
+                else:
+                    value, cacheable = yield from self.endpoint.call(
+                        f"{home}/concord-{self.app}", "rfo",
+                        (key, self.node_id, has_local),
+                        size_bytes=len(key) + 8,
+                        timeout=self.system.config.rpc_timeout_ms,
+                    )
+                if value is None and has_local:
+                    # Upgrade: no data traveled because we hold a Shared
+                    # copy — unless a racing write invalidated it while
+                    # the upgrade was in flight; then retry with a fetch.
+                    current = self.cache.peek(key)
+                    if current is None:
+                        has_local = False
+                        continue
+                    value = current.value
+            except NotHome:
+                yield self.sim.timeout(RETRY_DELAY_MS)
+                continue
+            except RpcTimeout:
+                yield from self._peer_unreachable(home)
+                continue
+            if cacheable:
+                self._install(key, value, EXCLUSIVE, ctx)
+            return value
+        raise ProtocolError(f"rfo({key!r}) exhausted retries at {self.node_id}")
+
+    def _home_rfo(self, key: str, requester: str, requester_has_copy: bool = False):
+        """Home side of read-for-ownership: returns (value, cacheable).
+
+        When the requester already holds a Shared copy, this is a pure
+        *upgrade* — other sharers are invalidated and no data travels
+        (value is None).  Otherwise the data comes from the home's own
+        Shared copy if it has one, falling back to storage.
+        """
+        lock = self._lock(self._key_locks, key)
+        yield lock.acquire()
+        try:
+            yield from self._barrier_wait(key)
+            if self.ring.home(key) != self.node_id or self.ejected:
+                raise NotHome(f"{self.node_id} lost home of {key!r}")
+            epoch = self.epoch
+            entry = self.directory.get(key)
+            value = None
+            had_shared_copy = False
+            if entry is not None:
+                if entry.state == SHARED and not requester_has_copy:
+                    # Write-through keeps every Shared copy current; grab
+                    # the home's own copy before it gets invalidated.
+                    local = self.cache.peek(key)
+                    if local is not None:
+                        value = local.value
+                        had_shared_copy = True
+                victims = sorted(entry.sharers - {requester, self.node_id})
+                if self.node_id in entry.sharers and self.node_id != requester:
+                    self._invalidate_local(key)
+                yield from self._invalidate_sharers(key, victims)
+            if not requester_has_copy and not had_shared_copy:
+                # After all invalidations acked, storage holds the latest
+                # committed value (write-through + owner-lock ordering).
+                value, _version = yield from self.system.storage.read(key)
+            if not self._still_home(key, epoch):
+                return value, False
+            self.directory.set_exclusive(key, requester)
+            return value, True
+        finally:
+            lock.release()
+
+    def _handle_rfo(self, endpoint, src, args):
+        key, requester, requester_has_copy = args
+        yield from self._check_home(key)
+        value, cacheable = yield from self._home_rfo(
+            key, requester, requester_has_copy)
+        return Reply((value, cacheable), size_bytes=sizeof(value) + 2)
+
+    def _peer_unreachable(self, peer: str):
+        """An RPC to ``peer`` timed out: report it and await the fallout.
+
+        Section III-H: the waiting node informs the controller, the
+        coordination service removes the peer's cache instance, and the
+        waiter retries once the membership change reaches it.
+        """
+        self.system.report_unreachable(peer)
+        # Give the failure notification time to propagate and the local
+        # membership handler time to erect the barrier.
+        yield self.sim.timeout(RETRY_DELAY_MS)
+
+    # ------------------------------------------------------------------
+    # Home-side protocol (runs under the per-key home lock)
+    # ------------------------------------------------------------------
+    def _still_home(self, key: str, epoch: int) -> bool:
+        """Whether this agent may mutate the directory entry for ``key``.
+
+        Long home operations yield (storage, invalidations); if membership
+        changed underneath them the entry may have been transferred, lost
+        or recreated elsewhere — mutating it here would fork the directory.
+        """
+        return (
+            not self.ejected
+            and self.epoch == epoch
+            and self.ring.home(key) == self.node_id
+        )
+
+    def _home_read(self, key: str, requester: str, fn: str = ""):
+        """Serve a read at the home; returns (value, state, dir_hit, cacheable)."""
+        lock = self._lock(self._key_locks, key)
+        yield lock.acquire()
+        try:
+            # A domain change may have re-homed the key while this request
+            # queued on the lock; re-verify before touching the directory.
+            yield from self._barrier_wait(key)
+            if self.ring.home(key) != self.node_id or self.ejected:
+                raise NotHome(f"{self.node_id} lost home of {key!r}")
+            epoch = self.epoch
+            entry = self.directory.get(key)
+            if entry is None:
+                # Read miss: fetch from storage, requester becomes E owner.
+                value, _version = yield from self.system.storage.read(key)
+                if value is None:
+                    return None, EXCLUSIVE, False, False
+                if not self._still_home(key, epoch):
+                    return value, EXCLUSIVE, False, False
+                self.directory.set_exclusive(key, requester)
+                return value, EXCLUSIVE, False, True
+
+            self._observe_consumer(key, requester, fn)
+            if entry.state == EXCLUSIVE:
+                owner = entry.owner
+                if owner == requester:
+                    # Requester evicted silently but is still registered;
+                    # storage is current (write-through).
+                    value, _version = yield from self.system.storage.read(key)
+                    cacheable = self._still_home(key, epoch)
+                    return value, EXCLUSIVE, True, cacheable
+                value = yield from self._fetch_from_owner(key, owner)
+                if not self._still_home(key, epoch):
+                    return value, SHARED, True, False
+                if value is not None:
+                    # Owner downgraded to S; both are sharers now.
+                    entry.state = SHARED
+                    entry.sharers.add(requester)
+                    return value, SHARED, True, True
+                # Owner evicted (or died): storage copy is current.
+                value, _version = yield from self.system.storage.read(key)
+                if not self._still_home(key, epoch):
+                    return value, EXCLUSIVE, True, False
+                self.directory.set_exclusive(key, requester)
+                return value, EXCLUSIVE, True, True
+
+            # Shared: serve from the home's own cache if present, else storage.
+            local = self.cache.get(key)
+            if local is not None:
+                value = local.value
+            else:
+                value, _version = yield from self.system.storage.read(key)
+            if not self._still_home(key, epoch):
+                return value, SHARED, True, False
+            entry.sharers.add(requester)
+            return value, SHARED, True, True
+        finally:
+            lock.release()
+
+    def _home_write(self, key: str, value: object, requester: str, fn: str = ""):
+        """Serialize a write at the home; returns (OpKind, cacheable)."""
+        lock = self._lock(self._key_locks, key)
+        yield lock.acquire()
+        try:
+            yield from self._barrier_wait(key)
+            if self.ring.home(key) != self.node_id or self.ejected:
+                raise NotHome(f"{self.node_id} lost home of {key!r}")
+            epoch = self.epoch
+            if fn:
+                self._note_producer(key, requester, fn)
+            entry = self.directory.get(key)
+            if entry is None:
+                # Write miss: update storage, requester becomes E owner.
+                yield from self.system.storage.write(key, value, writer=requester)
+                self.system.stats.invalidations_per_write.record(0)
+                if not self._still_home(key, epoch):
+                    return OpKind.WRITE_MISS, False
+                self.directory.set_exclusive(key, requester)
+                return OpKind.WRITE_MISS, True
+
+            if entry.state == EXCLUSIVE and entry.owner != requester:
+                # Single owner: invalidate it *before* updating storage
+                # (the owner may have a direct-to-storage write in flight).
+                yield from self._invalidate_sharers(key, [entry.owner])
+                yield from self.system.storage.write(key, value, writer=requester)
+                self.system.stats.invalidations_per_write.record(1)
+            else:
+                # Shared (or stale self-ownership): invalidations travel in
+                # parallel with the storage update, hiding their latency.
+                victims = sorted(entry.sharers - {requester, self.node_id})
+                if self.node_id in entry.sharers and self.node_id != requester:
+                    self._invalidate_local(key)
+                if self.system.parallel_invalidations:
+                    # The agent issues the invalidation sends first (they
+                    # serialize on its send path), then the storage write;
+                    # all round trips overlap after that.
+                    pending = yield from self._send_invalidations(key, victims)
+                    storage_done = self.sim.spawn(
+                        self.system.storage.write(key, value, writer=requester),
+                        name=f"wt:{key}",
+                    )
+                    yield self.sim.all_of(pending + [storage_done])
+                else:
+                    # Ablation: serialize invalidations before the update.
+                    yield from self._invalidate_sharers(key, victims)
+                    yield from self.system.storage.write(
+                        key, value, writer=requester)
+                self.system.stats.invalidations_per_write.record(len(victims))
+            if not self._still_home(key, epoch):
+                return OpKind.REMOTE_WRITE_HIT, False
+            self.directory.set_exclusive(key, requester)
+            # If the home itself is the writer its cache copy stays E; any
+            # other local copy was invalidated above.
+            return OpKind.REMOTE_WRITE_HIT, True
+        finally:
+            lock.release()
+
+    def _fetch_from_owner(self, key: str, owner: str):
+        """Ask the E-state owner for the data (downgrades it to S)."""
+        if owner == self.node_id:
+            local = self.cache.get(key)
+            if local is None:
+                return None
+            local.state = SHARED
+            return local.value
+        call = self.sim.spawn(
+            self._call_catching(
+                f"{owner}/concord-{self.app}", "fetch_downgrade", key, len(key)),
+            name=f"fetch:{key}:{owner}",
+        )
+        # Abort early if the owner is declared failed while we wait; its
+        # copies are unreadable (crash) or about to be flushed (ejection).
+        yield self.sim.any_of([call, self._removal_event(owner)])
+        if not call.triggered:
+            return None
+        status, reply = call.value
+        if status == "err":
+            if isinstance(reply, RpcTimeout):
+                self.system.report_unreachable(owner)
+            return None
+        return None if isinstance(reply, NotCached) else reply
+
+    def _send_invalidations(self, key: str, sharers: list):
+        """Issue invalidations; returns the ack-wait processes.
+
+        The sends serialize on the agent's NIC/syscall path (``send_ms``
+        each) before the round trips overlap — the reason wide-fan-out
+        writes creep up with sharer count (Figure 11: 30 -> 32.4 ms).
+        """
+        pending = []
+        for sharer in sharers:
+            if sharer == self.node_id:
+                self._invalidate_local(key)
+                continue
+            yield self.sim.timeout(self.system.latency.send_ms)
+            pending.append(self.sim.spawn(
+                self._invalidate_one(key, sharer), name=f"inv:{key}:{sharer}",
+            ))
+        return pending
+
+    def _invalidate_sharers(self, key: str, sharers: list):
+        """Send invalidations and gather all acknowledgements."""
+        pending = yield from self._send_invalidations(key, sharers)
+        if pending:
+            yield self.sim.all_of(pending)
+        return None
+
+    def _invalidate_one(self, key: str, sharer: str):
+        if sharer not in self.ring.members:
+            return  # already recovered/left; nothing readable remains there
+        call = self.sim.spawn(
+            self._call_catching(
+                f"{sharer}/concord-{self.app}", "invalidate", key, len(key)),
+            name=f"invrpc:{key}:{sharer}",
+        )
+        yield self.sim.any_of([call, self._removal_event(sharer)])
+        if not call.triggered:
+            return  # sharer was declared failed; recovery handles its copies
+        status, reply = call.value
+        if status == "err" and isinstance(reply, RpcTimeout):
+            # A dead sharer holds no readable copy; report and move on.
+            self.system.report_unreachable(sharer)
+
+    def _call_catching(self, dst: str, method: str, args: object, size: int):
+        """RPC returning ("ok", value) or ("err", exception) — never raises."""
+        try:
+            value = yield from self.endpoint.call(
+                dst, method, args, size_bytes=size,
+                timeout=self.system.config.rpc_timeout_ms,
+            )
+        except RpcError as exc:
+            return ("err", exc)
+        return ("ok", value)
+
+    def _removal_event(self, member: str):
+        """Event fired when ``member`` leaves this agent's ring view."""
+        event = self._removal_events.get(member)
+        if event is None or event.triggered:
+            event = self.sim.event(f"removed:{member}")
+            self._removal_events[member] = event
+        return event
+
+    def member_removed(self, member: str) -> None:
+        """Signal waiters that ``member`` left the ring; bump the epoch."""
+        self.epoch += 1
+        event = self._removal_events.pop(member, None)
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    def _invalidate_local(self, key: str) -> None:
+        entry = self.cache.remove(key)
+        if entry is not None and self.txn_manager is not None and entry.speculative:
+            self.txn_manager.on_external_invalidate(key, entry)
+
+    # ------------------------------------------------------------------
+    # RPC handlers (server side)
+    # ------------------------------------------------------------------
+    def _check_home(self, key: str):
+        """Handlers first wait out barriers, then verify ring ownership."""
+        yield from self._barrier_wait(key)
+        if self.ring.home(key) != self.node_id or self.ejected:
+            raise NotHome(f"{self.node_id} is not home of {key!r}")
+
+    def _handle_read(self, endpoint, src, args):
+        key, requester, fn = args
+        yield from self._check_home(key)
+        value, state, dir_hit, cacheable = yield from self._home_read(
+            key, requester, fn)
+        return Reply((value, state, dir_hit, cacheable),
+                     size_bytes=sizeof(value) + 2)
+
+    def _handle_write(self, endpoint, src, args):
+        key, value, requester, fn = args
+        yield from self._check_home(key)
+        kind, cacheable = yield from self._home_write(key, value, requester, fn)
+        return Reply((kind.value, cacheable), size_bytes=8)
+
+    def _handle_fetch_downgrade(self, endpoint, src, key):
+        yield from self._wait_protection(key)
+        # Wait out any in-flight direct-to-storage E write.
+        lock = self._lock(self._owner_locks, key)
+        yield lock.acquire()
+        lock.release()
+        entry = self.cache.get(key)
+        if entry is None:
+            return Reply(NotCached(), size_bytes=2)
+        if self.txn_manager is not None and entry.spec_writer is not None:
+            self.txn_manager.on_external_read(key, entry)
+            return Reply(NotCached(), size_bytes=2)
+        entry.state = SHARED
+        return Reply(entry.value, size_bytes=entry.size_bytes)
+
+    def _handle_invalidate(self, endpoint, src, key):
+        yield from self._wait_protection(key)
+        lock = self._lock(self._owner_locks, key)
+        yield lock.acquire()
+        lock.release()
+        self._invalidate_local(key)
+        return Reply("ack", size_bytes=1)
+
+    def _wait_protection(self, key: str):
+        """Block while a protected (escalated) transaction marks the entry.
+
+        Safe against deadlock: a protected transaction's buffered writes
+        are E-state entries, so its commit goes straight to storage and
+        never waits on another home's key lock.
+        """
+        while self.txn_manager is not None:
+            entry = self.cache.peek(key)
+            if entry is None or not entry.speculative:
+                return
+            event = self.txn_manager.writer_protection_event(entry)
+            if event is None:
+                return
+            yield event
+
+    def _handle_external_write(self, endpoint, src, args):
+        """External write landed in storage: purge every cached copy."""
+        key, _version = args
+        yield from self._check_home(key)
+        lock = self._lock(self._key_locks, key)
+        yield lock.acquire()
+        try:
+            entry = self.directory.get(key)
+            if entry is not None:
+                victims = sorted(entry.sharers - {self.node_id})
+                yield from self._invalidate_sharers(key, victims)
+                self._invalidate_local(key)
+                self.directory.remove(key)
+            else:
+                self._invalidate_local(key)
+            return Reply("ack", size_bytes=1)
+        finally:
+            lock.release()
+
+    # ------------------------------------------------------------------
+    # Barriers (recovery and domain changes)
+    # ------------------------------------------------------------------
+    def raise_barrier(self, member: str, ring_snapshot) -> None:
+        """Block operations on keys homed at ``member`` until lifted."""
+        if member not in self._barriers:
+            self._barriers[member] = (ring_snapshot, self.sim.event(f"barrier:{member}"))
+
+    def lift_barrier(self, member: str) -> None:
+        barrier = self._barriers.pop(member, None)
+        if barrier is not None and not barrier[1].triggered:
+            barrier[1].succeed()
+
+    def _barrier_wait(self, key: str):
+        """Wait until no active barrier covers ``key``."""
+        for _attempt in range(MAX_ATTEMPTS):
+            blocking = None
+            for member, (ring_snapshot, event) in self._barriers.items():
+                if member in ring_snapshot.members and ring_snapshot.home(key) == member:
+                    blocking = event
+                    break
+            if blocking is None:
+                return
+            yield blocking
+        raise ProtocolError(f"barrier on {key!r} never lifted at {self.node_id}")
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def _install(self, key: str, value: object, state: str, ctx=None) -> None:
+        """Cache a fetched/written value, respecting the capacity budget."""
+        self.refresh_capacity()
+        size = sizeof(value)
+        if size > self.cache.capacity_bytes:
+            return  # large objects are cached only if memory allows
+        existing = self.cache.peek(key)
+        if (existing is not None and existing.speculative
+                and self.txn_manager is not None):
+            # Replacing a speculative entry is a conflict with whoever
+            # speculated on it (unless that is the installing transaction).
+            self.txn_manager.on_replace(key, existing, ctx)
+        entry = CacheEntry(key=key, value=value, state=state, size_bytes=size)
+        if self.txn_manager is not None and ctx is not None and ctx.txn_id:
+            self.txn_manager.on_install(key, entry, ctx)
+        self.cache.put(entry)
+
+    def refresh_capacity(self) -> None:
+        """Track the application's currently-unused container memory."""
+        budget = self.system.capacity_for(self.node_id)
+        if budget != self.cache.capacity_bytes:
+            self.cache.resize(budget)
+
+    def eject(self) -> None:
+        """This agent was declared failed (possibly falsely): flush.
+
+        The rest of the domain already treats our directory entries as
+        lost and our cached copies as unreadable, so holding on to either
+        would fork the coherence state.  The system rejoins us afterwards.
+        """
+        if self.ejected:
+            return
+        self.ejected = True
+        self.epoch += 1
+        self.cache.clear()
+        self.directory = DataDirectory(self.node_id)
+        self._last_writer.clear()
+        if self.node_id in self.ring.members:
+            self.ring.remove(self.node_id)
+        for member in list(self._barriers):
+            self.lift_barrier(member)
+
+    def evict_keys_homed_at(self, member: str, ring_snapshot) -> int:
+        """Recovery step: drop all cached items homed at a failed member."""
+        evicted = 0
+        for key in self.cache.keys():
+            if ring_snapshot.home(key) == member:
+                self._invalidate_local(key)
+                evicted += 1
+        return evicted
+
+    def pop_directory_entries_locked(self, keys: list):
+        """Quiesce ``keys`` and pop their directory entries (generator).
+
+        Acquires each key's home lock so no in-flight home operation can
+        mutate (or recreate) an entry while it is being transferred to a
+        new home; returns ``(entries, release)`` where ``release()`` must
+        be called once the transfer is acknowledged.
+        """
+        locks = [self._lock(self._key_locks, key) for key in keys]
+        for lock in locks:
+            yield lock.acquire()
+        entries = self.directory.pop_entries_for(keys)
+
+        def release():
+            for lock in locks:
+                lock.release()
+
+        return entries, release
+
+    def _lock(self, table: dict, key: str) -> Resource:
+        lock = table.get(key)
+        if lock is None:
+            lock = Resource(self.sim, capacity=1, name=f"{self.node_id}:{key}")
+            table[key] = lock
+        return lock
+
+    # ------------------------------------------------------------------
+    # Placement learning hooks
+    # ------------------------------------------------------------------
+    def _note_producer(self, key: str, node: str, fn: str) -> None:
+        self._last_writer[key] = (node, fn)
+
+    def _observe_consumer(self, key: str, requester: str, fn: str) -> None:
+        """A remote read of a recently-written key: producer-consumer edge."""
+        producer = self._last_writer.get(key)
+        if producer is None or not fn:
+            return
+        producer_node, producer_fn = producer
+        if producer_node != requester and producer_fn and producer_fn != fn:
+            self.system.observe_producer_consumer(producer_fn, fn)
+
+    def close(self) -> None:
+        """Tear down (graceful leave already transferred the directory)."""
+        self.alive = False
+        self.cache.clear()
+        self.endpoint.close()

@@ -1,0 +1,483 @@
+"""The Concord caching system: agents + application controller.
+
+:class:`ConcordSystem` is the per-application entry point.  It implements
+the common :class:`~repro.caching.base.StorageAPI` used by function code,
+owns one :class:`~repro.core.agent.CacheAgent` per participating node, and
+an :class:`AppController` that keeps the Node Directory, orchestrates
+two-phase domain changes (Section III-D) and coordinates failure recovery
+(Section III-F).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.caching.base import AccessContext, StorageAPI
+from repro.config import MB
+from repro.coord.service import CoordinationService, MembershipEvent, ping_handler
+from repro.core.agent import RETRY_DELAY_MS, CacheAgent
+from repro.core.domain import keys_moving_to_joiner, new_homes_for_leaver, ring_with
+from repro.core.hashring import ConsistentHashRing
+from repro.core.recovery import RecoveryTracker
+from repro.metrics import AccessStats
+from repro.net.rpc import Endpoint, Reply
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster
+    from repro.storage import GlobalStorage
+
+#: Default cache-instance budget when no container memory exists to
+#: repurpose (protocol unit tests run without the FaaS layer).
+DEFAULT_CAPACITY = 64 * MB
+
+#: Approximate wire size of one marshalled directory entry.
+DIR_ENTRY_WIRE_BYTES = 48
+
+
+class AppController:
+    """Per-application control plane.
+
+    Lives on its own (reliable) control node, like the load balancer and
+    the coordination service.  Holds the Node Directory — the list of
+    nodes hosting a cache instance — serializes domain changes, counts
+    recovery acknowledgements and forwards external writes to the proper
+    home agent (Section III-C3).
+    """
+
+    def __init__(self, system: "ConcordSystem"):
+        self.system = system
+        self.sim = system.sim
+        self.app = system.app
+        self.endpoint = Endpoint(
+            system.cluster.network, f"ctl-{self.app}", "appctl"
+        )
+        self.ring = system.ring_template.copy()
+        #: Failed member -> ack tracker.
+        self._recoveries: dict[str, RecoveryTracker] = {}
+        #: Serializes voluntary domain changes.
+        self._domain_busy = False
+        self.endpoint.register_handler("ping", ping_handler)
+        self.endpoint.register_handler("membership", self._handle_membership)
+        self.endpoint.register_handler("recovery_ack", self._handle_recovery_ack)
+
+    @property
+    def members(self) -> set:
+        return self.ring.members
+
+    # -- failure recovery ------------------------------------------------------
+    def _handle_membership(self, endpoint, src, event: MembershipEvent):
+        if event.kind == "failed":
+            self._on_member_failed(event.member)
+        return None
+        yield  # pragma: no cover - generator marker
+
+    def _on_member_failed(self, member: str) -> None:
+        if member not in self.ring.members:
+            return
+        self.ring.remove(member)
+        self.system.ring_template.remove(member)
+        survivors = set(self.ring.members)
+        tracker = self._recoveries.setdefault(member, RecoveryTracker(member))
+        for pending in self._recoveries.values():
+            if not pending.complete and pending.failed_member != member:
+                pending.survivor_lost(member)
+        if tracker.arm(survivors):
+            self._finish_recovery(member)
+
+    def _handle_recovery_ack(self, endpoint, src, args):
+        failed_member, acking_member = args
+        tracker = self._recoveries.setdefault(
+            failed_member, RecoveryTracker(failed_member)
+        )
+        if tracker.ack(acking_member):
+            self._finish_recovery(failed_member)
+        return None
+        yield  # pragma: no cover - generator marker
+
+    def _finish_recovery(self, failed_member: str) -> None:
+        """All survivors recovered: lift the read barrier everywhere."""
+        for node_id in self.ring.members:
+            self.endpoint.notify(
+                f"{node_id}/concord-{self.app}", "recovery_complete", failed_member,
+            )
+
+    # -- voluntary domain changes ----------------------------------------------
+    def domain_join(self, joiner: str):
+        """Two-phase admission of a new cache instance (a generator)."""
+        yield from self._domain_change("join", joiner)
+
+    def domain_leave(self, leaver: str):
+        """Two-phase graceful departure of a cache instance (a generator)."""
+        yield from self._domain_change("leave", leaver)
+
+    def _domain_change(self, kind: str, member: str):
+        while self._domain_busy:
+            yield self.sim.timeout(1.0)
+        self._domain_busy = True
+        try:
+            if kind == "join":
+                participants = sorted(self.ring.members | {member})
+            else:
+                participants = sorted(self.ring.members)
+            # Phase 1: all agents raise barriers and transfer the
+            # directory entries whose home moves.  The authoritative
+            # member list rides along so a (re)joining agent can rebuild
+            # its ring view from scratch.
+            prepare_calls = [
+                self.sim.spawn(
+                    self.endpoint.call(
+                        f"{node_id}/concord-{self.app}", "domain_prepare",
+                        (kind, member, participants), size_bytes=32,
+                    ),
+                    name=f"prep:{node_id}",
+                )
+                for node_id in participants
+            ]
+            yield self.sim.all_of(prepare_calls)
+            # Phase 2: everyone atomically switches to the new ring.
+            commit_calls = [
+                self.sim.spawn(
+                    self.endpoint.call(
+                        f"{node_id}/concord-{self.app}", "domain_commit",
+                        (kind, member), size_bytes=32,
+                    ),
+                    name=f"commit:{node_id}",
+                )
+                for node_id in participants
+            ]
+            yield self.sim.all_of(commit_calls)
+            if kind == "join":
+                self.ring.add(member)
+            else:
+                self.ring.remove(member)
+        finally:
+            self._domain_busy = False
+
+    # -- external writes ----------------------------------------------------------
+    def forward_external_write(self, key: str, version: int) -> None:
+        """Route an external storage update to the key's home agent."""
+        self.sim.spawn(
+            self._forward_external(key, version),
+            name=f"extwrite:{key}",
+            daemon=True,
+        )
+
+    def _forward_external(self, key: str, version: int):
+        from repro.core.agent import NotHome  # avoid import cycle at module load
+        from repro.net.rpc import RpcTimeout
+
+        for _attempt in range(20):
+            if not self.ring.members:
+                return
+            home = self.ring.home(key)
+            try:
+                yield from self.endpoint.call(
+                    f"{home}/concord-{self.app}", "external_write", (key, version),
+                    size_bytes=len(key) + 8,
+                )
+                return
+            except (NotHome, RpcTimeout):
+                # Home moved (domain change) or died; re-resolve and retry.
+                yield self.sim.timeout(5.0)
+
+    def close(self) -> None:
+        self.endpoint.close()
+
+
+class ConcordSystem(StorageAPI):
+    """Per-application Concord distributed cache."""
+
+    name = "concord"
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        app: str = "app",
+        node_ids: Optional[Iterable[str]] = None,
+        coord: Optional[CoordinationService] = None,
+        storage: Optional["GlobalStorage"] = None,
+        capacity_override: Optional[int] = None,
+        default_capacity: int = DEFAULT_CAPACITY,
+        virtual_nodes: int = 64,
+        estate_writes: bool = True,
+        parallel_invalidations: bool = True,
+    ):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.config = cluster.config
+        self.latency = cluster.config.latency
+        self.app = app
+        self.coord = coord
+        self.storage = storage if storage is not None else cluster.storage
+        self.capacity_override = capacity_override
+        self.default_capacity = default_capacity
+        #: Ablation switches (DESIGN.md section 5): E-state writes that
+        #: bypass the home, and invalidations parallel with the storage
+        #: update.  Both on in the paper's design.
+        self.estate_writes = estate_writes
+        self.parallel_invalidations = parallel_invalidations
+        members = list(node_ids) if node_ids is not None else cluster.node_ids
+        self.ring_template = ConsistentHashRing(members, virtual_nodes)
+        self._stats = AccessStats()
+        #: Hook for placement learning (set by repro.placement).
+        self.pct_observer: Optional[Callable[[str, str], None]] = None
+
+        self.controller = AppController(self)
+        self.agents: dict[str, CacheAgent] = {}
+        for node_id in members:
+            self._bootstrap_agent(node_id)
+        if self.coord is not None:
+            self.coord.join(app, self.controller.endpoint.node_id,
+                            self.controller.endpoint.address)
+            for node_id, agent in self.agents.items():
+                self.coord.join(app, node_id, agent.endpoint.address)
+        self.storage.add_write_listener(self._on_storage_write)
+
+    # -- StorageAPI ---------------------------------------------------------------
+    @property
+    def stats(self) -> AccessStats:
+        return self._stats
+
+    def read(self, node_id: str, key: str, ctx: Optional[AccessContext] = None):
+        agent = self.agents[node_id]
+        start = self.sim.now
+        value, kind = yield from agent.read(key, ctx)
+        self._stats.record(kind, self.sim.now - start)
+        return value
+
+    def write(self, node_id: str, key: str, value: object,
+              ctx: Optional[AccessContext] = None):
+        agent = self.agents[node_id]
+        start = self.sim.now
+        kind = yield from agent.write(key, value, ctx)
+        self._stats.record(kind, self.sim.now - start)
+        return None
+
+    # -- agent lifecycle -------------------------------------------------------------
+    def _bootstrap_agent(self, node_id: str) -> CacheAgent:
+        agent = CacheAgent(self, node_id, self.capacity_for(node_id))
+        self.agents[node_id] = agent
+        self._wire_agent(agent)
+        return agent
+
+    def _wire_agent(self, agent: CacheAgent) -> None:
+        agent.endpoint.register_handler("ping", ping_handler)
+        agent.endpoint.register_handler(
+            "membership", self._make_membership_handler(agent))
+        agent.endpoint.register_handler(
+            "recovery_complete", self._make_recovery_complete_handler(agent))
+        agent.endpoint.register_handler(
+            "domain_prepare", self._make_domain_prepare_handler(agent))
+        agent.endpoint.register_handler(
+            "domain_commit", self._make_domain_commit_handler(agent))
+        agent.endpoint.register_handler(
+            "dir_install", self._make_dir_install_handler(agent))
+
+    def create_instance(self, node_id: str):
+        """Admit a cache instance on ``node_id`` (generator; yield from).
+
+        Runs the two-phase join: existing agents barrier the re-homed keys
+        and transfer their directory entries to the new agent before the
+        domain switches rings (Section III-D).
+        """
+        if node_id in self.agents:
+            return self.agents[node_id]
+        agent = CacheAgent(self, node_id, self.capacity_for(node_id))
+        agent.ring = ring_with(self.ring_template, node_id)
+        # The newcomer blocks its re-homed keys until commit.
+        agent.raise_barrier(node_id, agent.ring.copy())
+        self.agents[node_id] = agent
+        self._wire_agent(agent)
+        yield from self.controller.domain_join(node_id)
+        self.ring_template.add(node_id)
+        if self.coord is not None:
+            self.coord.join(self.app, node_id, agent.endpoint.address)
+        return agent
+
+    def remove_instance(self, node_id: str):
+        """Gracefully remove the cache instance on ``node_id`` (generator)."""
+        agent = self.agents.get(node_id)
+        if agent is None:
+            return
+        yield from self.controller.domain_leave(node_id)
+        self.ring_template.remove(node_id)
+        if self.coord is not None:
+            self.coord.leave(self.app, node_id)
+        del self.agents[node_id]
+        agent.close()
+
+    # -- memory -------------------------------------------------------------------
+    def capacity_for(self, node_id: str) -> int:
+        """Cache-instance budget on ``node_id`` (Section III-E)."""
+        if self.capacity_override is not None:
+            return self.capacity_override
+        node = self.cluster.nodes.get(node_id)
+        if node is None:
+            return self.default_capacity
+        if not node.containers_of(self.app):
+            return self.default_capacity
+        return node.unused_memory(self.app)
+
+    # -- failure plumbing ----------------------------------------------------------
+    def report_unreachable(self, peer: str) -> None:
+        """A protocol RPC to ``peer`` timed out (Section III-H)."""
+        if self.coord is not None:
+            self.coord.report_unreachable(self.app, peer)
+
+    def _make_membership_handler(self, agent: CacheAgent):
+        def handler(endpoint, src, event: MembershipEvent):
+            if event.kind != "failed":
+                return None
+            if event.member == agent.node_id:
+                # False-positive ejection: we are alive but the domain
+                # already wrote us off.  Flush everything and rejoin.
+                if not agent.ejected:
+                    agent.eject()
+                    self.sim.spawn(
+                        self._rejoin(agent), name=f"rejoin:{agent.node_id}",
+                        daemon=True,
+                    )
+            else:
+                self._agent_recover(agent, event.member)
+            return None
+            yield  # pragma: no cover - generator marker
+        return handler
+
+    def _agent_recover(self, agent: CacheAgent, failed_member: str) -> None:
+        """Local recovery steps at one surviving agent (Section III-F)."""
+        if failed_member in agent.ring.members:
+            snapshot = agent.ring.copy()
+            agent.raise_barrier(failed_member, snapshot)
+            agent.evict_keys_homed_at(failed_member, snapshot)
+            agent.directory.remove_sharer_everywhere(failed_member)
+            agent.ring.remove(failed_member)
+            agent.member_removed(failed_member)
+        agent.endpoint.notify(
+            self.controller.endpoint.address, "recovery_ack",
+            (failed_member, agent.node_id), size_bytes=16,
+        )
+
+    def _rejoin(self, agent: CacheAgent):
+        """Re-admit a falsely-ejected agent through the join protocol."""
+        yield self.sim.timeout(RETRY_DELAY_MS)
+        yield from self.controller.domain_join(agent.node_id)
+        self.ring_template.add(agent.node_id)
+        if self.coord is not None:
+            self.coord.join(self.app, agent.node_id, agent.endpoint.address)
+
+    def _make_recovery_complete_handler(self, agent: CacheAgent):
+        def handler(endpoint, src, failed_member):
+            agent.lift_barrier(failed_member)
+            return None
+            yield  # pragma: no cover - generator marker
+        return handler
+
+    # -- domain change plumbing -----------------------------------------------------
+    def _make_domain_prepare_handler(self, agent: CacheAgent):
+        def handler(endpoint, src, args):
+            kind, member, participants = args
+            if kind == "join":
+                yield from self._prepare_join(agent, member, participants)
+            else:
+                yield from self._prepare_leave(agent, member)
+            return Reply("prepared", size_bytes=1)
+        return handler
+
+    def _prepare_join(self, agent: CacheAgent, joiner: str, participants: list):
+        if agent.node_id == joiner:
+            # (Re)build the joiner's ring view from the authoritative
+            # member list and block its keys until commit.
+            agent.lift_barrier(joiner)
+            agent.ring = ConsistentHashRing(
+                participants, self.ring_template.virtual_nodes)
+            agent.raise_barrier(joiner, agent.ring.copy())
+            return
+        new_ring = ring_with(agent.ring, joiner)
+        agent.raise_barrier(joiner, new_ring)
+        moving = keys_moving_to_joiner(agent.ring, joiner, agent.directory.keys())
+        if moving:
+            entries, release = yield from agent.pop_directory_entries_locked(moving)
+            try:
+                if entries:
+                    yield from agent.endpoint.call(
+                        f"{joiner}/concord-{self.app}", "dir_install", entries,
+                        size_bytes=DIR_ENTRY_WIRE_BYTES * len(entries),
+                    )
+            finally:
+                release()
+
+    def _prepare_leave(self, agent: CacheAgent, leaver: str):
+        snapshot = agent.ring.copy()
+        agent.raise_barrier(leaver, snapshot)
+        agent.directory.remove_sharer_everywhere(leaver)
+        if agent.node_id != leaver:
+            return
+        # The departing instance stops serving hits and re-homes all of
+        # its directory entries to their consistent-hashing successors.
+        agent.cache.clear()
+        by_target = new_homes_for_leaver(
+            agent.ring, leaver, agent.directory.keys())
+        for target, keys in sorted(by_target.items()):
+            entries, release = yield from agent.pop_directory_entries_locked(keys)
+            try:
+                if entries:
+                    yield from agent.endpoint.call(
+                        f"{target}/concord-{self.app}", "dir_install", entries,
+                        size_bytes=DIR_ENTRY_WIRE_BYTES * len(entries),
+                    )
+            finally:
+                release()
+
+    def _make_domain_commit_handler(self, agent: CacheAgent):
+        def handler(endpoint, src, args):
+            kind, member = args
+            if kind == "join":
+                agent.ring.add(member)
+                agent.epoch += 1
+                if member == agent.node_id:
+                    agent.ejected = False  # rejoin complete
+            else:
+                agent.ring.remove(member)
+                agent.member_removed(member)
+            agent.lift_barrier(member)
+            return Reply("committed", size_bytes=1)
+            yield  # pragma: no cover - generator marker
+        return handler
+
+    def _make_dir_install_handler(self, agent: CacheAgent):
+        def handler(endpoint, src, entries):
+            for entry in entries:
+                agent.directory.install(entry)
+            return Reply("installed", size_bytes=1)
+            yield  # pragma: no cover - generator marker
+        return handler
+
+    # -- external writes ----------------------------------------------------------
+    def _on_storage_write(self, key: str, value: object, version: int,
+                          writer: str) -> None:
+        """Storage listener: forward non-FaaS writes into the protocol."""
+        if writer != "external":
+            return
+        self.controller.forward_external_write(key, version)
+
+    # -- placement learning hook ----------------------------------------------------
+    def observe_producer_consumer(self, producer_fn: str, consumer_fn: str) -> None:
+        if self.pct_observer is not None:
+            self.pct_observer(producer_fn, consumer_fn)
+
+    # -- introspection (experiments) --------------------------------------------------
+    def sharer_counts(self) -> list[int]:
+        """Sharer-set sizes across all directory entries (Table I)."""
+        counts = []
+        for agent in self.agents.values():
+            counts.extend(agent.directory.sharer_counts())
+        return counts
+
+    def cache_bytes(self) -> dict[str, int]:
+        """Current cache occupancy per node (Figure 12)."""
+        return {nid: agent.cache.used_bytes for nid, agent in self.agents.items()}
+
+    def close(self) -> None:
+        for agent in self.agents.values():
+            agent.close()
+        self.controller.close()

@@ -1,0 +1,129 @@
+"""The Data Directory: per-home coherence metadata.
+
+Each cache agent manages the directory entries of the data items homed at
+its node (paper Section III-C1).  An entry records the set of cache
+instances currently caching the item (the *sharers*) and whether the item
+is held Exclusive (single sharer, the *owner*) or Shared.
+
+Because evictions are silent (agents do not inform the home when they drop
+an item, Section III-C2), the sharer set is a conservative superset of the
+caches that actually hold the item — the protocol tolerates "sharers" that
+no longer have the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.caching.base import EXCLUSIVE, SHARED
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory state for one data item."""
+
+    key: str
+    state: str = EXCLUSIVE  # EXCLUSIVE or SHARED
+    sharers: set = field(default_factory=set)
+
+    @property
+    def owner(self) -> Optional[str]:
+        """The single sharer when Exclusive, else None."""
+        if self.state == EXCLUSIVE and len(self.sharers) == 1:
+            return next(iter(self.sharers))
+        return None
+
+    def is_valid(self) -> bool:
+        """Structural invariant: E implies exactly one sharer."""
+        if self.state == EXCLUSIVE:
+            return len(self.sharers) == 1
+        return self.state == SHARED and len(self.sharers) >= 1
+
+
+class DataDirectory:
+    """The set of directory entries homed at one cache agent."""
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self._entries: dict[str, DirectoryEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[DirectoryEntry]:
+        return self._entries.get(key)
+
+    def keys(self) -> list[str]:
+        return list(self._entries.keys())
+
+    def entries(self) -> list[DirectoryEntry]:
+        return list(self._entries.values())
+
+    def set_exclusive(self, key: str, owner: str) -> DirectoryEntry:
+        """(Re)create the entry with a single exclusive owner."""
+        entry = DirectoryEntry(key=key, state=EXCLUSIVE, sharers={owner})
+        self._entries[key] = entry
+        return entry
+
+    def add_sharer(self, key: str, sharer: str) -> DirectoryEntry:
+        """Add a sharer, downgrading to Shared if needed."""
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = DirectoryEntry(key=key, state=EXCLUSIVE, sharers={sharer})
+            self._entries[key] = entry
+            return entry
+        entry.sharers.add(sharer)
+        if len(entry.sharers) > 1:
+            entry.state = SHARED
+        return entry
+
+    def downgrade(self, key: str) -> None:
+        """Mark the entry Shared (owner lost exclusivity)."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.state = SHARED
+
+    def remove(self, key: str) -> Optional[DirectoryEntry]:
+        return self._entries.pop(key, None)
+
+    def install(self, entry: DirectoryEntry) -> None:
+        """Adopt an entry transferred from another home (domain change)."""
+        self._entries[entry.key] = entry
+
+    def remove_sharer_everywhere(self, node_id: str) -> list[str]:
+        """Prune a departed/failed node from all sharer sets.
+
+        Entries left with no sharers are dropped (nobody caches the item).
+        Returns the keys whose entries were modified.
+        """
+        touched = []
+        for key in list(self._entries):
+            entry = self._entries[key]
+            if node_id not in entry.sharers:
+                continue
+            entry.sharers.discard(node_id)
+            touched.append(key)
+            if not entry.sharers:
+                del self._entries[key]
+            elif len(entry.sharers) == 1 and entry.state == SHARED:
+                # A single surviving sharer keeps state S (it may not even
+                # still cache the item); it re-acquires E through a write.
+                pass
+        return touched
+
+    def pop_entries_for(self, keys: Iterable[str]) -> list[DirectoryEntry]:
+        """Remove and return the entries for ``keys`` (re-homing transfer)."""
+        popped = []
+        for key in keys:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                popped.append(entry)
+        return popped
+
+    def sharer_counts(self) -> list[int]:
+        """Sharer-set sizes of all current entries (Table I sampling)."""
+        return [len(entry.sharers) for entry in self._entries.values()]

@@ -1,0 +1,53 @@
+"""Dynamic coherence domain helpers (paper Section III-D).
+
+A *coherence domain* is the set of cache instances of one application.
+Instances join when the first function instance lands on a new node and
+leave when the last one is evicted.  Concord uses a two-phase protocol —
+prepare (barriers up, directory entries transferred) then commit (rings
+switch) — orchestrated by the application controller; the helpers here
+compute which directory entries move.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.hashring import ConsistentHashRing
+
+
+def ring_with(ring: ConsistentHashRing, member: str) -> ConsistentHashRing:
+    """A copy of ``ring`` that includes ``member``."""
+    extended = ring.copy()
+    extended.add(member)
+    return extended
+
+
+def ring_without(ring: ConsistentHashRing, member: str) -> ConsistentHashRing:
+    """A copy of ``ring`` that excludes ``member``."""
+    reduced = ring.copy()
+    reduced.remove(member)
+    return reduced
+
+
+def keys_moving_to_joiner(
+    ring: ConsistentHashRing, joiner: str, keys: Iterable[str]
+) -> list[str]:
+    """Of ``keys`` (homed at some agent under ``ring``), those that re-home
+    to ``joiner`` once it enters the ring."""
+    extended = ring_with(ring, joiner)
+    return [key for key in keys if extended.home(key) == joiner]
+
+
+def new_homes_for_leaver(
+    ring: ConsistentHashRing, leaver: str, keys: Iterable[str]
+) -> dict[str, list[str]]:
+    """Group the leaver's ``keys`` by the member that inherits each.
+
+    Consistent hashing guarantees every key moves to a surviving member
+    and no key homed elsewhere moves at all.
+    """
+    reduced = ring_without(ring, leaver)
+    by_target: dict[str, list[str]] = {}
+    for key in keys:
+        by_target.setdefault(reduced.home(key), []).append(key)
+    return by_target

@@ -1,0 +1,117 @@
+"""Consistent hashing ring for home-node assignment.
+
+All cache agents of an application form a ring (paper Section III-C1); the
+home of a data item is the first agent clockwise from the item's hash.
+Virtual nodes smooth the key distribution so that adding/removing one agent
+re-homes roughly ``1/n`` of the keys.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Optional
+
+
+def _hash(value: str) -> int:
+    """Stable 64-bit position on the ring."""
+    return int.from_bytes(hashlib.md5(value.encode()).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """Maps keys to member ids via consistent hashing.
+
+    Members are arbitrary strings (node ids).  The ring is a value object
+    in the sense that two rings with the same members map keys
+    identically — every agent computes homes independently yet agrees
+    (decentralized re-homing, Section III-D).
+    """
+
+    def __init__(self, members: Iterable[str] = (), virtual_nodes: int = 64):
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.virtual_nodes = virtual_nodes
+        self._members: set[str] = set()
+        self._positions: list[int] = []      # sorted virtual-node hashes
+        self._owners: dict[int, str] = {}    # position -> member
+        for member in members:
+            self.add(member)
+
+    # -- membership -----------------------------------------------------------
+    @property
+    def members(self) -> set[str]:
+        return set(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def add(self, member: str) -> None:
+        """Add ``member``; idempotent."""
+        if member in self._members:
+            return
+        self._members.add(member)
+        for replica in range(self.virtual_nodes):
+            position = _hash(f"{member}#{replica}")
+            # Collisions across members are vanishingly unlikely with
+            # 64-bit positions; last add wins deterministically if one
+            # ever occurs.
+            index = bisect.bisect_left(self._positions, position)
+            if index < len(self._positions) and self._positions[index] == position:
+                self._owners[position] = member
+                continue
+            self._positions.insert(index, position)
+            self._owners[position] = member
+
+    def remove(self, member: str) -> None:
+        """Remove ``member``; idempotent."""
+        if member not in self._members:
+            return
+        self._members.remove(member)
+        for replica in range(self.virtual_nodes):
+            position = _hash(f"{member}#{replica}")
+            if self._owners.get(position) == member:
+                index = bisect.bisect_left(self._positions, position)
+                if index < len(self._positions) and self._positions[index] == position:
+                    self._positions.pop(index)
+                del self._owners[position]
+
+    def copy(self) -> "ConsistentHashRing":
+        """An independent ring with the same members."""
+        return ConsistentHashRing(self._members, self.virtual_nodes)
+
+    # -- lookups -----------------------------------------------------------
+    def home(self, key: str) -> str:
+        """The member owning ``key`` (first clockwise from the key's hash)."""
+        if not self._positions:
+            raise LookupError("hash ring is empty")
+        position = _hash(key)
+        index = bisect.bisect_right(self._positions, position)
+        if index == len(self._positions):
+            index = 0  # wrap around the ring
+        return self._owners[self._positions[index]]
+
+    def successor(self, member: str) -> Optional[str]:
+        """The member a departing ``member``'s keys re-home to.
+
+        With virtual nodes the keys spread over several successors; this
+        returns the member that inherits the *first* virtual replica, used
+        only as a representative (actual re-homing recomputes per key).
+        """
+        if member not in self._members or len(self._members) < 2:
+            return None
+        without = self.copy()
+        without.remove(member)
+        return without.home(f"{member}#0")
+
+    def rehomed_keys(self, keys: Iterable[str], member: str) -> dict[str, str]:
+        """For each key homed at ``member``, its new home once ``member`` leaves."""
+        without = self.copy()
+        without.remove(member)
+        return {
+            key: without.home(key)
+            for key in keys
+            if self.home(key) == member
+        }

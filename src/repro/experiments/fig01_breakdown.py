@@ -1,0 +1,58 @@
+"""Figure 1: response-time breakdown into processing and storage access.
+
+On a conventional (cache-less) platform, storage accounts for 35-93 % of
+end-to-end response time with an average of 63.1 % (paper Section II-A).
+"""
+
+from __future__ import annotations
+
+from repro.caching import DirectStorage
+from repro.cluster import Cluster
+from repro.config import SimConfig
+from repro.experiments.tables import ExperimentResult
+from repro.faas import FaasPlatform
+from repro.sim import Simulator
+from repro.workloads import ALL_PROFILES, build_app, entity_inputs_factory
+from repro.workloads.profiles import preload_storage
+
+
+def run(scale: float = 1.0, seed: int = 101) -> ExperimentResult:
+    """Measure each app's storage share on an unloaded cache-less cluster."""
+    requests = max(4, int(20 * scale))
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, SimConfig(num_nodes=4, cores_per_node=8))
+    platform = FaasPlatform(cluster)
+
+    result = ExperimentResult(
+        experiment="Figure 1",
+        title="Response-time breakdown (no caching)",
+        columns=["app", "response_ms", "storage_ms", "compute_ms", "storage_pct"],
+        note="Paper: storage is 35.1-93.0% of response time, average 63.1%.",
+    )
+    fractions = []
+    for name, profile in ALL_PROFILES.items():
+        preload_storage(cluster.storage, profile)
+        app = platform.deploy(build_app(profile), DirectStorage(cluster))
+        factory = entity_inputs_factory(profile, sim)
+        for index in range(requests):
+            sim.run_until_complete(
+                sim.spawn(platform.request(name, factory(index))),
+                limit=sim.now + 600_000.0,
+            )
+        fraction = app.storage_fraction
+        fractions.append(fraction)
+        result.data.append({
+            "app": name,
+            "response_ms": app.latency.mean,
+            "storage_ms": app.storage_ms_total / app.requests_completed,
+            "compute_ms": app.compute_ms_total / app.requests_completed,
+            "storage_pct": 100.0 * fraction,
+        })
+    result.data.append({
+        "app": "Average",
+        "response_ms": "",
+        "storage_ms": "",
+        "compute_ms": "",
+        "storage_pct": 100.0 * sum(fractions) / len(fractions),
+    })
+    return result

@@ -1,0 +1,91 @@
+"""Figure 8: cluster throughput before SLO violation.
+
+Throughput is the highest request rate the cluster sustains while the
+applications' mean latencies stay within SLO = 5x their latency on an
+unloaded cluster (the paper's definition).  Concord improves throughput
+over OFC by 1.7x and over Faa$T by 1.8x on average.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    MixedRunConfig,
+    run_mixed_workload,
+    unloaded_latency,
+)
+from repro.experiments.tables import ExperimentResult
+
+SCHEMES = ("ofc", "faast", "concord")
+SLO_FACTOR = 5.0
+
+
+def _within_slo(outcome, slo: dict) -> bool:
+    """All apps completed (close to) their offered load within the SLO.
+
+    Checking completions guards against survivorship bias past CPU
+    saturation, where only the fast requests finish inside the window.
+    """
+    config = outcome.config
+    offered_total = config.resolved_total_rps() * config.duration_ms / 1000.0
+    completed_total = sum(s.completed for s in outcome.per_app.values())
+    if completed_total < 0.75 * offered_total:
+        return False  # saturated: work is piling up, not completing
+    for app, stats in outcome.per_app.items():
+        if stats.completed == 0:
+            return False
+        if stats.mean_latency_ms > slo[app]:
+            return False
+    return True
+
+
+def max_sustained_rps(
+    scheme: str, slo: dict, rps_grid: list, scale: float, seed: int,
+) -> float:
+    """Largest grid point whose run satisfies every app's SLO."""
+    best = 0.0
+    for rps in rps_grid:
+        config = MixedRunConfig(
+            scheme=scheme, num_nodes=8, cores_per_node=4,
+            utilization=None, total_rps=rps,
+            # Fixed, scale-independent window: saturation only shows up
+            # once queues have had a few seconds to build.
+            duration_ms=5000.0,
+            warmup_ms=1500.0,
+            seed=seed,
+        )
+        outcome = run_mixed_workload(config)
+        if _within_slo(outcome, slo):
+            best = rps
+        else:
+            break
+    return best
+
+
+def run(scale: float = 1.0, seed: int = 109) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Figure 8",
+        title="Cluster throughput at SLO (5x unloaded latency)",
+        columns=["scheme", "max_rps", "vs_ofc"],
+        note="Paper: Concord sustains 1.7x OFC's and 1.8x Faa$T's throughput.",
+    )
+    # The SLO is a property of the application: 5x its unloaded latency on
+    # the baseline (OFC) platform, applied identically to every scheme.
+    slo = {
+        app: SLO_FACTOR * latency
+        for app, latency in unloaded_latency(
+            "ofc", num_nodes=8, cores_per_node=4, seed=seed).items()
+    }
+    # CPU saturates around ~135 RPS on this scaled cluster; the grid spans
+    # the knee and beyond so every scheme eventually violates.
+    rps_grid = [60, 100, 115, 130, 145, 160, 175, 190, 210]
+    sustained = {}
+    for scheme in SCHEMES:
+        sustained[scheme] = max_sustained_rps(scheme, slo, rps_grid, scale, seed)
+    for scheme in SCHEMES:
+        result.data.append({
+            "scheme": scheme,
+            "max_rps": sustained[scheme],
+            "vs_ofc": (sustained[scheme] / sustained["ofc"]
+                       if sustained["ofc"] else float("nan")),
+        })
+    return result

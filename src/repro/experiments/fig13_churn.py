@@ -1,0 +1,81 @@
+"""Figure 13: throughput under coherence-domain churn (SocNet).
+
+Cache instances are repeatedly removed from and re-added to a 16-node
+coherence domain while load runs; the two-phase domain-change protocol is
+non-blocking except for re-homed keys, so throughput stays high until
+very aggressive churn (paper: up to ~48 removals+additions per minute).
+"""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster
+from repro.config import SimConfig
+from repro.coord import CoordinationService
+from repro.core import ConcordSystem
+from repro.experiments.tables import ExperimentResult
+from repro.faas import CasScheduler, FaasPlatform
+from repro.sim import Simulator
+from repro.workloads import ALL_PROFILES, build_app, entity_inputs_factory
+from repro.workloads.profiles import preload_storage
+
+CHURN_RATES = (0, 6, 12, 24, 48, 96)  # removals (and re-additions) / minute
+
+
+def _throughput_at(churn_per_min: int, duration_ms: float, seed: int,
+                   num_nodes: int = 16) -> float:
+    sim = Simulator(seed=seed)
+    cluster = Cluster(sim, SimConfig(num_nodes=num_nodes, cores_per_node=2))
+    coord = CoordinationService(cluster.network, cluster.config)
+    profile = ALL_PROFILES["SocNet"]
+    concord = ConcordSystem(cluster, app="SocNet", coord=coord)
+    preload_storage(cluster.storage, profile)
+    platform = FaasPlatform(cluster, scheduler=CasScheduler())
+    app = platform.deploy(build_app(profile), concord)
+    factory = entity_inputs_factory(profile, sim)
+
+    rps = 40.0
+    sim.spawn(platform.open_loop("SocNet", rps, duration_ms, factory),
+              name="load")
+
+    if churn_per_min > 0:
+        interval_ms = 60_000.0 / churn_per_min
+
+        def churner(sim):
+            rng = sim.rng.stream("churn")
+            while sim.now < duration_ms:
+                yield sim.timeout(interval_ms)
+                candidates = [n for n in app.node_ids if n in concord.agents]
+                if len(candidates) < 2:
+                    continue
+                victim = rng.choice(candidates)
+                app.node_ids.remove(victim)  # stop routing there
+                yield from concord.remove_instance(victim)
+                yield sim.timeout(50.0)
+                yield from concord.create_instance(victim)
+                app.node_ids.append(victim)
+
+        sim.spawn(churner(sim), name="churner", daemon=True)
+
+    sim.run(until=duration_ms + 3000.0)
+    return app.requests_completed / (duration_ms / 1000.0)
+
+
+def run(scale: float = 1.0, seed: int = 121) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Figure 13",
+        title="SocNet throughput vs cache-instance churn rate",
+        columns=["removals_per_min", "throughput_rps", "normalized"],
+        note="Paper: throughput holds until ~48 removals+additions/minute.",
+    )
+    duration = 6000.0 * scale
+    baseline = None
+    for rate in CHURN_RATES:
+        throughput = _throughput_at(rate, duration, seed)
+        if baseline is None:
+            baseline = throughput
+        result.data.append({
+            "removals_per_min": rate,
+            "throughput_rps": throughput,
+            "normalized": throughput / baseline if baseline else float("nan"),
+        })
+    return result

@@ -1,0 +1,111 @@
+"""Regenerate the paper's entire evaluation in one command.
+
+Usage::
+
+    python -m repro.experiments.run_all [--scale 1.0] [--only fig07,tab1]
+    python -m repro.experiments.run_all --list
+
+Prints every table/figure as ASCII (the same output the benchmarks show)
+and a final summary with per-experiment wall time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    char_reads,
+    fig01_breakdown,
+    fig03_version_vs_data,
+    fig07_latency,
+    fig08_throughput,
+    fig09_invalidations,
+    fig10_cas,
+    fig11_write_scaling,
+    fig12_memory,
+    fig13_churn,
+    fig14_cache_size,
+    fig15_transactions,
+    fig16_placement,
+    fig17_apta,
+    tab1_sharers,
+    tab3_read_mix,
+    verify_protocol,
+)
+from repro.experiments.ablations import (
+    run_estate,
+    run_faast_annotations,
+    run_parallel_inv,
+    run_virtual_nodes,
+)
+
+#: name -> entry point (ordered roughly by cost).
+EXPERIMENTS = {
+    "fig01": fig01_breakdown.run,
+    "fig03": fig03_version_vs_data.run,
+    "char_reads": char_reads.run,
+    "verify": verify_protocol.run,
+    "fig11": fig11_write_scaling.run,
+    "ablation_estate": run_estate,
+    "ablation_parallel_inv": run_parallel_inv,
+    "ablation_virtual_nodes": run_virtual_nodes,
+    "ablation_faast_annotations": run_faast_annotations,
+    "fig09": fig09_invalidations.run,
+    "fig10": fig10_cas.run,
+    "fig12": fig12_memory.run,
+    "tab3": tab3_read_mix.run,
+    "tab1": tab1_sharers.run,
+    "fig14": fig14_cache_size.run,
+    "fig07": fig07_latency.run,
+    "fig13": fig13_churn.run,
+    "fig15": fig15_transactions.run,
+    "fig16": fig16_placement.run,
+    "fig17": fig17_apta.run,
+    "fig08": fig08_throughput.run,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate every table and figure of the Concord paper.")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="duration/request scale (default 1.0)")
+    parser.add_argument("--only", type=str, default=None,
+                        help="comma-separated experiment names")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    selected = list(EXPERIMENTS)
+    if args.only:
+        selected = [name.strip() for name in args.only.split(",")]
+        unknown = [n for n in selected if n not in EXPERIMENTS]
+        if unknown:
+            parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    timings = []
+    for name in selected:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](scale=args.scale)
+        elapsed = time.perf_counter() - start
+        timings.append((name, elapsed))
+        print(result.render())
+        print()
+
+    print("=" * 60)
+    print(f"{'experiment':28s} {'wall time':>12s}")
+    for name, elapsed in timings:
+        print(f"{name:28s} {elapsed:10.1f} s")
+    print(f"{'total':28s} {sum(t for _n, t in timings):10.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,333 @@
+"""The shared mixed-workload runner behind most experiments.
+
+Mirrors the paper's setup: all seven applications run concurrently on one
+cluster, the offered load is split evenly among them, and low/medium/high
+load levels drive cluster CPU utilization to roughly 25 %, 50 % and 70 %
+(Section V).  The cluster is scaled down from the paper's 16x20 cores to
+keep simulation time manageable; ``num_nodes``/``cores_per_node`` are
+configurable, and every reported metric is shape-preserving (ratios, hit
+mixes, invalidation counts) rather than absolute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.caching import DirectStorage, FaastSystem, OfcSystem
+from repro.cluster import Cluster
+from repro.config import MB, LatencyModel, SimConfig
+from repro.coord import CoordinationService
+from repro.core import ConcordSystem
+from repro.faas import CasScheduler, FaasPlatform, LocalityScheduler
+from repro.metrics import AccessStats, Histogram
+from repro.sim import Simulator
+from repro.workloads import ALL_PROFILES, build_app, entity_inputs_factory
+from repro.workloads.profiles import preload_storage, working_set
+
+#: Load levels as target cluster CPU utilization (paper Section V).
+LOAD_LEVELS = {"low": 0.25, "medium": 0.50, "high": 0.70}
+
+SCHEMES = ("nocache", "ofc", "faast", "concord", "concord-nocas")
+
+
+@dataclass
+class MixedRunConfig:
+    """One mixed-workload measurement run."""
+
+    scheme: str = "concord"
+    num_nodes: int = 4
+    cores_per_node: int = 8
+    apps: tuple = tuple(ALL_PROFILES)
+    #: Target cluster CPU utilization (overrides total_rps if set).
+    utilization: Optional[float] = 0.50
+    #: Explicit total request rate (requests/s across all apps).
+    total_rps: Optional[float] = None
+    duration_ms: float = 6000.0
+    warmup_ms: float = 2000.0
+    drain_ms: float = 2000.0
+    seed: int = 0xC0FFEE
+    #: Fixed per-instance cache capacity (None = repurposed memory).
+    cache_capacity: Optional[int] = 64 * MB
+    #: Sampling period for sharer/memory observations.
+    sample_every_ms: float = 250.0
+    read_only_annotations: bool = False
+    #: Override for OFC's per-node shared cache budget (by default OFC
+    #: shares one 64 MB per-node cache across all apps, as in its paper;
+    #: Figure 14 sets this to a per-app-equivalent budget for a fair
+    #: capacity sweep).
+    ofc_shared_capacity: Optional[int] = None
+    #: Cache-agent request service time.  The cluster here is scaled down
+    #: ~10x from the paper's 16x20-core / 2000-RPS deployment, so the raw
+    #: 0.3 ms agent cost would make per-node RPC utilization — the
+    #: contention-point effect of Section III — vanish.  1.2 ms restores
+    #: the paper's RPC-utilization operating points (roughly 25/50/70 %
+    #: busy at the hot agents of single-home schemes under the three
+    #: loads) while barely moving unloaded per-op costs.
+    agent_service_ms: float = 1.2
+
+    def cpu_ms_per_request(self) -> float:
+        """Average CPU demand of one request across the app mix."""
+        demands = [
+            ALL_PROFILES[name].functions * ALL_PROFILES[name].compute_ms
+            for name in self.apps
+        ]
+        return sum(demands) / len(demands)
+
+    def resolved_total_rps(self) -> float:
+        if self.total_rps is not None:
+            return self.total_rps
+        cores = self.num_nodes * self.cores_per_node
+        return self.utilization * cores * 1000.0 / self.cpu_ms_per_request()
+
+
+@dataclass
+class AppRunStats:
+    """Per-application results of one run."""
+
+    app: str
+    mean_latency_ms: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    completed: int
+    storage_fraction: float
+
+
+@dataclass
+class MixedRunResult:
+    """Everything the experiments extract from one run."""
+
+    config: MixedRunConfig
+    per_app: dict = field(default_factory=dict)      # app -> AppRunStats
+    access: AccessStats = field(default_factory=AccessStats)
+    #: app -> that app's own AccessStats (per-app schemes only; the shared
+    #: OFC cache reports the same aggregate object for every app).
+    per_app_access: dict = field(default_factory=dict)
+    #: Per-sample (avg_sharers, max_sharers) over directory entries.
+    sharer_samples: list = field(default_factory=list)
+    #: app -> list of (avg_sharers, max_sharers) samples.
+    sharer_samples_per_app: dict = field(default_factory=dict)
+    #: Per-(app, node) peak cache occupancy in bytes.
+    cache_peaks: dict = field(default_factory=dict)
+    network_messages: int = 0
+    storage_reads: int = 0
+    storage_writes: int = 0
+
+    def mean_latency(self) -> float:
+        values = [s.mean_latency_ms for s in self.per_app.values() if s.completed]
+        return sum(values) / len(values) if values else float("nan")
+
+
+def _make_schemes(config, cluster, coord):
+    """Build the per-app StorageAPI map for the configured scheme."""
+    schemes = {}
+    if config.scheme == "ofc":
+        budget = (config.ofc_shared_capacity
+                  or config.cache_capacity or 64 * MB)
+        shared = OfcSystem(cluster, capacity_per_node=budget)
+        return {name: shared for name in config.apps}
+    memory_storage = None
+    if config.scheme == "concord-mem":
+        from dataclasses import replace as dc_replace
+
+        from repro.storage import GlobalStorage
+
+        # Memory-node tier: storage served at internode latency.
+        mem_latency = dc_replace(
+            cluster.config.latency,
+            storage_rtt=cluster.config.latency.internode_rtt,
+            storage_bytes_per_ms=cluster.config.latency.serialization_bytes_per_ms,
+        )
+        memory_storage = GlobalStorage(cluster.sim, mem_latency, name="memtier")
+    for name in config.apps:
+        if config.scheme == "nocache":
+            schemes[name] = DirectStorage(cluster)
+        elif config.scheme in ("apta-az", "apta-mem"):
+            from repro.apta import AptaSystem, make_memory_tier
+
+            backing = cluster.storage if config.scheme == "apta-az" else None
+            schemes[name] = AptaSystem(
+                cluster, make_memory_tier(cluster, config.num_nodes),
+                app=name, backing=backing,
+                capacity_per_node=(config.cache_capacity or 64 * MB),
+            )
+        elif config.scheme == "concord-mem":
+            schemes[name] = ConcordSystem(
+                cluster, app=name, coord=coord, storage=memory_storage,
+                capacity_override=config.cache_capacity,
+            )
+        elif config.scheme == "faast":
+            read_only = set()
+            if config.read_only_annotations:
+                from repro.workloads.distributions import is_read_only
+                from repro.workloads.profiles import entity_key
+
+                profile = ALL_PROFILES[name]
+                read_only = {
+                    entity_key(name, e, i)
+                    for e in range(profile.entities)
+                    for i in range(profile.items_per_entity)
+                    if is_read_only(entity_key(name, e, i))
+                }
+            schemes[name] = FaastSystem(
+                cluster, app=name,
+                capacity_per_instance=(config.cache_capacity or 64 * MB),
+                read_only_keys=read_only,
+            )
+        elif config.scheme in ("concord", "concord-nocas"):
+            schemes[name] = ConcordSystem(
+                cluster, app=name, coord=coord,
+                capacity_override=config.cache_capacity,
+            )
+        else:
+            raise ValueError(f"unknown scheme {config.scheme!r}")
+    return schemes
+
+
+def _scheduler_for(config, sim, schemes):
+    if config.scheme in ("concord", "concord-mem"):
+        return CasScheduler()
+    if config.scheme in ("apta-az", "apta-mem"):
+        from repro.apta import AptaScheduler
+
+        return AptaScheduler(schemes)
+    return LocalityScheduler()
+
+
+def run_mixed_workload(config: MixedRunConfig) -> MixedRunResult:
+    """Execute one measurement run and collect all metrics."""
+    sim = Simulator(seed=config.seed)
+    latency = replace(LatencyModel(), agent_service_ms=config.agent_service_ms)
+    sim_config = SimConfig(
+        num_nodes=config.num_nodes, cores_per_node=config.cores_per_node,
+        latency=latency)
+    cluster = Cluster(sim, sim_config)
+    coord = CoordinationService(cluster.network, sim_config)
+    schemes = _make_schemes(config, cluster, coord)
+    platform = FaasPlatform(
+        cluster, scheduler=_scheduler_for(config, sim, schemes))
+
+    factories = {}
+    deployed = {}
+    for name in config.apps:
+        profile = ALL_PROFILES[name]
+        preload_storage(cluster.storage, profile)
+        scheme = schemes[name]
+        if config.scheme == "apta-mem":
+            # The memory tier is the terminal store; fill it directly.
+            scheme.preload(working_set(profile))
+        elif config.scheme == "concord-mem":
+            preload_storage(scheme.storage, profile)
+        deployed[name] = platform.deploy(build_app(profile), scheme)
+        factories[name] = entity_inputs_factory(profile, sim)
+
+    per_app_rps = config.resolved_total_rps() / len(config.apps)
+    result = MixedRunResult(config=config)
+
+    def load_phase(duration_ms):
+        for name in config.apps:
+            sim.spawn(
+                platform.open_loop(name, per_app_rps, duration_ms, factories[name]),
+                name=f"load:{name}",
+            )
+
+    # Warmup: populate caches, then reset every metric.
+    load_phase(config.warmup_ms)
+    sim.run(until=sim.now + config.warmup_ms + 500.0)
+    for name, app in deployed.items():
+        app.latency = Histogram()
+        app.storage_ms_total = 0.0
+        app.compute_ms_total = 0.0
+        app.requests_completed = 0
+        schemes[name].stats.reset()
+    network_before = cluster.network.stats.messages
+    storage_reads_before = cluster.storage.stats.reads
+    storage_writes_before = cluster.storage.stats.writes
+
+    # Sampler for sharer counts and cache occupancy (Concord only).
+    def sampler(sim):
+        while True:
+            yield sim.timeout(config.sample_every_ms)
+            counts = []
+            for name in config.apps:
+                scheme = schemes[name]
+                if isinstance(scheme, ConcordSystem):
+                    app_counts = scheme.sharer_counts()
+                    counts.extend(app_counts)
+                    if app_counts:
+                        result.sharer_samples_per_app.setdefault(
+                            name, []).append(
+                            (sum(app_counts) / len(app_counts),
+                             max(app_counts)))
+                    for node_id, used in scheme.cache_bytes().items():
+                        key = (name, node_id)
+                        result.cache_peaks[key] = max(
+                            result.cache_peaks.get(key, 0), used)
+            if counts:
+                result.sharer_samples.append(
+                    (sum(counts) / len(counts), max(counts)))
+
+    sim.spawn(sampler(sim), name="sampler", daemon=True)
+
+    # Measurement phase.
+    load_phase(config.duration_ms)
+    sim.run(until=sim.now + config.duration_ms + config.drain_ms)
+
+    for name, app in deployed.items():
+        histogram = app.latency
+        result.per_app[name] = AppRunStats(
+            app=name,
+            mean_latency_ms=histogram.mean,
+            p50_latency_ms=histogram.p50,
+            p99_latency_ms=histogram.p99,
+            completed=histogram.count,
+            storage_fraction=app.storage_fraction,
+        )
+    # Merge access stats once per distinct scheme object (OFC is shared).
+    seen = set()
+    for name, scheme in schemes.items():
+        result.per_app_access[name] = scheme.stats
+        if id(scheme) not in seen:
+            seen.add(id(scheme))
+            result.access.merge(scheme.stats)
+    result.network_messages = cluster.network.stats.messages - network_before
+    result.storage_reads = cluster.storage.stats.reads - storage_reads_before
+    result.storage_writes = cluster.storage.stats.writes - storage_writes_before
+    return result
+
+
+def unloaded_latency(
+    scheme: str,
+    apps: Optional[tuple] = None,
+    num_nodes: int = 4,
+    cores_per_node: int = 8,
+    requests: int = 8,
+    seed: int = 77,
+) -> dict:
+    """Per-app mean latency on an otherwise idle cluster (SLO baseline)."""
+    config = MixedRunConfig(
+        scheme=scheme, num_nodes=num_nodes, cores_per_node=cores_per_node,
+        apps=apps or tuple(ALL_PROFILES), seed=seed,
+    )
+    sim = Simulator(seed=seed)
+    sim_config = SimConfig(num_nodes=num_nodes, cores_per_node=cores_per_node)
+    cluster = Cluster(sim, sim_config)
+    coord = CoordinationService(cluster.network, sim_config)
+    schemes = _make_schemes(config, cluster, coord)
+    platform = FaasPlatform(
+        cluster, scheduler=_scheduler_for(config, sim, schemes))
+    latencies = {}
+    for name in config.apps:
+        profile = ALL_PROFILES[name]
+        preload_storage(cluster.storage, profile)
+        platform.deploy(build_app(profile), schemes[name])
+        factory = entity_inputs_factory(profile, sim)
+        histogram = Histogram()
+        for index in range(requests):
+            outcome = sim.run_until_complete(
+                sim.spawn(platform.request(name, factory(index))),
+                limit=sim.now + 600_000.0,
+            )
+            histogram.record(outcome.latency_ms)
+        latencies[name] = histogram.mean
+    return latencies

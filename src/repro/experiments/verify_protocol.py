@@ -1,0 +1,45 @@
+"""Section III-H: exhaustive model checking of the coherence protocol."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import ExperimentResult
+from repro.verify import ModelChecker, ModelConfig
+
+CONFIGS = (
+    ("fault-free, 2 nodes", ModelConfig(
+        nodes=("n0", "n1"), max_writes=3,
+        allow_failures=False, allow_domain_changes=False)),
+    ("fault-free, 3 nodes", ModelConfig(
+        nodes=("n0", "n1", "n2"), max_writes=3,
+        allow_failures=False, allow_domain_changes=False)),
+    ("with node failure", ModelConfig(
+        nodes=("n0", "n1", "n2"), max_writes=2, max_fails=1,
+        allow_domain_changes=False)),
+    ("with domain changes", ModelConfig(
+        nodes=("n0", "n1", "n2"), max_writes=2,
+        allow_failures=False, max_domain_changes=2)),
+    ("failures + domain changes", ModelConfig(
+        nodes=("n0", "n1", "n2"), max_writes=2, max_fails=1,
+        max_domain_changes=1)),
+)
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Section III-H",
+        title="Protocol model checking (explicit-state, TLC stand-in)",
+        columns=["configuration", "states", "transitions",
+                 "violations", "deadlocks"],
+        note="All invariants hold: ESI single-writer, write-through value "
+             "coherence, directory completeness, no deadlock.",
+    )
+    for label, config in CONFIGS:
+        report = ModelChecker(config).check()
+        result.data.append({
+            "configuration": label,
+            "states": report.states_explored,
+            "transitions": report.transitions,
+            "violations": len(report.violations),
+            "deadlocks": len(report.deadlocks),
+        })
+    return result

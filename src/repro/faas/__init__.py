@@ -1,0 +1,30 @@
+"""The serverless platform substrate (OpenWhisk/MXFaaS stand-in).
+
+Applications are workflows of functions; the platform schedules each
+invocation onto a node with a warm container, charges compute to that
+node's cores, and routes all storage operations through the application's
+caching scheme (:class:`~repro.caching.base.StorageAPI`).
+"""
+
+from repro.faas.app import AppSpec, FunctionSpec
+from repro.faas.context import InvocationContext
+from repro.faas.platform import DeployedApp, FaasPlatform, RequestResult
+from repro.faas.scheduler import (
+    CasScheduler,
+    LocalityScheduler,
+    RandomScheduler,
+    Scheduler,
+)
+
+__all__ = [
+    "AppSpec",
+    "CasScheduler",
+    "DeployedApp",
+    "FaasPlatform",
+    "FunctionSpec",
+    "InvocationContext",
+    "LocalityScheduler",
+    "RandomScheduler",
+    "RequestResult",
+    "Scheduler",
+]

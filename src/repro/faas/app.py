@@ -1,0 +1,49 @@
+"""Application and function specifications.
+
+A function's behaviour is a *handler*: a generator function receiving an
+:class:`~repro.faas.context.InvocationContext` and using its ``read`` /
+``write`` / ``compute`` primitives.  An application is a named set of
+functions plus a workflow (the chain a request flows through).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from repro.config import MB
+
+#: handler(ctx) -> generator; its return value becomes the step's output.
+FunctionHandler = Callable[["InvocationContext"], Generator]
+
+
+@dataclass
+class FunctionSpec:
+    """One deployable serverless function."""
+
+    name: str
+    handler: FunctionHandler
+    #: Memory the container is allocated (OpenWhisk minimum by default).
+    memory_alloc: int = 128 * MB
+    #: Memory the function actually uses; the rest is repurposable.
+    memory_used: int = 24 * MB
+
+
+@dataclass
+class AppSpec:
+    """A multi-function application."""
+
+    name: str
+    functions: dict = field(default_factory=dict)  # name -> FunctionSpec
+    #: Request workflow: functions invoked in order, each seeing the
+    #: previous step's output in ``ctx.inputs["prev"]``.
+    workflow: list = field(default_factory=list)
+
+    def add_function(self, spec: FunctionSpec, in_workflow: bool = True) -> "AppSpec":
+        self.functions[spec.name] = spec
+        if in_workflow:
+            self.workflow.append(spec.name)
+        return self
+
+    def function(self, name: str) -> Optional[FunctionSpec]:
+        return self.functions.get(name)

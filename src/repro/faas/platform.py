@@ -1,0 +1,260 @@
+"""The FaaS platform: deployment, request execution, load generation.
+
+A request flows through its application's workflow; every function
+invocation is scheduled onto a node with a warm container (cold-starting
+one if needed), burns CPU on that node and accesses storage through the
+application's caching scheme.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.faas.app import AppSpec
+from repro.faas.context import InvocationContext
+from repro.faas.scheduler import RandomScheduler, Scheduler
+from repro.metrics import Histogram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.caching.base import StorageAPI
+    from repro.cluster import Cluster, Node
+    from repro.sim import Simulator
+
+#: Frontend request-validation + load-balancer overhead per request.
+FRONTEND_OVERHEAD_MS = 0.5
+#: Container cold-start penalty (optimized platform, paper Section V).
+COLD_START_MS = 500.0
+
+
+@dataclass
+class RequestResult:
+    """Outcome of one end-to-end application request."""
+
+    app: str
+    start_ms: float
+    end_ms: float
+    storage_ms: float
+    compute_ms: float
+    output: object = None
+
+    @property
+    def latency_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class DeployedApp:
+    """A deployed application plus its runtime bookkeeping."""
+
+    spec: AppSpec
+    storage_api: "StorageAPI"
+    node_ids: list
+    latency: Histogram = field(default_factory=Histogram)
+    storage_ms_total: float = 0.0
+    compute_ms_total: float = 0.0
+    requests_completed: int = 0
+    requests_failed: int = 0
+    cold_starts: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def storage_fraction(self) -> float:
+        """Fraction of busy time spent in storage (Figure 1)."""
+        total = self.storage_ms_total + self.compute_ms_total
+        return self.storage_ms_total / total if total else 0.0
+
+
+class PlacementPolicy:
+    """Chooses a node for a brand-new function instance (cold start).
+
+    Conventional platforms place functions independently of each other
+    (paper Section IV-B): least-loaded with random tie-breaking, which on
+    a lightly loaded cluster effectively scatters the instances.
+    """
+
+    def place(self, platform: "FaasPlatform", app: "DeployedApp",
+              function: str) -> "Node":
+        candidates = [
+            platform.cluster.node(nid) for nid in app.node_ids
+            if platform.cluster.node(nid).alive
+        ] or platform.cluster.alive_nodes()
+        lightest = min(n.load for n in candidates)
+        pool = [n for n in candidates if n.load == lightest]
+        rng = platform.sim.rng.stream("placement")
+        return pool[rng.randrange(len(pool))]
+
+
+class FaasPlatform:
+    """Cluster-wide serverless platform."""
+
+    _invocation_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        scheduler: Optional[Scheduler] = None,
+        placement: Optional[PlacementPolicy] = None,
+    ):
+        self.cluster = cluster
+        self.sim: "Simulator" = cluster.sim
+        self.scheduler = scheduler or RandomScheduler(cluster.sim)
+        self.placement = placement or PlacementPolicy()
+        self.apps: dict[str, DeployedApp] = {}
+
+    # -- deployment ------------------------------------------------------------
+    def deploy(
+        self,
+        spec: AppSpec,
+        storage_api: "StorageAPI",
+        node_ids: Optional[list] = None,
+        prewarm: bool = True,
+    ) -> DeployedApp:
+        """Deploy ``spec`` with containers on ``node_ids`` (all by default)."""
+        nodes = list(node_ids) if node_ids is not None else self.cluster.node_ids
+        app = DeployedApp(spec=spec, storage_api=storage_api, node_ids=nodes)
+        self.apps[spec.name] = app
+        if prewarm:
+            for node_id in nodes:
+                node = self.cluster.node(node_id)
+                for function in spec.functions.values():
+                    node.add_container(
+                        spec.name, function.name,
+                        memory_alloc=function.memory_alloc,
+                        memory_used=function.memory_used,
+                    )
+        return app
+
+    def warm_nodes(self, app: DeployedApp, function: str) -> list:
+        """Alive nodes holding a warm container of ``function``."""
+        return [
+            node
+            for node_id in app.node_ids
+            if (node := self.cluster.nodes.get(node_id)) is not None
+            and node.alive
+            and node.containers_of(app.name, function)
+        ]
+
+    # -- request execution -------------------------------------------------------
+    def request(self, app_name: str, inputs: Optional[dict] = None):
+        """Execute one request end-to-end (generator; returns RequestResult)."""
+        app = self.apps[app_name]
+        inputs = dict(inputs or {})
+        start = self.sim.now
+        storage_ms = compute_ms = 0.0
+        yield self.sim.timeout(FRONTEND_OVERHEAD_MS)
+        output = None
+        for function_name in app.spec.workflow:
+            ctx, result = yield from self.invoke(app, function_name, inputs)
+            storage_ms += ctx.storage_ms
+            compute_ms += ctx.compute_ms
+            output = result
+            inputs = {**inputs, "prev": result}
+        result = RequestResult(
+            app=app_name, start_ms=start, end_ms=self.sim.now,
+            storage_ms=storage_ms, compute_ms=compute_ms, output=output,
+        )
+        app.latency.record(result.latency_ms)
+        app.storage_ms_total += storage_ms
+        app.compute_ms_total += compute_ms
+        app.requests_completed += 1
+        return result
+
+    def invoke(self, app: DeployedApp, function_name: str, inputs: dict):
+        """Schedule and run one function invocation (generator).
+
+        Returns ``(ctx, handler_result)``.
+        """
+        spec = app.spec.function(function_name)
+        if spec is None:
+            raise KeyError(f"{app.name} has no function {function_name!r}")
+        pre_pick = getattr(self.scheduler, "pre_pick", None)
+        if pre_pick is not None:
+            # Schedulers may need cluster state before deciding (Apta
+            # queries its memory nodes for stale compute nodes).
+            yield from pre_pick(self, app.name, function_name, inputs)
+        candidates = self.warm_nodes(app, function_name)
+        if candidates:
+            node = self.scheduler.pick(app.name, function_name, inputs, candidates)
+            container = node.containers_of(app.name, function_name)[0]
+        else:
+            node = self.placement.place(self, app, function_name)
+            # Register the container *before* the cold start completes so
+            # concurrent invocations queue on it instead of each starting
+            # yet another container (thundering herd).
+            container = node.add_container(
+                app.name, function_name,
+                memory_alloc=spec.memory_alloc, memory_used=spec.memory_used,
+            )
+            if node.id not in app.node_ids:
+                app.node_ids.append(node.id)
+            app.cold_starts += 1
+            yield self.sim.timeout(COLD_START_MS)
+        container.active += 1
+        container.last_used = self.sim.now
+        ctx = InvocationContext(
+            self.sim, node, app.name, function_name, app.storage_api,
+            inputs=inputs, invocation_id=next(self._invocation_ids),
+        )
+        try:
+            result = yield from spec.handler(ctx)
+        finally:
+            container.active -= 1
+            container.last_used = self.sim.now
+        return ctx, result
+
+    # -- load generation ----------------------------------------------------------
+    def submit(self, app_name: str, inputs: Optional[dict] = None):
+        """Fire-and-forget a request (failures counted, not raised)."""
+        process = self.sim.spawn(
+            self._guarded_request(app_name, inputs),
+            name=f"req:{app_name}", daemon=True,
+        )
+        return process
+
+    def _guarded_request(self, app_name: str, inputs):
+        try:
+            result = yield from self.request(app_name, inputs)
+        except Exception:
+            self.apps[app_name].requests_failed += 1
+            raise
+        return result
+
+    def open_loop(
+        self,
+        app_name: str,
+        rps: float,
+        duration_ms: float,
+        inputs_factory=None,
+    ):
+        """Poisson arrival process at ``rps`` for ``duration_ms`` (generator).
+
+        ``inputs_factory(request_index)`` produces each request's inputs.
+        """
+        rng = self.sim.rng.stream(f"arrivals:{app_name}")
+        deadline = self.sim.now + duration_ms
+        index = 0
+        while self.sim.now < deadline:
+            yield self.sim.timeout(rng.expovariate(rps / 1000.0))
+            if self.sim.now >= deadline:
+                break
+            inputs = inputs_factory(index) if inputs_factory else {}
+            self.submit(app_name, inputs)
+            index += 1
+        return index
+
+    # -- container lifecycle -------------------------------------------------------
+    def collect_idle_containers(self, grace_ms: Optional[float] = None) -> int:
+        """Evict containers idle beyond the grace period; returns count."""
+        grace = grace_ms if grace_ms is not None else self.cluster.config.grace_period_ms
+        evicted = 0
+        for node in self.cluster.alive_nodes():
+            for container in list(node.containers.values()):
+                if container.active == 0 and self.sim.now - container.last_used > grace:
+                    node.remove_container(container.id)
+                    evicted += 1
+        return evicted

@@ -1,0 +1,5 @@
+"""Measurement utilities: histograms, counters, access statistics."""
+
+from repro.metrics.stats import AccessStats, Histogram, OpKind
+
+__all__ = ["AccessStats", "Histogram", "OpKind"]

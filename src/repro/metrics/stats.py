@@ -1,0 +1,149 @@
+"""Histograms and cache-access statistics.
+
+Everything the evaluation section reports reduces to histograms of
+latencies and counters of access classifications, so these two types are
+shared by every caching scheme and every experiment.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+
+class Histogram:
+    """Streaming collection of samples with percentile queries.
+
+    Samples are kept (experiments are bounded), so percentiles are exact.
+    """
+
+    def __init__(self):
+        self._samples: list[float] = []
+        self._sorted = True
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = False
+
+    def extend(self, other: "Histogram") -> None:
+        """Merge another histogram's samples into this one."""
+        self._samples.extend(other._samples)
+        self._sorted = False
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return math.nan
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else math.nan
+
+    @property
+    def min(self) -> float:
+        return min(self._samples) if self._samples else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile via nearest-rank (p in [0, 100])."""
+        if not self._samples:
+            return math.nan
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        rank = max(1, math.ceil(p / 100.0 * len(self._samples)))
+        return self._samples[rank - 1]
+
+    def trimmed_mean(self, drop_top_fraction: float = 0.1) -> float:
+        """Mean excluding the largest ``drop_top_fraction`` of samples
+        (e.g. cold-start transients at the head of a measurement phase)."""
+        if not self._samples:
+            return math.nan
+        kept = sorted(self._samples)
+        cut = int(len(kept) * drop_top_fraction)
+        kept = kept[:len(kept) - cut] if cut else kept
+        return sum(kept) / len(kept)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+
+class OpKind(enum.Enum):
+    """Classification of a cache-mediated storage operation."""
+
+    LOCAL_READ_HIT = "local_read_hit"
+    REMOTE_READ_HIT = "remote_read_hit"
+    READ_MISS = "read_miss"
+    LOCAL_WRITE_HIT = "local_write_hit"
+    REMOTE_WRITE_HIT = "remote_write_hit"
+    WRITE_MISS = "write_miss"
+
+    @property
+    def is_read(self) -> bool:
+        return self in (
+            OpKind.LOCAL_READ_HIT, OpKind.REMOTE_READ_HIT, OpKind.READ_MISS,
+        )
+
+
+@dataclass
+class AccessStats:
+    """Per-scheme operation counters and latency histograms."""
+
+    ops: dict = field(default_factory=dict)          # OpKind -> count
+    latency: dict = field(default_factory=dict)      # OpKind -> Histogram
+    invalidations_per_write: Histogram = field(default_factory=Histogram)
+    version_checks: int = 0
+
+    def record(self, kind: OpKind, latency_ms: float) -> None:
+        self.ops[kind] = self.ops.get(kind, 0) + 1
+        self.latency.setdefault(kind, Histogram()).record(latency_ms)
+
+    def count(self, kind: OpKind) -> int:
+        return self.ops.get(kind, 0)
+
+    @property
+    def reads(self) -> int:
+        return sum(n for kind, n in self.ops.items() if kind.is_read)
+
+    @property
+    def writes(self) -> int:
+        return sum(n for kind, n in self.ops.items() if not kind.is_read)
+
+    def read_mix(self) -> dict[str, float]:
+        """Fractions of reads that were local hits / remote hits / misses."""
+        total = self.reads
+        if total == 0:
+            return {"local_hit": 0.0, "remote_hit": 0.0, "remote_miss": 0.0}
+        return {
+            "local_hit": self.count(OpKind.LOCAL_READ_HIT) / total,
+            "remote_hit": self.count(OpKind.REMOTE_READ_HIT) / total,
+            "remote_miss": self.count(OpKind.READ_MISS) / total,
+        }
+
+    def reset(self) -> None:
+        """Drop all recorded data (end-of-warmup)."""
+        self.ops.clear()
+        self.latency.clear()
+        self.invalidations_per_write = Histogram()
+        self.version_checks = 0
+
+    def merge(self, other: "AccessStats") -> None:
+        """Fold another stats object into this one."""
+        for kind, n in other.ops.items():
+            self.ops[kind] = self.ops.get(kind, 0) + n
+        for kind, histogram in other.latency.items():
+            self.latency.setdefault(kind, Histogram()).extend(histogram)
+        self.invalidations_per_write.extend(other.invalidations_per_write)
+        self.version_checks += other.version_checks

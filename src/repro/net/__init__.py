@@ -1,0 +1,17 @@
+"""Internode message fabric and RPC layer."""
+
+from repro.net.fabric import Message, Network, NetworkStats
+from repro.net.rpc import Endpoint, Reply, RpcError, RpcTimeout, UnreachableError
+from repro.net.sizes import sizeof
+
+__all__ = [
+    "Endpoint",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "Reply",
+    "RpcError",
+    "RpcTimeout",
+    "UnreachableError",
+    "sizeof",
+]

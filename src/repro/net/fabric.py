@@ -1,0 +1,138 @@
+"""The message fabric connecting simulated nodes.
+
+The :class:`Network` delivers :class:`Message` objects between registered
+endpoints with a latency derived from the shared
+:class:`~repro.config.LatencyModel`.  Messages to or from failed nodes are
+silently dropped — exactly the behaviour a crashed process exhibits — so
+upper layers must use timeouts to detect unreachability (as the paper's
+protocol does in Section III-H).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.config import LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.rpc import Endpoint
+    from repro.sim import Simulator
+
+
+@dataclass
+class Message:
+    """A single one-way message on the wire."""
+
+    src: str
+    dst: str
+    kind: str
+    payload: object
+    size_bytes: int
+    #: Correlates a response with its request (None for one-way sends).
+    request_id: Optional[int] = None
+    is_response: bool = False
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters, by message kind."""
+
+    messages: int = 0
+    bytes: int = 0
+    dropped: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    def record(self, message: Message) -> None:
+        self.messages += 1
+        self.bytes += message.size_bytes
+        self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
+
+
+class Network:
+    """Latency-modelled fabric between named endpoints.
+
+    Endpoint addresses are ``"<node_id>/<service>"``; node failures are
+    tracked per node id, so crashing a node silences all its services at
+    once.  Messages between services co-located on one node are delivered
+    with zero network latency (in-memory hand-off).
+    """
+
+    def __init__(self, sim: "Simulator", latency: Optional[LatencyModel] = None):
+        self.sim = sim
+        self.latency = latency or LatencyModel()
+        self._endpoints: dict[str, "Endpoint"] = {}
+        self._down_nodes: set[str] = set()
+        #: Per (src_node, dst_node) pair: the latest delivery timestamp
+        #: handed out, enforcing FIFO delivery per connection as TCP does.
+        self._pair_clock: dict[tuple[str, str], float] = {}
+        self.stats = NetworkStats()
+
+    # -- membership --------------------------------------------------------
+    def register(self, endpoint: "Endpoint") -> None:
+        """Attach ``endpoint``; its address must be unique."""
+        if endpoint.address in self._endpoints:
+            raise ValueError(f"duplicate endpoint address {endpoint.address!r}")
+        self._endpoints[endpoint.address] = endpoint
+
+    def unregister(self, address: str) -> None:
+        """Detach the endpoint at ``address`` (idempotent)."""
+        self._endpoints.pop(address, None)
+
+    def endpoint(self, address: str) -> Optional["Endpoint"]:
+        """The endpoint registered at ``address``, if any."""
+        return self._endpoints.get(address)
+
+    @staticmethod
+    def node_of(address: str) -> str:
+        """The node id component of an endpoint address."""
+        return address.split("/", 1)[0]
+
+    # -- failures ------------------------------------------------------------
+    def fail_node(self, node_id: str) -> None:
+        """Mark a node crashed: drop its traffic and kill its handlers."""
+        self._down_nodes.add(node_id)
+        for address, endpoint in self._endpoints.items():
+            if self.node_of(address) == node_id:
+                endpoint.kill_inflight_handlers()
+
+    def restore_node(self, node_id: str) -> None:
+        """Bring a crashed node back (new messages flow again)."""
+        self._down_nodes.discard(node_id)
+
+    def is_down(self, node_id: str) -> bool:
+        return node_id in self._down_nodes
+
+    # -- transmission --------------------------------------------------------
+    def transit_time(self, src: str, dst: str, size_bytes: int) -> float:
+        """One-way latency for a ``size_bytes`` message from src to dst."""
+        if self.node_of(src) == self.node_of(dst):
+            return 0.0
+        return self.latency.one_way(size_bytes)
+
+    def send(self, message: Message) -> None:
+        """Put ``message`` on the wire (delivery is asynchronous)."""
+        if self.is_down(self.node_of(message.src)):
+            self.stats.dropped += 1
+            return
+        self.stats.record(message)
+        delay = self.transit_time(message.src, message.dst, message.size_bytes)
+        # Messages between the same pair of nodes never overtake each
+        # other (gRPC over one TCP connection): a later send is delivered
+        # no earlier than every previous one.
+        pair = (self.node_of(message.src), self.node_of(message.dst))
+        deliver_at = max(self.sim.now + delay, self._pair_clock.get(pair, 0.0))
+        self._pair_clock[pair] = deliver_at
+        delay = deliver_at - self.sim.now
+        self.sim.timeout(delay).callbacks.append(lambda _ev: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        if self.is_down(self.node_of(message.dst)):
+            self.stats.dropped += 1
+            return
+        endpoint = self._endpoints.get(message.dst)
+        if endpoint is None:
+            # Endpoint was torn down while the message was in flight.
+            self.stats.dropped += 1
+            return
+        endpoint._receive(message)

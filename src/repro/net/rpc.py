@@ -1,0 +1,248 @@
+"""Request/response RPC endpoints on top of the message fabric.
+
+Handlers are generator functions (simulation processes) registered by
+method name::
+
+    def handle_read(endpoint, src, args):
+        yield endpoint.sim.timeout(0.1)
+        return Reply({"value": ...}, size_bytes=4096)
+
+    endpoint.register_handler("read", handle_read)
+
+Callers use :meth:`Endpoint.call`, which yields the response value or
+raises :class:`RpcTimeout` when the peer never answers (crashed node,
+dropped message) — mirroring how the real system detects unreachable
+peers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from repro.net.fabric import Message, Network
+from repro.net.sizes import sizeof
+from repro.sim.errors import Interrupt
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Simulator
+
+
+class RpcError(Exception):
+    """Base class for RPC-level failures."""
+
+
+class RpcTimeout(RpcError):
+    """The peer did not answer within the timeout."""
+
+    def __init__(self, dst: str, method: str, timeout: float):
+        super().__init__(f"rpc {method!r} to {dst} timed out after {timeout}ms")
+        self.dst = dst
+        self.method = method
+        self.timeout = timeout
+
+
+class UnreachableError(RpcError):
+    """Raised by a handler to signal the destination rejected the call."""
+
+
+@dataclass
+class Reply:
+    """A handler's response value plus its wire size."""
+
+    value: object
+    size_bytes: Optional[int] = None
+
+    def wire_size(self) -> int:
+        return self.size_bytes if self.size_bytes is not None else sizeof(self.value)
+
+
+@dataclass
+class _RemoteFailure:
+    """Marshalled handler exception travelling back to the caller."""
+
+    exception: BaseException
+
+
+Handler = Callable[["Endpoint", str, object], Generator]
+
+
+class Endpoint:
+    """A named RPC party attached to the network.
+
+    One endpoint per (node, service); the address is
+    ``"<node_id>/<service>"``.  Incoming requests spawn one handler process
+    each; a node crash interrupts all in-flight handlers (their responses
+    are never sent).
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        network: Network,
+        node_id: str,
+        service: str,
+        service_time_ms: float = 0.0,
+        cpu=None,
+    ):
+        self.network = network
+        self.sim: "Simulator" = network.sim
+        self.node_id = node_id
+        self.service = service
+        self.address = f"{node_id}/{service}"
+        self._handlers: dict[str, Handler] = {}
+        self._pending: dict[int, Event] = {}
+        self._inflight_handlers: set = set()
+        #: CPU cost of accepting one request.  A server process handles
+        #: requests one at a time for this slice, so a hot endpoint (e.g.
+        #: the cache agent homing a popular key) becomes a queueing
+        #: contention point under load — the effect Concord's local hits
+        #: avoid and the versioning/single-home baselines suffer.
+        self.service_time_ms = service_time_ms
+        #: Optional CPU resource (the node's cores): the service slice
+        #: competes with function execution for compute, so remote-heavy
+        #: caching schemes lose cluster capacity to coherence work.
+        self._cpu = cpu
+        self._server = None
+        if service_time_ms > 0.0:
+            from repro.sim.resources import Resource
+
+            self._server = Resource(self.sim, capacity=1, name=f"srv:{self.address}")
+        network.register(self)
+
+    def close(self) -> None:
+        """Detach from the network and abort in-flight handlers."""
+        self.kill_inflight_handlers()
+        self.network.unregister(self.address)
+
+    # -- server side ---------------------------------------------------------
+    def register_handler(self, method: str, handler: Handler) -> None:
+        """Register the generator function serving ``method``."""
+        self._handlers[method] = handler
+
+    def kill_inflight_handlers(self) -> None:
+        """Interrupt every running handler (crash semantics)."""
+        for process in list(self._inflight_handlers):
+            process.interrupt("node failure")
+        self._inflight_handlers.clear()
+
+    def _receive(self, message: Message) -> None:
+        if message.is_response:
+            waiter = self._pending.pop(message.request_id, None)
+            if waiter is not None and not waiter.triggered:
+                if isinstance(message.payload, _RemoteFailure):
+                    waiter.fail(message.payload.exception)
+                else:
+                    waiter.succeed(message.payload)
+            return
+        method, args = message.payload
+        handler = self._handlers.get(method)
+        if handler is None:
+            self._respond(message, _RemoteFailure(RpcError(
+                f"no handler for {method!r} at {self.address}")), 0)
+            return
+        process = self.sim.spawn(
+            self._run_handler(handler, message),
+            name=f"rpc:{self.address}:{method}",
+            daemon=True,
+        )
+        self._inflight_handlers.add(process)
+        process.callbacks.append(lambda _ev: self._inflight_handlers.discard(process))
+
+    def _run_handler(self, handler: Handler, message: Message):
+        try:
+            if self._server is not None:
+                yield self._server.acquire()
+                try:
+                    if self._cpu is not None:
+                        yield self._cpu.acquire()
+                        try:
+                            yield self.sim.timeout(self.service_time_ms)
+                        finally:
+                            self._cpu.release()
+                    else:
+                        yield self.sim.timeout(self.service_time_ms)
+                finally:
+                    self._server.release()
+            result = yield from handler(self, message.src, message.payload[1])
+        except Interrupt:
+            return  # crashed mid-handling; no response ever leaves
+        except RpcError as exc:
+            self._respond(message, _RemoteFailure(exc), 0)
+            return
+        if isinstance(result, Reply):
+            self._respond(message, result.value, result.wire_size())
+        else:
+            self._respond(message, result, sizeof(result))
+
+    def _respond(self, request: Message, value: object, size_bytes: int) -> None:
+        if request.request_id is None:
+            return  # one-way notify: nobody is waiting
+        self.network.send(Message(
+            src=self.address,
+            dst=request.src,
+            kind=f"reply:{request.kind}",
+            payload=value,
+            size_bytes=size_bytes,
+            request_id=request.request_id,
+            is_response=True,
+        ))
+
+    # -- client side ---------------------------------------------------------
+    def call(
+        self,
+        dst: str,
+        method: str,
+        args: object = None,
+        size_bytes: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Issue an RPC; yields from a generator returning the response.
+
+        Usage inside a process::
+
+            value = yield from endpoint.call("node1/agent", "read", {...})
+
+        Raises :class:`RpcTimeout` if no response arrives within
+        ``timeout`` ms (default 5000), and re-raises any :class:`RpcError`
+        the handler failed with.
+        """
+        request_id = next(self._ids)
+        response = Event(self.sim, name=f"rpc-resp:{method}")
+        self._pending[request_id] = response
+        self.network.send(Message(
+            src=self.address,
+            dst=dst,
+            kind=method,
+            payload=(method, args),
+            size_bytes=size_bytes if size_bytes is not None else sizeof(args),
+            request_id=request_id,
+        ))
+        limit = timeout if timeout is not None else 5000.0
+        timer = self.sim.timeout(limit)
+        winner = yield self.sim.any_of([response, timer])
+        if not response.triggered:
+            self._pending.pop(request_id, None)
+            raise RpcTimeout(dst, method, limit)
+        del winner
+        return response.value
+
+    def notify(
+        self,
+        dst: str,
+        method: str,
+        args: object = None,
+        size_bytes: Optional[int] = None,
+    ) -> None:
+        """Fire-and-forget one-way message (no response expected)."""
+        self.network.send(Message(
+            src=self.address,
+            dst=dst,
+            kind=method,
+            payload=(method, args),
+            size_bytes=size_bytes if size_bytes is not None else sizeof(args),
+            request_id=None,
+        ))

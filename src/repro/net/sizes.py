@@ -1,0 +1,31 @@
+"""Size accounting for simulated payloads.
+
+The simulator never materializes real byte buffers; payload sizes drive the
+serialization term of the latency model.  Any object exposing a
+``size_bytes`` attribute declares its own wire size; common primitives get
+reasonable defaults.
+"""
+
+from __future__ import annotations
+
+DEFAULT_OBJECT_SIZE = 64
+
+
+def sizeof(value: object) -> int:
+    """Wire size in bytes of ``value`` for latency accounting."""
+    if value is None:
+        return 0
+    declared = getattr(value, "size_bytes", None)
+    if declared is not None:
+        return int(declared)
+    if isinstance(value, (bytes, bytearray, str)):
+        return len(value)
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(sizeof(item) for item in value)
+    if isinstance(value, dict):
+        return sum(sizeof(k) + sizeof(v) for k, v in value.items())
+    return DEFAULT_OBJECT_SIZE

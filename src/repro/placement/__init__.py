@@ -1,0 +1,5 @@
+"""Communication-aware function placement (paper Section IV-B)."""
+
+from repro.placement.pct import CommAwarePlacement, ProducerConsumerTable
+
+__all__ = ["CommAwarePlacement", "ProducerConsumerTable"]

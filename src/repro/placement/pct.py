@@ -1,0 +1,84 @@
+"""The Producer-Consumer Table and the placement policy built on it.
+
+Concord's coherence messages reveal which functions communicate: when the
+home agent serves a remote read of a key recently written by a different
+function on a different node, that is a producer-consumer edge.  The PCT
+accumulates these edges — entirely transparently, without inspecting any
+function code — and the placement policy co-locates *paired* functions on
+the same node so their hand-offs become local cache hits.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.faas.platform import PlacementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.concord import ConcordSystem
+    from repro.faas.platform import DeployedApp, FaasPlatform
+
+
+class ProducerConsumerTable:
+    """Counts producer->consumer edges observed in coherence traffic."""
+
+    def __init__(self, min_observations: int = 3):
+        self.min_observations = min_observations
+        self._edges: dict[tuple, int] = {}
+
+    def observe(self, producer_fn: str, consumer_fn: str) -> None:
+        """Record one observed hand-off between two functions."""
+        edge = (producer_fn, consumer_fn)
+        self._edges[edge] = self._edges.get(edge, 0) + 1
+
+    def attach(self, concord: "ConcordSystem") -> "ProducerConsumerTable":
+        """Subscribe to a Concord system's coherence observations."""
+        concord.pct_observer = self.observe
+        return self
+
+    def count(self, producer_fn: str, consumer_fn: str) -> int:
+        return self._edges.get((producer_fn, consumer_fn), 0)
+
+    def paired_functions(self, function: str) -> set:
+        """Functions frequently communicating with ``function`` (either
+        direction), i.e. the paper's *Paired* functions."""
+        paired = set()
+        for (producer, consumer), count in self._edges.items():
+            if count < self.min_observations:
+                continue
+            if producer == function:
+                paired.add(consumer)
+            elif consumer == function:
+                paired.add(producer)
+        return paired
+
+    def edges(self) -> dict:
+        return dict(self._edges)
+
+
+class CommAwarePlacement(PlacementPolicy):
+    """Place new function instances next to their paired functions.
+
+    Falls back to the default least-loaded placement when the PCT knows
+    nothing about the function — but then prefers a node with room for
+    the instance *plus* a paired instance ("anticipates the resource
+    needs of a Paired function"), which the default policy approximates
+    by choosing the least-loaded node anyway.
+    """
+
+    def __init__(self, pct: ProducerConsumerTable):
+        self.pct = pct
+
+    def place(self, platform: "FaasPlatform", app: "DeployedApp",
+              function: str) -> object:
+        paired = self.pct.paired_functions(function)
+        if paired:
+            hosts = [
+                node
+                for node in platform.cluster.alive_nodes()
+                for pair_fn in paired
+                if node.containers_of(app.name, pair_fn)
+            ]
+            if hosts:
+                return min(hosts, key=lambda n: n.load)
+        return super().place(platform, app, function)

@@ -1,0 +1,116 @@
+"""Generator-based simulation processes."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import Simulator
+
+ProcessGenerator = Generator[Event, object, object]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Wraps a generator that yields :class:`~repro.sim.events.Event` objects.
+    The process itself *is* an event: it fires when the generator returns
+    (value = the generator's return value) or raises (failure).  This lets
+    processes wait on each other by yielding a :class:`Process`.
+
+    ``daemon`` processes have failures recorded on the simulator instead of
+    crashing the run; use for background services whose crash is itself a
+    simulated condition (for example a process on a failed node).
+    """
+
+    __slots__ = ("generator", "daemon", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: ProcessGenerator,
+        name: str = "",
+        daemon: bool = False,
+    ):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self.daemon = daemon
+        #: The event this process is currently blocked on, if any.
+        self._waiting_on: Optional[Event] = None
+        # Kick off the first step "now".
+        bootstrap = Event(sim, name=f"init:{self.name}")
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator has not yet finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`~repro.sim.errors.Interrupt` into the process.
+
+        No-op if the process already finished.  The event the process was
+        waiting on is abandoned (its eventual outcome is ignored).
+        """
+        if self.triggered:
+            return
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        wakeup = Event(self.sim, name=f"interrupt:{self.name}")
+        wakeup.callbacks.append(lambda _ev: self._step(throw=Interrupt(cause)))
+        wakeup.succeed()
+
+    # -- internal --------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Callback attached to the event the process waits on."""
+        self._waiting_on = None
+        if event.exception is not None:
+            event.defuse()
+            self._step(throw=event.exception)
+        else:
+            self._step(send=event._value)
+
+    def _step(self, send: object = None, throw: Optional[BaseException] = None) -> None:
+        if self.triggered:
+            return
+        self.sim._active_process = self
+        try:
+            if throw is not None:
+                target = self.generator.throw(throw)
+            else:
+                target = self.generator.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process crashed
+            if self.daemon:
+                self.sim.daemon_failures.append((self, exc))
+                self.defuse()
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Event objects"
+                )
+            )
+            return
+        self._waiting_on = target
+        if target.processed:
+            # Already-processed events resume the process immediately
+            # (at the current simulated time) via a fresh wakeup event.
+            wakeup = Event(self.sim, name=f"wake:{self.name}")
+            wakeup.callbacks.append(lambda _ev: self._resume(target))
+            wakeup.succeed()
+        else:
+            target.callbacks.append(self._resume)

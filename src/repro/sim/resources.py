@@ -1,0 +1,121 @@
+"""Shared resources for simulation processes.
+
+- :class:`Resource`: a counting semaphore with a FIFO wait queue; models
+  CPU cores, per-key locks, bounded concurrency.
+- :class:`Store`: an unbounded FIFO of items with blocking ``get``; models
+  mailboxes and work queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import Simulator
+
+
+class Resource:
+    """Counting semaphore with FIFO granting.
+
+    ``acquire()`` returns an event that fires when a slot is granted; the
+    holder must later call ``release()`` exactly once per grant.  Use
+    :meth:`cancel` to withdraw a not-yet-granted request (e.g. after a
+    timeout won a race against the grant).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self.capacity - self._in_use
+
+    def acquire(self) -> Event:
+        """Request a slot; the returned event fires when granted."""
+        grant = Event(self.sim, name=f"acquire:{self.name}")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            grant.succeed()
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def cancel(self, grant: Event) -> None:
+        """Withdraw a pending request, or release an already-granted one."""
+        if grant.triggered:
+            self.release()
+            return
+        try:
+            self._waiters.remove(grant)
+        except ValueError:
+            raise SimulationError("cancel() of a request not waiting here") from None
+
+    def release(self) -> None:
+        """Return a slot, granting it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot directly to the next waiter; _in_use unchanged.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO of items with blocking ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event whose value is the next
+    item, firing immediately when one is available.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: deque[object] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: object) -> None:
+        """Deposit ``item``, waking the oldest blocked getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event yielding the next item (FIFO)."""
+        request = Event(self.sim, name=f"get:{self.name}")
+        if self._items:
+            request.succeed(self._items.popleft())
+        else:
+            self._getters.append(request)
+        return request
+
+    def drain(self) -> list[object]:
+        """Remove and return all queued items without blocking."""
+        items = list(self._items)
+        self._items.clear()
+        return items

@@ -1,0 +1,118 @@
+"""The simulation event loop and clock."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Optional
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+from repro.sim.rng import RngRegistry
+
+
+class Simulator:
+    """Owns the event heap and the simulated clock.
+
+    Time is a float in milliseconds (by convention of this project).  Events
+    scheduled at the same instant are processed in schedule order (FIFO),
+    which keeps runs fully deterministic.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        #: Failures of daemon processes, recorded instead of raised.
+        self.daemon_failures: list[tuple[Process, BaseException]] = []
+        #: Named deterministic RNG substreams.
+        self.rng = RngRegistry(seed)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event construction ----------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires after ``delay`` ms."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing once all ``events`` have fired successfully."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def spawn(
+        self, generator: ProcessGenerator, name: str = "", daemon: bool = False
+    ) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name, daemon=daemon)
+
+    # -- scheduling / running ----------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule drains or the clock reaches ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the schedule drains earlier, so repeated ``run(until=...)``
+        calls observe monotonic time.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until {until}; clock already at {self._now}"
+            )
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def run_until_complete(self, process: Process, limit: float = float("inf")) -> object:
+        """Run until ``process`` finishes; return its value.
+
+        Raises :class:`SimulationError` if the schedule drains or ``limit``
+        is reached with the process still alive (deadlock guard).
+        """
+        while not process.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: schedule drained but {process.name!r} still alive"
+                )
+            if self._heap[0][0] > limit:
+                raise SimulationError(
+                    f"time limit {limit} reached with {process.name!r} still alive"
+                )
+            self.step()
+        return process.value

@@ -1,0 +1,5 @@
+"""Global blob storage model (stand-in for Azure Blob Storage)."""
+
+from repro.storage.blob import DataItem, GlobalStorage, StorageRecord, StorageStats
+
+__all__ = ["DataItem", "GlobalStorage", "StorageRecord", "StorageStats"]

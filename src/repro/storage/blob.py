@@ -1,0 +1,164 @@
+"""Versioned key-value global storage with a blob-service latency model.
+
+The paper treats Azure Blob Storage as a durable, always-consistent store
+with a ~30 ms round trip; writes are acknowledged only after the service
+commits them (write-through semantics rely on this).  Versions increase
+monotonically per key — the Faa$T baseline's version protocol and the
+external-write listener both build on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.config import LatencyModel
+from repro.net.sizes import sizeof
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """An opaque application data blob with an explicit wire size.
+
+    ``payload`` is any hashable token identifying the written value (tests
+    use strings; workloads use (key, sequence) tuples).  Equality of two
+    :class:`DataItem` objects means byte-identical blobs.
+    """
+
+    payload: object
+    size_bytes: int = 64
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DataItem({self.payload!r}, {self.size_bytes}B)"
+
+
+@dataclass
+class StorageRecord:
+    """Internal per-key record: the latest value and its version."""
+
+    value: object
+    version: int
+
+
+@dataclass
+class StorageStats:
+    """Aggregate storage traffic counters."""
+
+    reads: int = 0
+    writes: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+
+
+#: Listener signature: (key, value, version, writer_tag) -> None.
+WriteListener = Callable[[str, object, int, str], None]
+
+
+class GlobalStorage:
+    """Durable versioned KV store accessed with blob-service latency.
+
+    All access methods are generators (simulation sub-processes) to be used
+    with ``yield from``.  ``writer`` tags identify who wrote (cache agent
+    address, or ``"external"``) so write listeners can implement the
+    paper's external-write trigger (Section III-C3).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        latency: Optional[LatencyModel] = None,
+        name: str = "storage",
+    ):
+        self.sim = sim
+        self.latency = latency or LatencyModel()
+        self.name = name
+        self._data: dict[str, StorageRecord] = {}
+        self._listeners: list[WriteListener] = []
+        self.stats = StorageStats()
+
+    # -- synchronous setup / inspection (no simulated latency) -------------
+    def preload(self, items: dict[str, object]) -> None:
+        """Populate keys instantly (version 1), without latency or events."""
+        for key, value in items.items():
+            self._data[key] = StorageRecord(value=value, version=1)
+
+    def peek(self, key: str) -> Optional[StorageRecord]:
+        """Inspect a record without simulated latency (tests/invariants)."""
+        return self._data.get(key)
+
+    def version_of(self, key: str) -> int:
+        """Current version of ``key`` (0 if absent); no latency."""
+        record = self._data.get(key)
+        return record.version if record else 0
+
+    def add_write_listener(self, listener: WriteListener) -> None:
+        """Register a callback invoked at commit time of every write."""
+        self._listeners.append(listener)
+
+    # -- simulated access ---------------------------------------------------
+    def read(self, key: str):
+        """Read ``key``: yields, returns ``(value, version)``.
+
+        A missing key returns ``(None, 0)`` — serverless storage APIs are
+        key-value and idempotent (paper Section II-B).
+        """
+        record = self._data.get(key)
+        size = sizeof(record.value) if record else 0
+        yield self.sim.timeout(self.latency.storage_read(size))
+        self.stats.reads += 1
+        self.stats.read_bytes += size
+        # Re-read after the latency: a concurrent write may have landed.
+        record = self._data.get(key)
+        if record is None:
+            return (None, 0)
+        return (record.value, record.version)
+
+    def write(self, key: str, value: object, writer: str = "unknown"):
+        """Write ``key``: yields, returns the new version.
+
+        The value commits (and listeners fire) when the ack is generated,
+        i.e. after the full storage round trip — so a concurrent reader
+        that started earlier can still observe the old value, exactly as
+        with a real blob service.
+        """
+        size = sizeof(value)
+        yield self.sim.timeout(self.latency.storage_write(size))
+        self.stats.writes += 1
+        self.stats.write_bytes += size
+        record = self._data.get(key)
+        version = (record.version + 1) if record else 1
+        self._data[key] = StorageRecord(value=value, version=version)
+        for listener in self._listeners:
+            listener(key, value, version, writer)
+        return version
+
+    def compare_and_swap(self, key: str, value: object, expected_version: int,
+                         writer: str = "unknown"):
+        """Conditional write: commits only if the version still matches.
+
+        Returns ``(ok, version)`` — on success the new version, on failure
+        the current one.  Models DynamoDB/Blob conditional updates, the
+        primitive Saga/Beldi-style systems detect conflicts with.
+        """
+        size = sizeof(value)
+        yield self.sim.timeout(self.latency.storage_write(size))
+        self.stats.writes += 1
+        record = self._data.get(key)
+        current = record.version if record else 0
+        if current != expected_version:
+            return (False, current)
+        self.stats.write_bytes += size
+        version = current + 1
+        self._data[key] = StorageRecord(value=value, version=version)
+        for listener in self._listeners:
+            listener(key, value, version, writer)
+        return (True, version)
+
+    def read_version(self, key: str):
+        """Fetch only the version number of ``key`` (Faa$T fallback path)."""
+        yield self.sim.timeout(self.latency.storage_read(8))
+        self.stats.reads += 1
+        return self.version_of(key)

@@ -1,0 +1,27 @@
+"""Transactional storage accesses (paper Section IV-A) and baselines.
+
+- :class:`~repro.txn.manager.ConcordTxnRuntime` -- transactions on top of
+  the Concord coherence protocol: speculative read/write sets buffered in
+  the local cache instance, conflicts detected through coherence messages,
+  squash + exponential backoff + priority escalation, global commit lock.
+- :class:`~repro.txn.saga.SagaRunner` -- AWS Saga-pattern baseline:
+  compensating writes on conflict, validation by re-reading storage.
+- :class:`~repro.txn.beldi.BeldiRunner` -- Beldi-style baseline: every
+  storage access is logged to storage; commit is validated optimistically.
+"""
+
+from repro.txn.manager import ConcordTxnRuntime, TxnAborted, TxnHandle
+from repro.txn.saga import SagaRunner
+from repro.txn.beldi import BeldiRunner
+from repro.txn.apps import TXN_APPS, TxnAppSpec, TxnStep
+
+__all__ = [
+    "BeldiRunner",
+    "ConcordTxnRuntime",
+    "SagaRunner",
+    "TXN_APPS",
+    "TxnAborted",
+    "TxnAppSpec",
+    "TxnHandle",
+    "TxnStep",
+]

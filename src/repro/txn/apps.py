@@ -1,0 +1,66 @@
+"""The five transactional applications of Figure 15.
+
+The paper evaluates transactions with AWS-sample applications whose
+transactions enclose a sequence of 6-8 functions.  Each step reads and
+writes a few keys from a shared keyspace; contention comes from popular
+keys touched by concurrent transactions (account balances, inventory
+rows, booking tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TxnStep:
+    """One function inside a transaction: its reads and writes."""
+
+    name: str
+    reads: tuple
+    writes: tuple
+    compute_ms: float = 2.0
+
+
+@dataclass(frozen=True)
+class TxnAppSpec:
+    """A transactional application: a chain of steps."""
+
+    name: str
+    steps: tuple
+    #: Number of distinct entities (rows) contended over.
+    entities: int = 20
+
+    def keyspace(self) -> set:
+        keys = set()
+        for entity in range(self.entities):
+            for step in self.steps:
+                for template in step.reads + step.writes:
+                    keys.add(template.format(e=entity))
+        return keys
+
+
+def _chain(name: str, length: int, shared: list, per_step_entity_keys: int = 1):
+    """Build a txn app: each step reads shared keys + entity rows and
+    writes one entity row; templates use ``{e}`` for the entity id."""
+    steps = []
+    for index in range(length):
+        reads = tuple(
+            [f"{name}:row{index}:{{e}}"]
+            + shared[index % len(shared):][:1]
+        )
+        writes = (f"{name}:row{index}:{{e}}",)
+        steps.append(TxnStep(name=f"{name}-s{index}", reads=reads, writes=writes))
+    return TxnAppSpec(name=name, steps=tuple(steps))
+
+
+TXN_APPS: dict[str, TxnAppSpec] = {
+    spec.name: spec
+    for spec in (
+        _chain("HotelBooking", 6, [f"HotelBooking:avail:{{e}}"]),
+        _chain("OnlineShopping", 7, [f"OnlineShopping:stock:{{e}}"]),
+        _chain("AccountRegistration", 6, [f"AccountRegistration:index:{{e}}"]),
+        _chain("OnlineBanking", 8, [f"OnlineBanking:balance:{{e}}"]),
+        _chain("HealthRecords", 7, [f"HealthRecords:chart:{{e}}"]),
+    )
+}

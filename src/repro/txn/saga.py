@@ -1,0 +1,98 @@
+"""Saga-pattern baseline for transactions (paper Section IV-A, Figure 15).
+
+With AWS Sagas, the user writes compensating functions: each step commits
+its writes immediately; if a later validation detects that a concurrently
+committed transaction conflicted, previously completed steps are undone by
+compensating writes and the saga re-executes.  Conflict detection happens
+by re-reading the data from storage — the slow path the paper contrasts
+with Concord's coherence-message detection.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.storage import DataItem
+from repro.txn.apps import TxnAppSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster
+
+
+class SagaRunner:
+    """Executes transactional apps as sagas over global storage."""
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.storage = cluster.storage
+        self.commits = 0
+        self.compensations = 0
+
+    def run(self, app: TxnAppSpec, entity: int, writer_tag: str = "saga",
+            max_attempts: int = 40):
+        """One saga execution (yield from); returns on success."""
+        rng = self.sim.rng.stream("saga-backoff")
+        for attempt in range(max_attempts):
+            if attempt:
+                # Randomized exponential backoff keeps concurrent sagas
+                # from compensating each other forever.
+                backoff = 10.0 * (2 ** min(attempt, 5))
+                yield self.sim.timeout(backoff * (0.5 + rng.random()))
+            read_versions = {}
+            written = {}
+            completed = []
+            conflicted = False
+            for step in app.steps:
+                yield self.sim.timeout(step.compute_ms)
+                for template in step.reads:
+                    key = template.format(e=entity)
+                    value, version = yield from self.storage.read(key)
+                    if key in written:
+                        if version != written[key]:
+                            conflicted = True  # someone clobbered our write
+                            break
+                        continue
+                    if key in read_versions and read_versions[key] != version:
+                        conflicted = True  # someone committed under us
+                        break
+                    read_versions[key] = version
+                if conflicted:
+                    break
+                for template in step.writes:
+                    key = template.format(e=entity)
+                    expected = written.get(key, read_versions.get(key))
+                    if expected is not None:
+                        # Read-modify-write: conditional update detects a
+                        # concurrent writer (write-write conflict).
+                        ok, version = yield from self.storage.compare_and_swap(
+                            key, DataItem((key, writer_tag), 256), expected,
+                            writer=writer_tag)
+                        if not ok:
+                            conflicted = True
+                            break
+                    else:
+                        version = yield from self.storage.write(
+                            key, DataItem((key, writer_tag), 256),
+                            writer=writer_tag)
+                    written[key] = version
+                    read_versions.pop(key, None)
+                    completed.append(key)
+                if conflicted:
+                    break
+            if not conflicted:
+                # Final validation: re-read the keys we only read.
+                for key, version in list(read_versions.items()):
+                    _value, current = yield from self.storage.read(key)
+                    if current != version:
+                        conflicted = True
+                        break
+            if not conflicted:
+                self.commits += 1
+                return True
+            # Roll back: one compensating write per completed step.
+            for key in reversed(completed):
+                yield from self.storage.write(
+                    key, DataItem((key, "compensated"), 256), writer=writer_tag)
+                self.compensations += 1
+        raise RuntimeError(f"saga {app.name} gave up after {max_attempts} attempts")

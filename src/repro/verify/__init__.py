@@ -1,0 +1,33 @@
+"""Explicit-state model checking of the Concord coherence protocol.
+
+A Python stand-in for the paper's TLA+/TLC verification (Section III-H):
+the protocol is abstracted to atomic transitions (the home serializes all
+directory operations), and a breadth-first search explores every reachable
+state of a small configuration, checking the paper's invariants:
+
+- coherence states are correct (at most one Exclusive copy; Exclusive
+  excludes all other valid copies);
+- a read of a valid cache location returns the value last written
+  (with write-through, every valid copy equals storage);
+- the directory tracks every valid copy (when no recovery is pending);
+- no deadlock: every non-quiescent state has an enabled action.
+
+Modelled events, as in the paper: Local/Remote Read/Write Hit, Read/Write
+Miss, DataEvict, NodeFail, RecoverOnFail, DomainChange.
+"""
+
+from repro.verify.model import (
+    CheckReport,
+    ModelChecker,
+    ModelConfig,
+    ModelState,
+    enabled_transitions,
+)
+
+__all__ = [
+    "CheckReport",
+    "ModelChecker",
+    "ModelConfig",
+    "ModelState",
+    "enabled_transitions",
+]

@@ -1,0 +1,347 @@
+"""The abstract protocol model and its breadth-first checker.
+
+State components (all immutable / hashable):
+
+- ``active``: the coherence domain (nodes with a live cache instance);
+- ``caches``: per node, ``None`` or ``(state, value)`` with state E or S;
+- ``directory``: ``None`` or ``(state, sharers)`` — conceptually stored at
+  ``home(active)``; lost when the home fails;
+- ``storage``: the durable value (write-through keeps it current);
+- ``pending_recovery``: the failed node whose keys are barriered, or None
+  — between NodeFail and RecoverOnFail, reads of the key are blocked
+  (the paper's read barrier), which is why directory completeness is only
+  asserted when no recovery is pending;
+- ``writes_left`` / ``fails_left`` / ``changes_left``: exploration bounds.
+
+Transitions are atomic because the home cache agent serializes directory
+operations per key (Section III-C2); the fault cases that are *not*
+atomic in the implementation are modelled by the explicit
+NodeFail/RecoverOnFail split with the read barrier in between.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+E = "E"
+S = "S"
+
+
+def ring_home(active: tuple) -> str:
+    """Deterministic home assignment for the single modelled key."""
+    # Any deterministic function of the member set works; use min() as
+    # the stand-in for consistent hashing.
+    return min(active)
+
+
+@dataclass(frozen=True)
+class ModelState:
+    """One explored protocol state."""
+
+    active: tuple                 # sorted tuple of active node ids
+    caches: tuple                 # tuple of (node, state, value), sorted
+    directory: Optional[tuple]    # (dir_state, sharers tuple) or None
+    storage: int
+    pending_recovery: Optional[str]
+    writes_left: int
+    fails_left: int
+    changes_left: int
+
+    # -- convenient views --------------------------------------------------
+    def cache_of(self, node: str) -> Optional[tuple]:
+        for entry_node, state, value in self.caches:
+            if entry_node == node:
+                return (state, value)
+        return None
+
+    def with_cache(self, node: str, entry: Optional[tuple]) -> tuple:
+        """New caches tuple with ``node``'s entry replaced/removed."""
+        rest = [c for c in self.caches if c[0] != node]
+        if entry is not None:
+            rest.append((node, entry[0], entry[1]))
+        return tuple(sorted(rest))
+
+    @property
+    def home(self) -> str:
+        return ring_home(self.active)
+
+    def valid_holders(self) -> list:
+        return [(n, s, v) for n, s, v in self.caches if n in self.active]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Exploration bounds."""
+
+    nodes: tuple = ("n0", "n1", "n2")
+    max_writes: int = 2
+    max_fails: int = 1
+    max_domain_changes: int = 1
+    #: Allow graceful leaves/joins (DomainChange events).
+    allow_domain_changes: bool = True
+    #: Allow crash failures (NodeFail / RecoverOnFail events).
+    allow_failures: bool = True
+
+
+def initial_state(config: ModelConfig) -> ModelState:
+    return ModelState(
+        active=tuple(sorted(config.nodes)),
+        caches=(),
+        directory=None,
+        storage=0,
+        pending_recovery=None,
+        writes_left=config.max_writes,
+        fails_left=config.max_fails if config.allow_failures else 0,
+        changes_left=config.max_domain_changes if config.allow_domain_changes else 0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Transitions
+# ---------------------------------------------------------------------------
+def _read(state: ModelState, reader: str) -> Optional[ModelState]:
+    """Read at ``reader`` (hit or miss, local or remote) — one atomic op."""
+    cached = state.cache_of(reader)
+    if cached is not None:
+        return None  # local hit: no state change; value checked invariantly
+    if state.pending_recovery is not None:
+        return None  # the read barrier blocks the key during recovery
+    directory = state.directory
+    caches = state.caches
+    if directory is None:
+        # Read miss: fetch from storage, reader becomes exclusive owner.
+        new_caches = state.with_cache(reader, (E, state.storage))
+        return _replace(state, caches=new_caches, directory=(E, (reader,)))
+    dir_state, sharers = directory
+    if dir_state == E:
+        owner = sharers[0]
+        owner_entry = state.cache_of(owner)
+        if owner != reader and owner_entry is not None:
+            # Fetch from owner; both downgrade to Shared.
+            caches = state.with_cache(owner, (S, owner_entry[1]))
+            interim = _replace(state, caches=caches)
+            caches = interim.with_cache(reader, (S, owner_entry[1]))
+            return _replace(
+                state, caches=caches,
+                directory=(S, tuple(sorted({owner, reader}))),
+            )
+        # Owner evicted silently (or owner is the reader itself):
+        # storage is current; reader becomes the exclusive owner.
+        caches = state.with_cache(reader, (E, state.storage))
+        return _replace(state, caches=caches, directory=(E, (reader,)))
+    # Shared: serve from storage/home copy; add reader as sharer.
+    caches = state.with_cache(reader, (S, state.storage))
+    return _replace(
+        state, caches=caches,
+        directory=(S, tuple(sorted(set(sharers) | {reader}))),
+    )
+
+
+def _write(state: ModelState, writer: str) -> Optional[ModelState]:
+    """Write at ``writer`` — invalidations + storage update, atomically."""
+    if state.writes_left == 0:
+        return None
+    new_value = state.storage + 1
+    cached = state.cache_of(writer)
+    if cached is not None and cached[0] == E:
+        # E-state write: straight to storage, bypassing the home.
+        caches = state.with_cache(writer, (E, new_value))
+        return _replace(
+            state, caches=caches, storage=new_value,
+            writes_left=state.writes_left - 1,
+        )
+    if state.pending_recovery is not None:
+        return None  # barriered until recovery completes
+    # Through the home: invalidate every other copy, then own exclusively.
+    caches = ((writer, E, new_value),)
+    return _replace(
+        state, caches=caches, storage=new_value,
+        directory=(E, (writer,)), writes_left=state.writes_left - 1,
+    )
+
+
+def _evict(state: ModelState, node: str) -> Optional[ModelState]:
+    """Silent eviction: the home is not informed."""
+    if state.cache_of(node) is None:
+        return None
+    return _replace(state, caches=state.with_cache(node, None))
+
+
+def _fail(state: ModelState, node: str) -> Optional[ModelState]:
+    if state.fails_left == 0 or state.pending_recovery is not None:
+        return None
+    if node not in state.active or len(state.active) < 2:
+        return None
+    active = tuple(sorted(set(state.active) - {node}))
+    caches = tuple(c for c in state.caches if c[0] != node)
+    directory = state.directory
+    pending = None
+    if state.home == node:
+        # The directory was homed at the failed node: it is lost, and the
+        # key is barriered until recovery completes.
+        directory = None
+        pending = node
+    else:
+        # Prune the failed node from the sharer set.
+        if directory is not None:
+            dir_state, sharers = directory
+            remaining = tuple(sorted(set(sharers) - {node}))
+            directory = (dir_state, remaining) if remaining else None
+    return _replace(
+        state, active=active, caches=caches, directory=directory,
+        pending_recovery=pending, fails_left=state.fails_left - 1,
+    )
+
+
+def _recover(state: ModelState) -> Optional[ModelState]:
+    """RecoverOnFail: survivors evict copies homed at the failed node."""
+    if state.pending_recovery is None:
+        return None
+    # Every cached copy of the key (homed at the failed node) is evicted.
+    return _replace(state, caches=(), pending_recovery=None)
+
+
+def _leave(state: ModelState, node: str) -> Optional[ModelState]:
+    """Graceful DomainChange: two-phase leave with directory hand-off."""
+    if state.changes_left == 0 or state.pending_recovery is not None:
+        return None
+    if node not in state.active or len(state.active) < 2:
+        return None
+    active = tuple(sorted(set(state.active) - {node}))
+    caches = tuple(c for c in state.caches if c[0] != node)
+    directory = state.directory
+    if directory is not None:
+        dir_state, sharers = directory
+        remaining = tuple(sorted(set(sharers) - {node}))
+        directory = (dir_state, remaining) if remaining else None
+        # Hand-off: the entry (if any) now lives at the new home — the
+        # model keeps a single logical directory, so only sharer pruning
+        # is visible.
+    return _replace(
+        state, active=active, caches=caches, directory=directory,
+        changes_left=state.changes_left - 1,
+    )
+
+
+def _join(state: ModelState, node: str, config: ModelConfig) -> Optional[ModelState]:
+    """Graceful DomainChange: a cache instance (re)enters the domain."""
+    if state.changes_left == 0 or state.pending_recovery is not None:
+        return None
+    if node in state.active or node not in config.nodes:
+        return None
+    active = tuple(sorted(set(state.active) | {node}))
+    # If the home moves to the joining node, the directory entry is
+    # transferred (two-phase join); logically unchanged in the model.
+    return _replace(
+        state, active=active, changes_left=state.changes_left - 1,
+    )
+
+
+def _replace(state: ModelState, **kwargs) -> ModelState:
+    from dataclasses import replace
+
+    return replace(state, **kwargs)
+
+
+def enabled_transitions(
+    state: ModelState, config: ModelConfig
+) -> list:
+    """All (event_name, successor) pairs from ``state``."""
+    successors = []
+
+    def add(name, new_state):
+        if new_state is not None:
+            successors.append((name, new_state))
+
+    for node in state.active:
+        add(f"Read({node})", _read(state, node))
+        add(f"Write({node})", _write(state, node))
+        add(f"DataEvict({node})", _evict(state, node))
+        add(f"NodeFail({node})", _fail(state, node))
+        add(f"Leave({node})", _leave(state, node))
+    for node in config.nodes:
+        add(f"Join({node})", _join(state, node, config))
+    add("RecoverOnFail", _recover(state))
+    return successors
+
+
+# ---------------------------------------------------------------------------
+# Invariants
+# ---------------------------------------------------------------------------
+def invariant_violations(state: ModelState) -> list:
+    """The safety conditions of Section III-H, checked on one state."""
+    violations = []
+    holders = state.valid_holders()
+    exclusive = [h for h in holders if h[1] == E]
+    if len(exclusive) > 1:
+        violations.append(f"two exclusive copies: {holders}")
+    if exclusive and len(holders) > 1:
+        violations.append(f"E coexists with other copies: {holders}")
+    for node, _cstate, value in holders:
+        if value != state.storage:
+            violations.append(
+                f"stale copy at {node}: {value} != storage {state.storage}")
+    if state.pending_recovery is None and holders:
+        if state.directory is None:
+            violations.append(f"untracked copies (no directory): {holders}")
+        else:
+            _dir_state, sharers = state.directory
+            for node, _cstate, _value in holders:
+                if node not in sharers:
+                    violations.append(f"holder {node} missing from directory")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Checker
+# ---------------------------------------------------------------------------
+@dataclass
+class CheckReport:
+    """Outcome of exhaustive exploration."""
+
+    states_explored: int = 0
+    transitions: int = 0
+    violations: list = field(default_factory=list)   # (state, messages)
+    deadlocks: list = field(default_factory=list)    # states w/o actions
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.deadlocks
+
+
+class ModelChecker:
+    """Breadth-first exhaustive exploration with invariant checking."""
+
+    def __init__(self, config: Optional[ModelConfig] = None):
+        self.config = config or ModelConfig()
+
+    def check(self, max_states: int = 500_000) -> CheckReport:
+        report = CheckReport()
+        start = initial_state(self.config)
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            state = queue.popleft()
+            report.states_explored += 1
+            if report.states_explored > max_states:
+                raise RuntimeError("state-space bound exceeded")
+            messages = invariant_violations(state)
+            if messages:
+                report.violations.append((state, messages))
+            successors = enabled_transitions(state, self.config)
+            if not successors:
+                # Quiescence requires an active domain where reads are
+                # possible; anything else is a deadlock.
+                if not state.active or state.pending_recovery is not None:
+                    report.deadlocks.append(state)
+                # A fully-explored quiescent state (all bounds exhausted,
+                # everything cached) is fine: reads-as-hits remain enabled
+                # in the real system but are modelled as no-ops here.
+            for _name, successor in successors:
+                if successor not in seen:
+                    seen.add(successor)
+                    queue.append(successor)
+            report.transitions += len(successors)
+        return report

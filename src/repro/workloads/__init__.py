@@ -1,0 +1,25 @@
+"""Benchmark application models and workload generators.
+
+The seven evaluation applications (Table II) are modelled by their storage
+access patterns: workflow length, reads/writes per function, item sizes,
+entity popularity (Zipf) and per-function compute.  The distributions
+follow the paper's stated statistics: 80 % reads / 20 % writes, 5 %
+read-only objects, 80 % of items no larger than 12 KB, Poisson arrivals.
+"""
+
+from repro.workloads.distributions import SizeSampler, ZipfSampler
+from repro.workloads.profiles import (
+    ALL_PROFILES,
+    AppProfile,
+    build_app,
+    entity_inputs_factory,
+)
+
+__all__ = [
+    "ALL_PROFILES",
+    "AppProfile",
+    "SizeSampler",
+    "ZipfSampler",
+    "build_app",
+    "entity_inputs_factory",
+]

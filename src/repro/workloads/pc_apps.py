@@ -1,0 +1,80 @@
+"""Producer-consumer applications for the placement evaluation (Fig. 16).
+
+The Table-II applications "do not have frequent producer-consumer
+patterns", so the paper evaluates communication-aware placement on six
+applications from FunctionBench/FaaSFlow-style suites.  Each app here is
+a chain whose stages pass sizeable intermediate blobs through storage —
+exactly the pattern where co-locating stages converts remote hand-offs
+into local cache hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import KB
+from repro.faas.app import AppSpec, FunctionSpec
+from repro.storage import DataItem
+
+
+@dataclass(frozen=True)
+class PcAppProfile:
+    """A producer-consumer pipeline application."""
+
+    name: str
+    stages: int
+    #: Size of each hand-off blob between stages.
+    handoff_bytes: int
+    #: Compute per stage (short apps benefit most, per the paper).
+    compute_ms: float
+
+
+PC_PROFILES: dict[str, PcAppProfile] = {
+    profile.name: profile
+    for profile in (
+        PcAppProfile("IoTSensor", stages=3, handoff_bytes=64 * KB, compute_ms=1.0),
+        PcAppProfile("MLSentiment", stages=4, handoff_bytes=256 * KB, compute_ms=6.0),
+        PcAppProfile("VideoProcessing", stages=4, handoff_bytes=4096 * KB, compute_ms=25.0),
+        PcAppProfile("MapReduce", stages=5, handoff_bytes=1024 * KB, compute_ms=8.0),
+        PcAppProfile("EventStreaming", stages=3, handoff_bytes=128 * KB, compute_ms=1.5),
+        PcAppProfile("IllegalRecognizer", stages=4, handoff_bytes=2048 * KB, compute_ms=12.0),
+    )
+}
+
+
+def pc_handoff_key(app: str, request: int, stage: int) -> str:
+    return f"{app}:req{request}:h{stage}"
+
+
+def build_pc_app(profile: PcAppProfile) -> AppSpec:
+    """A pipeline whose stages communicate through storage hand-offs."""
+    spec = AppSpec(name=profile.name)
+    for stage in range(profile.stages):
+        spec.add_function(FunctionSpec(
+            name=f"{profile.name}-s{stage}",
+            handler=_make_stage_handler(profile, stage),
+        ))
+    return spec
+
+
+def _make_stage_handler(profile: PcAppProfile, stage: int):
+    app = profile.name
+    last = profile.stages - 1
+
+    def handler(ctx):
+        request = int(ctx.inputs.get("request", 0))
+        if stage > 0:
+            # Consume the previous stage's hand-off blob; when the stages
+            # are co-located this is a local hit instead of shipping the
+            # whole blob over the network.
+            yield from ctx.read(pc_handoff_key(app, request, stage - 1))
+        yield from ctx.compute(profile.compute_ms)
+        if stage < last:
+            yield from ctx.write(
+                pc_handoff_key(app, request, stage),
+                DataItem((app, request, stage), profile.handoff_bytes),
+            )
+        return request
+
+    handler.__name__ = f"{app}_s{stage}"
+    return handler

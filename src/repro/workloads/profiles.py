@@ -1,0 +1,198 @@
+"""The seven evaluation applications (paper Table II), parameterized.
+
+Each profile describes an application's storage-access pattern; the
+builder turns it into an :class:`~repro.faas.app.AppSpec` whose function
+handlers generate that pattern:
+
+- a request targets an *entity* (hotel, train, user feed ...) drawn from
+  a Zipf distribution — this is the input Concord's coherence-aware
+  scheduling hashes on;
+- every workflow step reads the previous step's hand-off blob from
+  storage (functions must communicate through storage, Section I);
+- steps read entity-linked items plus popular app-global items, and
+  write back a subset (overall 80 % reads / 20 % writes with 5 %
+  read-only objects, the Azure distribution the paper uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import KB
+from repro.faas.app import AppSpec, FunctionSpec
+from repro.storage import DataItem
+from repro.workloads.distributions import SizeSampler, ZipfSampler, is_read_only
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Parameterization of one benchmark application."""
+
+    name: str
+    #: Workflow length (functions per request).
+    functions: int
+    #: Entity-linked reads per function.
+    reads_per_fn: int
+    #: Entity-linked writes per function (on top of hand-off writes).
+    writes_per_fn: int
+    #: Compute per function, milliseconds.
+    compute_ms: float
+    #: Number of entities (Zipf keyspace).
+    entities: int
+    #: Zipf skew of entity popularity.
+    zipf_alpha: float
+    #: Item-size scale relative to the default small-object mix.
+    size_scale: float = 1.0
+    #: Items attached to each entity.
+    items_per_entity: int = 4
+    #: Fraction of reads that target app-global (cross-entity) items.
+    global_read_fraction: float = 0.25
+    #: Number of app-global items.
+    global_items: int = 64
+    #: Probability that each potential write actually happens (tunes the
+    #: overall mix to the paper's ~80 % reads / 20 % writes, counting the
+    #: mandatory hand-off writes between workflow stages).
+    write_prob: float = 0.35
+    #: Fraction of writes that target shared app-global items (drives the
+    #: cross-node sharing that makes invalidations happen, Figure 9).
+    global_write_fraction: float = 0.1
+
+
+# Profiles calibrated so that, with the paper's latency constants, the
+# no-cache storage share of response time spans ~35-93% (Figure 1) and
+# read-heavy small-item apps (TrainT, SocNet, HotelBook) benefit most
+# from Concord.  Media apps (ImgProc, VidProc) move larger blobs and
+# spend more time computing.
+ALL_PROFILES: dict[str, AppProfile] = {
+    profile.name: profile
+    for profile in (
+        AppProfile("TrainT", functions=3, reads_per_fn=6, writes_per_fn=1,
+                   compute_ms=8.0, entities=200, zipf_alpha=1.1),
+        AppProfile("eShop", functions=4, reads_per_fn=5, writes_per_fn=1,
+                   compute_ms=30.0, entities=300, zipf_alpha=1.0),
+        AppProfile("ImgProc", functions=3, reads_per_fn=3, writes_per_fn=1,
+                   compute_ms=120.0, entities=400, zipf_alpha=0.9,
+                   size_scale=8.0),
+        AppProfile("VidProc", functions=4, reads_per_fn=2, writes_per_fn=1,
+                   compute_ms=250.0, entities=300, zipf_alpha=0.9,
+                   size_scale=16.0),
+        AppProfile("HotelBook", functions=3, reads_per_fn=6, writes_per_fn=1,
+                   compute_ms=10.0, entities=150, zipf_alpha=1.2),
+        AppProfile("MediaServ", functions=4, reads_per_fn=5, writes_per_fn=1,
+                   compute_ms=25.0, entities=250, zipf_alpha=1.1),
+        AppProfile("SocNet", functions=5, reads_per_fn=7, writes_per_fn=1,
+                   compute_ms=6.0, entities=100, zipf_alpha=1.3),
+    )
+}
+
+
+def entity_key(app: str, entity: int, item: int) -> str:
+    return f"{app}:e{entity}:i{item}"
+
+
+def handoff_key(app: str, entity: int, stage: int) -> str:
+    return f"{app}:e{entity}:stage{stage}"
+
+
+def global_key(app: str, index: int) -> str:
+    return f"{app}:g{index}"
+
+
+def _make_handler(profile: AppProfile, stage: int, sizes: SizeSampler):
+    """Build the handler generator-function for workflow step ``stage``."""
+    app = profile.name
+    last_stage = profile.functions - 1
+    per_op_compute = profile.compute_ms / max(1, profile.reads_per_fn + 2)
+
+    def handler(ctx):
+        rng = ctx.sim.rng.stream(f"wl:{app}")
+        entity = int(ctx.inputs.get("entity", 0))
+        zipf_globals = _globals_sampler(profile)
+
+        if stage > 0:
+            yield from ctx.read(handoff_key(app, entity, stage - 1))
+        for _ in range(profile.reads_per_fn):
+            yield from ctx.compute(per_op_compute)
+            if rng.random() < profile.global_read_fraction:
+                key = global_key(app, zipf_globals.sample(rng))
+            else:
+                key = entity_key(app, entity, rng.randrange(profile.items_per_entity))
+            yield from ctx.read(key)
+        for _ in range(profile.writes_per_fn):
+            if rng.random() >= profile.write_prob:
+                continue
+            if rng.random() < profile.global_write_fraction:
+                key = global_key(app, zipf_globals.sample(rng))
+            else:
+                key = entity_key(app, entity, rng.randrange(profile.items_per_entity))
+            if is_read_only(key):
+                # 5 % of objects are read-only; read instead of writing.
+                yield from ctx.read(key)
+            else:
+                yield from ctx.write(
+                    key, DataItem((key, ctx.invocation_id), sizes.size_of(key)))
+        if stage < last_stage:
+            key = handoff_key(app, entity, stage)
+            yield from ctx.write(
+                key, DataItem((key, ctx.invocation_id), sizes.size_of(key)))
+        yield from ctx.compute(2 * per_op_compute)
+        return entity
+
+    handler.__name__ = f"{app}_f{stage}"
+    return handler
+
+
+_GLOBAL_SAMPLERS: dict[str, ZipfSampler] = {}
+
+
+def _globals_sampler(profile: AppProfile) -> ZipfSampler:
+    sampler = _GLOBAL_SAMPLERS.get(profile.name)
+    if sampler is None:
+        sampler = ZipfSampler(profile.global_items, alpha=1.0)
+        _GLOBAL_SAMPLERS[profile.name] = sampler
+    return sampler
+
+
+def build_app(profile: AppProfile) -> AppSpec:
+    """Turn a profile into a deployable application."""
+    sizes = SizeSampler(scale=profile.size_scale)
+    spec = AppSpec(name=profile.name)
+    for stage in range(profile.functions):
+        spec.add_function(FunctionSpec(
+            name=f"{profile.name}-f{stage}",
+            handler=_make_handler(profile, stage, sizes),
+        ))
+    return spec
+
+
+def working_set(profile: AppProfile) -> dict:
+    """The app's initial key -> DataItem working set."""
+    sizes = SizeSampler(scale=profile.size_scale)
+    items = {}
+    for entity in range(profile.entities):
+        for item in range(profile.items_per_entity):
+            key = entity_key(profile.name, entity, item)
+            items[key] = DataItem((key, 0), sizes.size_of(key))
+    for index in range(profile.global_items):
+        key = global_key(profile.name, index)
+        items[key] = DataItem((key, 0), sizes.size_of(key))
+    return items
+
+
+def preload_storage(storage, profile: AppProfile) -> int:
+    """Populate global storage with the app's working set; returns count."""
+    items = working_set(profile)
+    storage.preload(items)
+    return len(items)
+
+
+def entity_inputs_factory(profile: AppProfile, sim, stream: Optional[str] = None):
+    """Per-request inputs: a Zipf-popular entity id."""
+    sampler = ZipfSampler(profile.entities, alpha=profile.zipf_alpha)
+    rng = sim.rng.stream(stream or f"entities:{profile.name}")
+
+    def factory(_index: int) -> dict:
+        return {"entity": sampler.sample(rng)}
+
+    return factory

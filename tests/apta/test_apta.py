@@ -1,0 +1,146 @@
+"""Tests for the software Apta system and its scheduler."""
+
+import pytest
+
+from repro.apta import AptaScheduler, AptaSystem, make_memory_tier
+from repro.cluster import Cluster
+from repro.config import LatencyModel, SimConfig
+from repro.sim import Simulator
+from repro.storage import DataItem, GlobalStorage
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=9)
+
+
+@pytest.fixture
+def cluster(sim):
+    return Cluster(sim, SimConfig(num_nodes=3))
+
+
+@pytest.fixture
+def apta_mem(sim, cluster):
+    """Mem variant: the memory tier is the terminal store."""
+    return AptaSystem(cluster, make_memory_tier(cluster, 3), app="a", backing=None)
+
+
+@pytest.fixture
+def apta_az(sim, cluster):
+    """Az variant: updates also propagate to global storage."""
+    return AptaSystem(cluster, make_memory_tier(cluster, 3), app="b",
+                      backing=cluster.storage)
+
+
+def run(sim, gen, limit=60_000.0):
+    return sim.run_until_complete(sim.spawn(gen), limit=sim.now + limit)
+
+
+def V(tag, size=256):
+    return DataItem(tag, size)
+
+
+class TestAptaDataPath:
+    def test_write_then_read(self, sim, cluster, apta_mem):
+        run(sim, apta_mem.write("node0", "k", V("v1")))
+        assert run(sim, apta_mem.read("node1", "k")) == V("v1")
+
+    def test_local_hit_after_read(self, sim, cluster, apta_mem):
+        run(sim, apta_mem.write("node0", "k", V("v1")))
+        run(sim, apta_mem.read("node1", "k"))
+        messages = cluster.network.stats.messages
+        run(sim, apta_mem.read("node1", "k"))
+        assert cluster.network.stats.messages == messages  # pure local hit
+
+    def test_az_variant_writes_reach_storage(self, sim, cluster, apta_az):
+        run(sim, apta_az.write("node0", "k", V("v1")))
+        assert cluster.storage.peek("k").value == V("v1")
+
+    def test_az_variant_reads_fall_back_to_storage(self, sim, cluster, apta_az):
+        cluster.storage.preload({"cold": V("from-azure")})
+        assert run(sim, apta_az.read("node2", "cold")) == V("from-azure")
+
+    def test_mem_write_faster_than_az_write(self, sim, cluster, apta_mem, apta_az):
+        t0 = sim.now
+        run(sim, apta_mem.write("node0", "k", V("v")))
+        mem_latency = sim.now - t0
+        t1 = sim.now
+        run(sim, apta_az.write("node0", "k", V("v")))
+        az_latency = sim.now - t1
+        assert az_latency > mem_latency + cluster.config.latency.storage_rtt * 0.8
+
+
+class TestLazyInvalidation:
+    def test_write_completes_before_sharers_invalidated(self, sim, cluster, apta_mem):
+        run(sim, apta_mem.write("node0", "k", V("v1")))
+        run(sim, apta_mem.read("node1", "k"))  # node1 becomes a sharer
+
+        done = []
+
+        def writer(sim):
+            yield from apta_mem.write("node2", "k", V("v2"))
+            done.append(sim.now)
+            # At completion, node1 may still hold the stale copy: the
+            # invalidation is lazy.
+            entry = apta_mem.caches["node1"].cache.peek("k")
+            done.append(entry.value if entry else None)
+
+        sim.spawn(writer(sim))
+        sim.run(until=sim.now + 50.0)
+        assert done and done[1] == V("v1")  # stale right at completion
+        sim.run(until=sim.now + 100.0)
+        assert apta_mem.caches["node1"].cache.peek("k") is None  # eventually
+
+    def test_stale_nodes_tracked_until_ack(self, sim, cluster, apta_mem):
+        run(sim, apta_mem.write("node0", "k", V("v1")))
+        run(sim, apta_mem.read("node1", "k"))
+
+        observed = []
+
+        def writer(sim):
+            yield from apta_mem.write("node2", "k", V("v2"))
+            observed.append(set(apta_mem.stale_nodes()))
+
+        sim.spawn(writer(sim))
+        sim.run(until=sim.now + 200.0)
+        # Right when the write completed, the sharers (node0 wrote v1,
+        # node1 read it) were still marked stale.
+        assert observed == [{"node0", "node1"}]
+        assert apta_mem.stale_nodes() == set()  # eventually acknowledged
+
+
+class TestAptaScheduler:
+    def test_scheduler_avoids_stale_nodes(self, sim, cluster, apta_mem):
+        run(sim, apta_mem.write("node0", "k", V("v1")))
+        run(sim, apta_mem.read("node1", "k"))
+        # Make node1 stale by hand.
+        home = apta_mem.memory[apta_mem.home_of("k")]
+        home.stale_counts["node1"] = 1
+        scheduler = AptaScheduler({"a": apta_mem})
+        nodes = list(cluster.nodes.values())
+        for _ in range(10):
+            picked = scheduler.pick("a", "f", {}, nodes)
+            assert picked.id != "node1"
+        assert scheduler.unavailable_samples[-1] == 1
+
+    def test_pre_pick_costs_a_memory_round_trip(self, sim, cluster, apta_mem):
+        from repro.faas import FaasPlatform
+
+        platform = FaasPlatform(cluster, scheduler=AptaScheduler({"a": apta_mem}))
+
+        def probing(sim):
+            yield from platform.scheduler.pre_pick(platform, "a", "f", {})
+            return sim.now
+
+        start = sim.now
+        when = run(sim, probing(sim))
+        assert when - start >= cluster.config.latency.internode_rtt * 0.8
+        assert platform.scheduler.scheduling_queries == 1
+
+    def test_all_stale_falls_back_to_any_node(self, sim, cluster, apta_mem):
+        home = next(iter(apta_mem.memory.values()))
+        for node_id in cluster.node_ids:
+            home.stale_counts[node_id] = 1
+        scheduler = AptaScheduler({"a": apta_mem})
+        picked = scheduler.pick("a", "f", {}, list(cluster.nodes.values()))
+        assert picked is not None

@@ -1,0 +1,182 @@
+"""Tests for the OFC and Faa$T baselines and the no-cache path."""
+
+import pytest
+
+from repro.caching import DirectStorage, FaastSystem, OfcSystem
+from repro.cluster import Cluster
+from repro.config import KB, SimConfig
+from repro.metrics import OpKind
+from repro.sim import Simulator
+from repro.storage import DataItem
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=7)
+
+
+@pytest.fixture
+def cluster(sim):
+    return Cluster(sim, SimConfig(num_nodes=4))
+
+
+def run(sim, gen):
+    return sim.run_until_complete(sim.spawn(gen), limit=sim.now + 60_000.0)
+
+
+class TestDirectStorage:
+    def test_read_write_roundtrip(self, sim, cluster):
+        direct = DirectStorage(cluster)
+        run(sim, direct.write("node0", "k", DataItem("v", size_bytes=10)))
+        assert run(sim, direct.read("node1", "k")) == DataItem("v", size_bytes=10)
+
+    def test_every_read_pays_storage_rtt(self, sim, cluster):
+        direct = DirectStorage(cluster)
+        cluster.storage.preload({"k": DataItem("v", size_bytes=10)})
+        start = sim.now
+        run(sim, direct.read("node0", "k"))
+        assert sim.now - start >= cluster.config.latency.storage_rtt
+
+
+class TestOfc:
+    def test_item_cached_only_at_home(self, sim, cluster):
+        ofc = OfcSystem(cluster)
+        cluster.storage.preload({"k": DataItem("v", size_bytes=10)})
+        home = ofc.home_of("k")
+        reader = next(n for n in cluster.node_ids if n != home)
+        run(sim, ofc.read(reader, "k"))
+        run(sim, ofc.read(reader, "k"))
+        assert "k" in ofc.agents[home].cache
+        assert "k" not in ofc.agents[reader].cache
+
+    def test_remote_read_classification(self, sim, cluster):
+        ofc = OfcSystem(cluster)
+        cluster.storage.preload({"k": DataItem("v", size_bytes=10)})
+        home = ofc.home_of("k")
+        reader = next(n for n in cluster.node_ids if n != home)
+        run(sim, ofc.read(reader, "k"))   # first touch: storage
+        run(sim, ofc.read(reader, "k"))   # now a remote hit at home
+        assert ofc.stats.count(OpKind.READ_MISS) == 1
+        assert ofc.stats.count(OpKind.REMOTE_READ_HIT) == 1
+
+    def test_home_read_is_local(self, sim, cluster):
+        ofc = OfcSystem(cluster)
+        cluster.storage.preload({"k": DataItem("v", size_bytes=10)})
+        home = ofc.home_of("k")
+        run(sim, ofc.read(home, "k"))
+        run(sim, ofc.read(home, "k"))
+        assert ofc.stats.count(OpKind.LOCAL_READ_HIT) == 1
+
+    def test_write_through(self, sim, cluster):
+        ofc = OfcSystem(cluster)
+        home = ofc.home_of("k")
+        writer = next(n for n in cluster.node_ids if n != home)
+        run(sim, ofc.write(writer, "k", DataItem("w", size_bytes=10)))
+        assert cluster.storage.peek("k").value == DataItem("w", size_bytes=10)
+        assert ofc.agents[home].cache.peek("k").value == DataItem("w", size_bytes=10)
+
+    def test_remote_read_slower_than_home_read(self, sim, cluster):
+        ofc = OfcSystem(cluster)
+        cluster.storage.preload({"k": DataItem("v", size_bytes=10)})
+        home = ofc.home_of("k")
+        remote = next(n for n in cluster.node_ids if n != home)
+        run(sim, ofc.read(home, "k"))  # warm the home cache
+        t0 = sim.now
+        run(sim, ofc.read(home, "k"))
+        home_latency = sim.now - t0
+        t1 = sim.now
+        run(sim, ofc.read(remote, "k"))
+        remote_latency = sim.now - t1
+        assert remote_latency > home_latency
+
+
+class TestFaast:
+    @pytest.fixture
+    def faast(self, cluster):
+        return FaastSystem(cluster, app="app1")
+
+    def test_non_home_read_checks_version(self, sim, cluster, faast):
+        cluster.storage.preload({"k": DataItem("v", size_bytes=10)})
+        home = faast.home_of("k")
+        reader = next(n for n in cluster.node_ids if n != home)
+        run(sim, faast.read(reader, "k"))           # populate local copy
+        checks_before = faast.stats.version_checks
+        run(sim, faast.read(reader, "k"))           # version check round trip
+        assert faast.stats.version_checks == checks_before + 1
+
+    def test_version_match_serves_local_data(self, sim, cluster, faast):
+        cluster.storage.preload({"k": DataItem("v", size_bytes=10)})
+        home = faast.home_of("k")
+        reader = next(n for n in cluster.node_ids if n != home)
+        run(sim, faast.read(reader, "k"))
+        storage_reads = cluster.storage.stats.reads
+        value = run(sim, faast.read(reader, "k"))
+        assert value == DataItem("v", size_bytes=10)
+        assert cluster.storage.stats.reads == storage_reads  # no storage access
+
+    def test_version_mismatch_fetches_fresh_data(self, sim, cluster, faast):
+        cluster.storage.preload({"k": DataItem("v1", size_bytes=10)})
+        home = faast.home_of("k")
+        nodes = [n for n in cluster.node_ids if n != home]
+        reader, writer = nodes[0], nodes[1]
+        run(sim, faast.read(reader, "k"))
+        run(sim, faast.write(writer, "k", DataItem("v2", size_bytes=10)))
+        assert run(sim, faast.read(reader, "k")) == DataItem("v2", size_bytes=10)
+
+    def test_no_invalidations_ever(self, sim, cluster, faast):
+        cluster.storage.preload({"k": DataItem("v1", size_bytes=10)})
+        home = faast.home_of("k")
+        nodes = [n for n in cluster.node_ids if n != home]
+        run(sim, faast.read(nodes[0], "k"))
+        run(sim, faast.write(nodes[1], "k", DataItem("v2", size_bytes=10)))
+        # The stale copy is still present locally (lazily refreshed).
+        assert faast.instances[nodes[0]].cache.peek("k").value == DataItem("v1", size_bytes=10)
+
+    def test_write_updates_home_and_storage(self, sim, cluster, faast):
+        home = faast.home_of("k")
+        writer = next(n for n in cluster.node_ids if n != home)
+        run(sim, faast.write(writer, "k", DataItem("w", size_bytes=10)))
+        assert cluster.storage.peek("k").value == DataItem("w", size_bytes=10)
+        assert faast.instances[home].cache.peek("k").value == DataItem("w", size_bytes=10)
+        assert faast.instances[home].versions["k"] == cluster.storage.version_of("k")
+
+    def test_local_hit_in_faast_slower_than_concord(self, sim, cluster, faast):
+        """The paper's headline micro-comparison (Figure 11): a Faa$T local
+        read hit pays a home round trip; Concord's does not."""
+        from repro.core import ConcordSystem
+
+        concord = ConcordSystem(cluster, app="appC")
+        cluster.storage.preload({"k": DataItem("v", size_bytes=10)})
+        home = faast.home_of("k")
+        reader = next(n for n in cluster.node_ids if n != home)
+        run(sim, faast.read(reader, "k"))
+        t0 = sim.now
+        run(sim, faast.read(reader, "k"))
+        faast_hit = sim.now - t0
+
+        c_reader = next(
+            n for n in cluster.node_ids if n != concord.ring_template.home("k"))
+        run(sim, concord.read(c_reader, "k"))
+        t1 = sim.now
+        run(sim, concord.read(c_reader, "k"))
+        concord_hit = sim.now - t1
+        assert concord_hit < faast_hit
+        assert faast_hit >= concord_hit + cluster.config.latency.internode_rtt * 0.8
+
+    def test_read_only_annotation_skips_version_check(self, sim, cluster):
+        faast = FaastSystem(cluster, app="ro", read_only_keys={"const"})
+        cluster.storage.preload({"const": DataItem("c", size_bytes=10)})
+        home = faast.home_of("const")
+        reader = next(n for n in cluster.node_ids if n != home)
+        run(sim, faast.read(reader, "const"))
+        checks_before = faast.stats.version_checks
+        run(sim, faast.read(reader, "const"))
+        assert faast.stats.version_checks == checks_before
+
+    def test_home_read_never_checks_version_remotely(self, sim, cluster, faast):
+        cluster.storage.preload({"k": DataItem("v", size_bytes=10)})
+        home = faast.home_of("k")
+        run(sim, faast.read(home, "k"))
+        messages_before = cluster.network.stats.messages
+        run(sim, faast.read(home, "k"))
+        assert cluster.network.stats.messages == messages_before

@@ -1,0 +1,111 @@
+"""Unit tests for nodes and the cluster."""
+
+import pytest
+
+from repro.cluster import Cluster, Node
+from repro.config import MB, SimConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def config():
+    return SimConfig(num_nodes=4, cores_per_node=2)
+
+
+@pytest.fixture
+def cluster(sim, config):
+    return Cluster(sim, config)
+
+
+class TestNodeMemory:
+    def test_container_unused_memory(self, sim):
+        node = Node(sim, "node0")
+        c = node.add_container("app1", "f1", memory_alloc=128 * MB, memory_used=24 * MB)
+        assert c.unused_memory == 104 * MB
+
+    def test_unused_memory_sums_per_app(self, sim):
+        node = Node(sim, "node0")
+        node.add_container("app1", "f1", memory_used=24 * MB)
+        node.add_container("app1", "f2", memory_used=60 * MB)
+        node.add_container("app2", "g1", memory_used=10 * MB)
+        assert node.unused_memory("app1") == (128 - 24) * MB + (128 - 60) * MB
+        assert node.unused_memory("app2") == (128 - 10) * MB
+
+    def test_memory_exhaustion_raises(self, sim):
+        config = SimConfig(memory_per_node=256 * MB)
+        node = Node(sim, "node0", config)
+        node.add_container("a", "f")
+        node.add_container("a", "f")
+        with pytest.raises(MemoryError):
+            node.add_container("a", "f")
+
+    def test_remove_container(self, sim):
+        node = Node(sim, "node0")
+        c = node.add_container("app1", "f1")
+        assert node.remove_container(c.id) is c
+        assert node.remove_container(c.id) is None
+        assert node.containers_of("app1") == []
+
+    def test_containers_of_filters_by_function(self, sim):
+        node = Node(sim, "node0")
+        node.add_container("app1", "f1")
+        node.add_container("app1", "f2")
+        assert len(node.containers_of("app1")) == 2
+        assert len(node.containers_of("app1", "f1")) == 1
+
+    def test_used_more_than_alloc_contributes_zero(self, sim):
+        node = Node(sim, "node0")
+        node.add_container("app1", "f1", memory_alloc=128 * MB, memory_used=150 * MB)
+        assert node.unused_memory("app1") == 0
+
+
+class TestNodeLoad:
+    def test_overloaded_when_queue_forms(self, sim, config):
+        node = Node(sim, "node0", config)
+        node.cores.acquire()
+        node.cores.acquire()
+        assert not node.overloaded
+        node.cores.acquire()  # queues
+        assert node.overloaded
+        assert node.load == pytest.approx(1.5)
+
+
+class TestCluster:
+    def test_builds_configured_nodes(self, cluster):
+        assert len(cluster.nodes) == 4
+        assert cluster.node("node0").id == "node0"
+
+    def test_add_node(self, cluster):
+        node = cluster.add_node()
+        assert node.id == "node4"
+        with pytest.raises(ValueError):
+            cluster.add_node("node4")
+
+    def test_crash_silences_network(self, sim, cluster):
+        cluster.crash_node("node1")
+        assert not cluster.node("node1").alive
+        assert cluster.network.is_down("node1")
+        assert cluster.alive_nodes() == [
+            cluster.node(n) for n in ("node0", "node2", "node3")
+        ]
+
+    def test_crash_listeners_fire_once(self, cluster):
+        crashed = []
+        cluster.on_crash(crashed.append)
+        cluster.crash_node("node2")
+        cluster.crash_node("node2")  # idempotent
+        assert crashed == ["node2"]
+
+    def test_restart_clears_containers(self, sim, cluster):
+        node = cluster.node("node1")
+        node.add_container("app1", "f1")
+        cluster.crash_node("node1")
+        cluster.restart_node("node1")
+        assert node.alive
+        assert node.containers == {}
+        assert not cluster.network.is_down("node1")

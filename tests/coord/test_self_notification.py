@@ -1,0 +1,63 @@
+"""The ejection-notification path: a falsely-failed member is told."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.coord import CoordinationService
+from repro.coord.service import ping_handler
+from repro.net import Endpoint, Network
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=4)
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, SimConfig().latency)
+
+
+def make_member(net, node_id):
+    ep = Endpoint(net, node_id, "agent")
+    ep.events = []
+    ep.register_handler("ping", ping_handler)
+
+    def on_membership(endpoint, src, event):
+        ep.events.append(event)
+        return None
+        yield  # pragma: no cover
+
+    ep.register_handler("membership", on_membership)
+    return ep
+
+
+class TestSelfNotification:
+    def test_live_member_learns_of_its_own_ejection(self, sim, net):
+        config = SimConfig(heartbeat_interval_ms=100.0)
+        coord = CoordinationService(net, config, run_heartbeats=False)
+        victim = make_member(net, "node1")
+        other = make_member(net, "node0")
+        coord.join("app1", "node0", other.address)
+        coord.join("app1", "node1", victim.address)
+        # Someone (wrongly) reports node1 unreachable; node1 is alive and
+        # must receive the failure event about itself.
+        coord.report_unreachable("app1", "node1")
+        sim.run()
+        self_events = [e for e in victim.events if e.kind == "failed"
+                       and e.member == "node1"]
+        assert len(self_events) == 1
+
+    def test_dead_member_notification_is_dropped(self, sim, net):
+        config = SimConfig(heartbeat_interval_ms=100.0)
+        coord = CoordinationService(net, config, run_heartbeats=False)
+        victim = make_member(net, "node1")
+        coord.join("app1", "node0", "node0/agent")
+        coord.join("app1", "node1", victim.address)
+        net.fail_node("node1")
+        dropped_before = net.stats.dropped
+        coord.report_unreachable("app1", "node1")
+        sim.run()
+        assert victim.events == []
+        assert net.stats.dropped > dropped_before

@@ -1,0 +1,47 @@
+"""Shared fixtures for Concord protocol tests."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import SimConfig
+from repro.coord import CoordinationService
+from repro.core import ConcordSystem
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def config():
+    return SimConfig(num_nodes=4, heartbeat_interval_ms=100.0, heartbeat_misses=3)
+
+
+@pytest.fixture
+def cluster(sim, config):
+    return Cluster(sim, config)
+
+
+@pytest.fixture
+def coord(cluster, config):
+    return CoordinationService(cluster.network, config)
+
+
+@pytest.fixture
+def concord(cluster, coord):
+    return ConcordSystem(cluster, app="app1", coord=coord)
+
+
+def run(sim, gen, limit=60_000.0):
+    """Run one operation to completion; ``limit`` is relative to now."""
+    return sim.run_until_complete(sim.spawn(gen), limit=sim.now + limit)
+
+
+@pytest.fixture
+def do(sim):
+    """Callable running a generator op to completion."""
+    def _do(gen, limit=60_000.0):
+        return run(sim, gen, limit)
+    return _do

@@ -1,0 +1,71 @@
+"""External write path edge cases (Section III-C3)."""
+
+import pytest
+
+from repro.storage import DataItem
+
+
+def V(tag):
+    return DataItem(tag, 128)
+
+
+class TestExternalWrites:
+    def test_external_write_during_domain_change_converges(
+            self, sim, do, concord, cluster):
+        """An external update landing mid-join still purges every copy:
+        the forward path retries against the moving home."""
+        key = "ext-race"
+        cluster.storage.preload({key: V("v0")})
+        for node in ("node0", "node1", "node3"):
+            do(concord.read(node, key))
+        cluster.add_node()  # node4
+
+        def joining(sim):
+            yield from concord.create_instance("node4")
+
+        def external(sim):
+            yield sim.timeout(1.0)  # lands mid-join
+            yield from cluster.storage.write(key, V("ext"), writer="external")
+
+        sim.spawn(joining(sim))
+        sim.spawn(external(sim))
+        sim.run(until=sim.now + 10_000.0)
+        for node in ("node0", "node1", "node3"):
+            assert do(concord.read(node, key)) == V("ext")
+
+    def test_external_write_to_uncached_key(self, sim, do, concord, cluster):
+        """No cached copies: the external path is a no-op beyond routing."""
+        def external(sim):
+            yield from cluster.storage.write("never-cached", V("x"),
+                                             writer="external")
+
+        do(external(sim))
+        sim.run(until=sim.now + 200.0)
+        assert do(concord.read("node0", "never-cached")) == V("x")
+
+    def test_repeated_external_writes(self, sim, do, concord, cluster):
+        key = "ext-rep"
+        cluster.storage.preload({key: V("v0")})
+        for round_index in range(3):
+            do(concord.read("node1", key))
+
+            def external(sim, tag=f"e{round_index}"):
+                yield from cluster.storage.write(key, V(tag), writer="external")
+
+            do(external(sim))
+            sim.run(until=sim.now + 200.0)
+            assert do(concord.read("node1", key)) == V(f"e{round_index}")
+
+
+class TestTeardown:
+    def test_close_releases_endpoints(self, sim, cluster, coord):
+        from repro.core import ConcordSystem
+
+        system = ConcordSystem(cluster, app="closeme", coord=coord)
+        addresses = [a.endpoint.address for a in system.agents.values()]
+        system.close()
+        for address in addresses:
+            assert cluster.network.endpoint(address) is None
+        # The app name is free for a fresh system.
+        fresh = ConcordSystem(cluster, app="closeme", coord=None)
+        assert fresh.agents

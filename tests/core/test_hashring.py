@@ -1,0 +1,131 @@
+"""Unit and property tests for the consistent hash ring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConsistentHashRing
+from repro.core.domain import keys_moving_to_joiner, new_homes_for_leaver
+
+
+MEMBERS = [f"node{i}" for i in range(8)]
+KEYS = [f"key-{i}" for i in range(500)]
+
+
+class TestBasics:
+    def test_empty_ring_lookup_raises(self):
+        with pytest.raises(LookupError):
+            ConsistentHashRing().home("k")
+
+    def test_single_member_owns_everything(self):
+        ring = ConsistentHashRing(["only"])
+        assert all(ring.home(k) == "only" for k in KEYS)
+
+    def test_membership_api(self):
+        ring = ConsistentHashRing(["a", "b"])
+        assert len(ring) == 2
+        assert "a" in ring
+        ring.remove("a")
+        assert "a" not in ring
+        ring.remove("a")  # idempotent
+        ring.add("b")  # idempotent
+        assert len(ring) == 1
+
+    def test_virtual_nodes_validation(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(virtual_nodes=0)
+
+    def test_deterministic_across_instances(self):
+        r1 = ConsistentHashRing(MEMBERS)
+        r2 = ConsistentHashRing(reversed(MEMBERS))
+        assert all(r1.home(k) == r2.home(k) for k in KEYS)
+
+    def test_copy_is_independent(self):
+        ring = ConsistentHashRing(MEMBERS)
+        clone = ring.copy()
+        clone.remove("node0")
+        assert "node0" in ring
+        assert "node0" not in clone
+
+    def test_distribution_is_roughly_uniform(self):
+        ring = ConsistentHashRing(MEMBERS, virtual_nodes=128)
+        counts = {m: 0 for m in MEMBERS}
+        for key in KEYS:
+            counts[ring.home(key)] += 1
+        expected = len(KEYS) / len(MEMBERS)
+        assert all(count > expected * 0.3 for count in counts.values())
+        assert all(count < expected * 3.0 for count in counts.values())
+
+
+class TestMinimalDisruption:
+    def test_removal_only_rehomes_removed_members_keys(self):
+        ring = ConsistentHashRing(MEMBERS)
+        before = {k: ring.home(k) for k in KEYS}
+        ring.remove("node3")
+        for key in KEYS:
+            if before[key] != "node3":
+                assert ring.home(key) == before[key]
+            else:
+                assert ring.home(key) != "node3"
+
+    def test_addition_only_steals_keys_for_new_member(self):
+        ring = ConsistentHashRing(MEMBERS)
+        before = {k: ring.home(k) for k in KEYS}
+        ring.add("node99")
+        for key in KEYS:
+            after = ring.home(key)
+            assert after == before[key] or after == "node99"
+
+    def test_rehomed_keys_helper(self):
+        ring = ConsistentHashRing(MEMBERS)
+        owned = [k for k in KEYS if ring.home(k) == "node2"]
+        rehomed = ring.rehomed_keys(KEYS, "node2")
+        assert set(rehomed) == set(owned)
+        assert all(target != "node2" for target in rehomed.values())
+
+    def test_new_homes_for_leaver_matches_reduced_ring(self):
+        ring = ConsistentHashRing(MEMBERS)
+        owned = [k for k in KEYS if ring.home(k) == "node5"]
+        groups = new_homes_for_leaver(ring, "node5", owned)
+        reduced = ring.copy()
+        reduced.remove("node5")
+        for target, keys in groups.items():
+            assert all(reduced.home(k) == target for k in keys)
+        assert sum(len(v) for v in groups.values()) == len(owned)
+
+    def test_keys_moving_to_joiner_matches_extended_ring(self):
+        ring = ConsistentHashRing(MEMBERS)
+        moving = keys_moving_to_joiner(ring, "fresh", KEYS)
+        extended = ring.copy()
+        extended.add("fresh")
+        expected = [k for k in KEYS if extended.home(k) == "fresh"]
+        assert sorted(moving) == sorted(expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    members=st.sets(st.sampled_from(MEMBERS), min_size=1),
+    key=st.text(min_size=1, max_size=20),
+)
+def test_home_always_a_member(members, key):
+    ring = ConsistentHashRing(members)
+    assert ring.home(key) in members
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    members=st.sets(st.sampled_from(MEMBERS), min_size=2),
+    leaver_index=st.integers(min_value=0, max_value=7),
+    keys=st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=30),
+)
+def test_consistent_hashing_stability_property(members, leaver_index, keys):
+    """Removing any member never re-homes keys it did not own."""
+    ring = ConsistentHashRing(members)
+    leaver = sorted(members)[leaver_index % len(members)]
+    before = {k: ring.home(k) for k in keys}
+    ring.remove(leaver)
+    if not len(ring):
+        return
+    for key in keys:
+        if before[key] != leaver:
+            assert ring.home(key) == before[key]

@@ -1,0 +1,194 @@
+"""Fault-tolerance tests: node crashes, recovery, data consistency.
+
+These exercise the guarantees of paper Sections III-F and III-H: the
+coordination service detects failed cache instances, survivors evict items
+homed at the failed node, the ring is rebuilt, and no combination of reads
+observes an inconsistent mix of old and new values.
+"""
+
+import pytest
+
+from repro.storage import DataItem
+
+
+def home_of(concord, key):
+    return concord.ring_template.home(key)
+
+
+def settle(sim, ms=5000.0):
+    sim.run(until=sim.now + ms)
+
+
+class TestCrashRecovery:
+    def test_home_crash_evicts_its_keys_everywhere(self, sim, do, concord, cluster):
+        key = "k-crash"
+        cluster.storage.preload({key: DataItem("v0", size_bytes=100)})
+        home = home_of(concord, key)
+        survivors = [n for n in concord.agents if n != home][:2]
+        for node in survivors:
+            do(concord.read(node, key))
+        assert all(concord.agents[n].cache.peek(key) for n in survivors)
+
+        cluster.crash_node(home)
+        settle(sim)  # heartbeats detect, recovery runs
+        for node in survivors:
+            assert concord.agents[node].cache.peek(key) is None
+            assert home not in concord.agents[node].ring.members
+
+    def test_read_after_home_crash_returns_latest(self, sim, do, concord, cluster):
+        key = "k-crash2"
+        cluster.storage.preload({key: DataItem("v0", size_bytes=100)})
+        home = home_of(concord, key)
+        reader = [n for n in concord.agents if n != home][0]
+        do(concord.read(reader, key))
+        cluster.crash_node(home)
+        settle(sim)
+        value = do(concord.read(reader, key))
+        assert value == DataItem("v0", size_bytes=100)
+        # A new home now has the directory entry.
+        new_home = concord.agents[reader].ring.home(key)
+        assert new_home != home
+        assert concord.agents[new_home].directory.get(key) is not None
+
+    def test_unrelated_keys_survive_recovery(self, sim, do, concord, cluster):
+        cluster.storage.preload({
+            f"key-{i}": DataItem(f"v{i}", size_bytes=50) for i in range(40)
+        })
+        victim = "node1"
+        reader = "node2"
+        kept = [
+            f"key-{i}" for i in range(40)
+            if home_of(concord, f"key-{i}") != victim
+        ]
+        for key in kept[:5]:
+            do(concord.read(reader, key))
+        cluster.crash_node(victim)
+        settle(sim)
+        for key in kept[:5]:
+            assert concord.agents[reader].cache.peek(key) is not None
+
+    def test_sharer_crash_does_not_block_writes(self, sim, do, concord, cluster):
+        key = "k-sharer"
+        cluster.storage.preload({key: DataItem("v0", size_bytes=50)})
+        home = home_of(concord, key)
+        sharers = [n for n in concord.agents if n != home][:2]
+        for node in sharers:
+            do(concord.read(node, key))
+        cluster.crash_node(sharers[1])
+        # Write immediately: the invalidation to the dead sharer times out,
+        # gets reported, and the write still completes.
+        value = DataItem("v1", size_bytes=50)
+        do(concord.write(sharers[0], key, value), limit=120_000.0)
+        assert cluster.storage.peek(key).value == value
+
+    def test_writer_retries_when_home_dies_mid_write(self, sim, do, concord, cluster):
+        """The critical case: home crashes after committing to storage but
+        before invalidating the sharers (Section III-F)."""
+        key = "k-critical"
+        cluster.storage.preload({key: DataItem("old", size_bytes=50)})
+        home = home_of(concord, key)
+        writer, stale = [n for n in concord.agents if n != home][:2]
+        do(concord.read(writer, key))
+        do(concord.read(stale, key))  # both cache it Shared
+
+        # Crash the home at the exact instant the storage commit lands.
+        new_value = DataItem("new", size_bytes=50)
+
+        def crash_on_commit(k, value, version, tag):
+            if k == key and value == new_value and cluster.node(home).alive:
+                cluster.crash_node(home)
+
+        cluster.storage.add_write_listener(crash_on_commit)
+
+        def writing(sim):
+            yield from concord.write(writer, key, new_value)
+
+        writing_proc = sim.spawn(writing(sim))
+        sim.run(until=sim.now + 60_000.0)
+        assert writing_proc.triggered  # the write eventually completed
+
+        # After recovery, nobody holds the old value and every read
+        # observes the new one.
+        assert concord.agents[stale].cache.peek(key) is None
+        for node in concord.agents:
+            if node == home:
+                continue
+            assert do(concord.read(node, key)) == new_value
+
+    def test_no_mixed_reads_during_recovery(self, sim, do, concord, cluster):
+        """While recovery is in progress, a node that cannot see the stale
+        copy must not read the new value from storage (the read barrier)."""
+        key = "k-barrier"
+        cluster.storage.preload({key: DataItem("old", size_bytes=50)})
+        home = home_of(concord, key)
+        others = [n for n in concord.agents if n != home]
+        stale_holder, fresh_reader = others[0], others[1]
+        do(concord.read(stale_holder, key))
+
+        new_value = DataItem("new", size_bytes=50)
+
+        def crash_on_commit(k, value, version, tag):
+            if k == key and value == new_value and cluster.node(home).alive:
+                cluster.crash_node(home)
+
+        cluster.storage.add_write_listener(crash_on_commit)
+
+        log = []
+
+        def writing(sim):
+            yield from concord.write(home, key, new_value)
+
+        def fresh_read(sim):
+            # Issued while the crash is being detected.
+            yield sim.timeout(50.0)
+            value = yield from concord.read(fresh_reader, key)
+            log.append(("fresh", sim.now, value))
+
+        def stale_read(sim):
+            yield sim.timeout(50.0)
+            value = yield from concord.read(stale_holder, key)
+            log.append(("stale", sim.now, value))
+
+        sim.spawn(writing(sim))
+        sim.spawn(fresh_read(sim))
+        sim.spawn(stale_read(sim))
+        sim.run(until=sim.now + 60_000.0)
+
+        fresh = [e for e in log if e[0] == "fresh"][0]
+        stale = [e for e in log if e[0] == "stale"][0]
+        # If the fresh reader saw the new value, the stale holder must not
+        # have read its old copy *after* that (mixed old/new views).
+        if fresh[2] == new_value:
+            assert not (
+                stale[2] == DataItem("old", size_bytes=50) and stale[1] > fresh[1]
+            )
+
+    def test_two_failures_in_sequence(self, sim, do, concord, cluster):
+        cluster.storage.preload({
+            f"kk-{i}": DataItem(f"v{i}", size_bytes=20) for i in range(20)
+        })
+        reader = "node3"
+        for i in range(20):
+            do(concord.read(reader, f"kk-{i}"))
+        cluster.crash_node("node0")
+        settle(sim)
+        cluster.crash_node("node1")
+        settle(sim)
+        assert set(concord.agents[reader].ring.members) == {"node2", "node3"}
+        for i in range(20):
+            value = do(concord.read(reader, f"kk-{i}"))
+            assert value == DataItem(f"v{i}", size_bytes=20)
+
+    def test_coordination_only_informs_affected_apps(self, sim, cluster, coord, config):
+        from repro.core import ConcordSystem
+
+        app_a = ConcordSystem(cluster, app="appA", coord=coord,
+                              node_ids=["node0", "node1"])
+        app_b = ConcordSystem(cluster, app="appB", coord=coord,
+                              node_ids=["node2", "node3"])
+        sim.run(until=500.0)
+        cluster.crash_node("node1")
+        settle(sim)
+        assert "node1" not in app_a.agents["node0"].ring.members
+        # appB never had node1; its rings are untouched and intact.
+        assert set(app_b.agents["node2"].ring.members) == {"node2", "node3"}

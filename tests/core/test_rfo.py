@@ -1,0 +1,95 @@
+"""Tests for read-for-ownership (the transactional write-intent path)."""
+
+import pytest
+
+from repro.caching.base import EXCLUSIVE, SHARED
+from repro.storage import DataItem
+
+
+@pytest.fixture
+def key_setup(concord, cluster):
+    key = "rfo-item"
+    cluster.storage.preload({key: DataItem("v0", size_bytes=512)})
+    home = concord.ring_template.home(key)
+    others = [n for n in concord.agents if n != home]
+    return key, home, others
+
+
+class TestRfo:
+    def test_rfo_grants_exclusive_without_storage_write(self, do, concord, cluster, key_setup):
+        key, home, others = key_setup
+        writes_before = cluster.storage.stats.writes
+        value = do(concord.agents[others[0]].acquire_exclusive(key))
+        assert value == DataItem("v0", size_bytes=512)
+        assert cluster.storage.stats.writes == writes_before
+        entry = concord.agents[others[0]].cache.peek(key)
+        assert entry.state == EXCLUSIVE
+        dentry = concord.agents[home].directory.get(key)
+        assert dentry.state == EXCLUSIVE and dentry.sharers == {others[0]}
+
+    def test_rfo_invalidates_other_sharers(self, do, concord, key_setup):
+        key, home, others = key_setup
+        do(concord.read(others[0], key))
+        do(concord.read(others[1], key))
+        do(concord.agents[others[0]].acquire_exclusive(key))
+        assert concord.agents[others[1]].cache.peek(key) is None
+        assert concord.agents[others[0]].cache.peek(key).state == EXCLUSIVE
+
+    def test_upgrade_from_shared_transfers_no_data(self, sim, do, concord, cluster, key_setup):
+        key, home, others = key_setup
+        do(concord.read(others[0], key))
+        do(concord.read(others[1], key))  # both Shared now
+        bytes_before = cluster.network.stats.bytes
+        value = do(concord.agents[others[0]].acquire_exclusive(key))
+        assert value == DataItem("v0", size_bytes=512)
+        # Only control messages traveled, far less than the 512B payload.
+        assert cluster.network.stats.bytes - bytes_before < 256
+
+    def test_rfo_when_already_exclusive_is_local(self, sim, do, concord, cluster, key_setup):
+        key, home, others = key_setup
+        do(concord.read(others[0], key))  # E
+        messages_before = cluster.network.stats.messages
+        do(concord.agents[others[0]].acquire_exclusive(key))
+        assert cluster.network.stats.messages == messages_before
+
+    def test_rfo_at_home_node(self, do, concord, key_setup):
+        key, home, others = key_setup
+        do(concord.read(others[0], key))
+        value = do(concord.agents[home].acquire_exclusive(key))
+        assert value == DataItem("v0", size_bytes=512)
+        assert concord.agents[home].directory.get(key).sharers == {home}
+
+    def test_rfo_value_reflects_latest_write(self, do, concord, key_setup):
+        key, home, others = key_setup
+        do(concord.write(others[1], key, DataItem("v1", size_bytes=512)))
+        value = do(concord.agents[others[0]].acquire_exclusive(key))
+        assert value == DataItem("v1", size_bytes=512)
+
+
+class TestCompareAndSwap:
+    def test_cas_succeeds_on_matching_version(self, sim, cluster, do):
+        cluster.storage.preload({"k": DataItem("v0", 64)})
+        ok, version = do(cluster.storage.compare_and_swap(
+            "k", DataItem("v1", 64), expected_version=1))
+        assert ok and version == 2
+        assert cluster.storage.peek("k").value == DataItem("v1", 64)
+
+    def test_cas_fails_on_stale_version(self, sim, cluster, do):
+        cluster.storage.preload({"k": DataItem("v0", 64)})
+        do(cluster.storage.write("k", DataItem("v1", 64)))
+        ok, version = do(cluster.storage.compare_and_swap(
+            "k", DataItem("v2", 64), expected_version=1))
+        assert not ok and version == 2
+        assert cluster.storage.peek("k").value == DataItem("v1", 64)
+
+    def test_cas_on_missing_key(self, sim, cluster, do):
+        ok, version = do(cluster.storage.compare_and_swap(
+            "ghost", DataItem("v", 64), expected_version=0))
+        assert ok and version == 1
+
+    def test_failed_cas_fires_no_listener(self, sim, cluster, do):
+        seen = []
+        cluster.storage.preload({"k": DataItem("v0", 64)})
+        cluster.storage.add_write_listener(lambda *a: seen.append(a))
+        do(cluster.storage.compare_and_swap("k", DataItem("x", 64), 99))
+        assert seen == []

@@ -1,0 +1,189 @@
+"""Tests for the FaaS platform: deployment, invocation, scheduling, load."""
+
+import pytest
+
+from repro.caching import DirectStorage
+from repro.cluster import Cluster
+from repro.config import SimConfig
+from repro.faas import AppSpec, FaasPlatform, FunctionSpec
+from repro.faas.platform import COLD_START_MS, FRONTEND_OVERHEAD_MS
+from repro.sim import Simulator
+from repro.storage import DataItem
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=5)
+
+
+@pytest.fixture
+def cluster(sim):
+    return Cluster(sim, SimConfig(num_nodes=4, cores_per_node=2))
+
+
+@pytest.fixture
+def platform(cluster):
+    return FaasPlatform(cluster)
+
+
+def simple_app(name="app1", compute_ms=10.0):
+    def f0(ctx):
+        yield from ctx.compute(compute_ms)
+        yield from ctx.write("out", DataItem("f0-output", size_bytes=100))
+        return "f0"
+
+    def f1(ctx):
+        value = yield from ctx.read("out")
+        yield from ctx.compute(compute_ms)
+        return ("f1", value)
+
+    spec = AppSpec(name=name)
+    spec.add_function(FunctionSpec("f0", f0))
+    spec.add_function(FunctionSpec("f1", f1))
+    return spec
+
+
+def run(sim, gen, limit=600_000.0):
+    return sim.run_until_complete(sim.spawn(gen), limit=sim.now + limit)
+
+
+class TestDeployAndRequest:
+    def test_deploy_prewarms_containers(self, platform, cluster):
+        platform.deploy(simple_app(), DirectStorage(cluster))
+        for node in cluster.nodes.values():
+            assert len(node.containers_of("app1")) == 2
+
+    def test_request_runs_workflow_in_order(self, sim, platform, cluster):
+        platform.deploy(simple_app(), DirectStorage(cluster))
+        result = run(sim, platform.request("app1"))
+        assert result.output == ("f1", DataItem("f0-output", size_bytes=100))
+        assert result.latency_ms > 2 * 10.0  # both computes ran
+
+    def test_latency_accounts_storage_and_compute(self, sim, platform, cluster):
+        platform.deploy(simple_app(compute_ms=20.0), DirectStorage(cluster))
+        result = run(sim, platform.request("app1"))
+        assert result.compute_ms == pytest.approx(40.0)
+        # One write + one read, each a storage round trip.
+        assert result.storage_ms >= 2 * cluster.config.latency.storage_rtt
+        assert result.latency_ms == pytest.approx(
+            result.compute_ms + result.storage_ms + FRONTEND_OVERHEAD_MS, rel=0.01)
+
+    def test_app_histogram_records_requests(self, sim, platform, cluster):
+        app = platform.deploy(simple_app(), DirectStorage(cluster))
+        for _ in range(3):
+            run(sim, platform.request("app1"))
+        assert app.latency.count == 3
+        assert app.requests_completed == 3
+
+    def test_unknown_function_raises(self, sim, platform, cluster):
+        app = platform.deploy(simple_app(), DirectStorage(cluster))
+        with pytest.raises(KeyError):
+            run(sim, platform.invoke(app, "ghost", {}))
+
+    def test_storage_fraction_breakdown(self, sim, platform, cluster):
+        app = platform.deploy(simple_app(compute_ms=1.0), DirectStorage(cluster))
+        run(sim, platform.request("app1"))
+        assert 0.9 < app.storage_fraction < 1.0
+
+
+class TestColdStarts:
+    def test_invocation_without_warm_container_cold_starts(self, sim, platform, cluster):
+        app = platform.deploy(simple_app(), DirectStorage(cluster), prewarm=False)
+        start = sim.now
+        run(sim, platform.request("app1"))
+        assert app.cold_starts == 2
+        assert sim.now - start > 2 * COLD_START_MS
+
+    def test_cold_started_container_is_reused(self, sim, platform, cluster):
+        app = platform.deploy(simple_app(), DirectStorage(cluster), prewarm=False)
+        run(sim, platform.request("app1"))
+        run(sim, platform.request("app1"))
+        assert app.cold_starts == 2  # only the first request cold-started
+
+
+class TestCoreContention:
+    def test_compute_queues_on_busy_cores(self, sim, platform, cluster):
+        def heavy(ctx):
+            yield from ctx.compute(100.0)
+            return None
+
+        spec = AppSpec(name="heavy")
+        spec.add_function(FunctionSpec("h", heavy))
+        # Single node with 2 cores: 4 concurrent requests -> 2 waves.
+        platform.deploy(spec, DirectStorage(cluster), node_ids=["node0"])
+        finish = []
+
+        def one_request(sim):
+            yield from platform.request("heavy")
+            finish.append(sim.now)
+
+        for _ in range(4):
+            sim.spawn(one_request(sim))
+        sim.run(until=sim.now + 10_000.0)
+        assert len(finish) == 4
+        assert max(finish) >= 200.0  # second wave waited for the first
+
+
+class TestOpenLoop:
+    def test_open_loop_submits_poisson_stream(self, sim, platform, cluster):
+        app = platform.deploy(simple_app(compute_ms=1.0), DirectStorage(cluster))
+        count = run(sim, platform.open_loop("app1", rps=100.0, duration_ms=2000.0))
+        sim.run(until=sim.now + 5000.0)  # drain in-flight requests
+        assert count > 100  # ~200 expected
+        assert app.requests_completed == count
+
+    def test_grace_period_collection(self, sim, platform, cluster):
+        platform.deploy(simple_app(), DirectStorage(cluster))
+        run(sim, platform.request("app1"))
+        sim.run(until=sim.now + 1000.0)
+        assert platform.collect_idle_containers(grace_ms=100.0) > 0
+        # Containers on untouched nodes were idle and got collected.
+        remaining = sum(
+            len(node.containers_of("app1")) for node in cluster.nodes.values())
+        assert remaining == 0
+
+
+class TestSchedulers:
+    def test_random_scheduler_spreads_load(self, sim, cluster):
+        from repro.faas import RandomScheduler
+
+        sched = RandomScheduler(sim)
+        nodes = list(cluster.nodes.values())
+        picks = {sched.pick("a", "f", {}, nodes).id for _ in range(50)}
+        assert len(picks) > 1
+
+    def test_locality_scheduler_is_sticky_per_function(self, cluster):
+        from repro.faas import LocalityScheduler
+
+        sched = LocalityScheduler()
+        nodes = list(cluster.nodes.values())
+        picks = {sched.pick("a", "f", {"entity": i}, nodes).id for i in range(20)}
+        assert len(picks) == 1  # same function -> same node, inputs ignored
+
+    def test_cas_scheduler_keys_on_entity(self, cluster):
+        from repro.faas import CasScheduler
+
+        sched = CasScheduler()
+        nodes = list(cluster.nodes.values())
+        same = {sched.pick("a", "f", {"entity": 7}, nodes).id for _ in range(10)}
+        assert len(same) == 1
+        spread = {sched.pick("a", "f", {"entity": i}, nodes).id for i in range(40)}
+        assert len(spread) > 1  # different entities spread across nodes
+
+    def test_cas_scheduler_avoids_overloaded_node(self, sim, cluster):
+        from repro.faas import CasScheduler
+
+        sched = CasScheduler()
+        nodes = sorted(cluster.nodes.values(), key=lambda n: n.id)
+        preferred = sched.pick("a", "f", {"entity": 7}, nodes)
+        # Saturate the preferred node (queue forms -> overloaded).
+        for _ in range(preferred.cores.capacity + 1):
+            preferred.cores.acquire()
+        alternative = sched.pick("a", "f", {"entity": 7}, nodes)
+        assert alternative.id != preferred.id
+
+    def test_cas_tries_validation(self):
+        from repro.faas import CasScheduler
+
+        with pytest.raises(ValueError):
+            CasScheduler(tries=0)

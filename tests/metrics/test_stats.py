@@ -1,0 +1,150 @@
+"""Tests for histograms and access statistics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import AccessStats, Histogram, OpKind
+
+
+class TestHistogram:
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.count == 0
+        assert math.isnan(h.mean)
+        assert math.isnan(h.percentile(50))
+        assert math.isnan(h.trimmed_mean())
+
+    def test_basic_stats(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.record(v)
+        assert h.mean == 2.5
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.count == 4
+
+    def test_percentiles_nearest_rank(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.record(float(v))
+        assert h.p50 == 50.0
+        assert h.p99 == 99.0
+        assert h.percentile(100.0) == 100.0
+        assert h.percentile(0.0) == 1.0
+
+    def test_percentile_validation(self):
+        h = Histogram()
+        h.record(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101.0)
+
+    def test_record_after_percentile_resorts(self):
+        h = Histogram()
+        h.record(5.0)
+        assert h.p50 == 5.0
+        h.record(1.0)
+        assert h.p50 == 1.0
+
+    def test_extend_merges(self):
+        a, b = Histogram(), Histogram()
+        a.record(1.0)
+        b.record(3.0)
+        a.extend(b)
+        assert a.count == 2
+        assert a.mean == 2.0
+
+    def test_trimmed_mean_drops_top(self):
+        h = Histogram()
+        for v in [1.0] * 9 + [1000.0]:
+            h.record(v)
+        assert h.trimmed_mean(0.1) == 1.0
+        assert h.mean > 100.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=100))
+    def test_percentile_bounds_property(self, values):
+        h = Histogram()
+        for v in values:
+            h.record(v)
+        assert h.min <= h.p50 <= h.max
+        # Float summation tolerance: mean of identical values can differ
+        # from them in the last ulp.
+        tolerance = 1e-9 * max(1.0, h.max)
+        assert h.min - tolerance <= h.mean <= h.max + tolerance
+
+
+class TestAccessStats:
+    def test_record_and_count(self):
+        stats = AccessStats()
+        stats.record(OpKind.LOCAL_READ_HIT, 1.6)
+        stats.record(OpKind.LOCAL_READ_HIT, 1.7)
+        stats.record(OpKind.WRITE_MISS, 30.0)
+        assert stats.count(OpKind.LOCAL_READ_HIT) == 2
+        assert stats.reads == 2
+        assert stats.writes == 1
+
+    def test_read_mix_sums_to_one(self):
+        stats = AccessStats()
+        stats.record(OpKind.LOCAL_READ_HIT, 1.0)
+        stats.record(OpKind.REMOTE_READ_HIT, 3.0)
+        stats.record(OpKind.READ_MISS, 30.0)
+        stats.record(OpKind.READ_MISS, 30.0)
+        mix = stats.read_mix()
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert mix["remote_miss"] == 0.5
+
+    def test_read_mix_empty(self):
+        assert AccessStats().read_mix() == {
+            "local_hit": 0.0, "remote_hit": 0.0, "remote_miss": 0.0,
+        }
+
+    def test_merge(self):
+        a, b = AccessStats(), AccessStats()
+        a.record(OpKind.LOCAL_READ_HIT, 1.0)
+        b.record(OpKind.LOCAL_READ_HIT, 2.0)
+        b.version_checks = 5
+        b.invalidations_per_write.record(3)
+        a.merge(b)
+        assert a.count(OpKind.LOCAL_READ_HIT) == 2
+        assert a.version_checks == 5
+        assert a.invalidations_per_write.count == 1
+
+    def test_reset(self):
+        stats = AccessStats()
+        stats.record(OpKind.READ_MISS, 30.0)
+        stats.version_checks = 3
+        stats.invalidations_per_write.record(2)
+        stats.reset()
+        assert stats.reads == 0
+        assert stats.version_checks == 0
+        assert stats.invalidations_per_write.count == 0
+
+    def test_opkind_is_read(self):
+        assert OpKind.LOCAL_READ_HIT.is_read
+        assert OpKind.READ_MISS.is_read
+        assert not OpKind.WRITE_MISS.is_read
+        assert not OpKind.LOCAL_WRITE_HIT.is_read
+
+
+class TestRenderTable:
+    def test_render_basic(self):
+        from repro.experiments.tables import render_table
+
+        text = render_table(
+            "T", ["a", "b"], [{"a": 1, "b": 2.5}, {"a": "x", "b": ""}],
+            note="n")
+        assert "T" in text
+        assert "2.50" in text
+        assert text.endswith("n")
+
+    def test_experiment_result_roundtrip(self):
+        from repro.experiments.tables import ExperimentResult
+
+        result = ExperimentResult(
+            experiment="Fig X", title="t", columns=["c"],
+            data=[{"c": 1}])
+        assert result.rows() == [{"c": 1}]
+        assert "Fig X" in result.render()

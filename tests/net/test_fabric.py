@@ -1,0 +1,138 @@
+"""Unit tests for the message fabric."""
+
+import pytest
+
+from repro.config import KB, LatencyModel
+from repro.net import Endpoint, Message, Network, sizeof
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, LatencyModel())
+
+
+def make_sink(net, node, service="svc"):
+    """Endpoint that records every raw message it receives."""
+    ep = Endpoint(net, node, service)
+    ep.received = []
+    ep._receive, original = (lambda m: ep.received.append(m)), ep._receive
+    return ep
+
+
+class TestSizeof:
+    def test_none_is_zero(self):
+        assert sizeof(None) == 0
+
+    def test_bytes_and_str(self):
+        assert sizeof(b"abcd") == 4
+        assert sizeof("hello") == 5
+
+    def test_numbers(self):
+        assert sizeof(3) == 8
+        assert sizeof(2.5) == 8
+        assert sizeof(True) == 1
+
+    def test_containers_sum(self):
+        assert sizeof([b"ab", b"c"]) == 3
+        assert sizeof({"k": b"abc"}) == 1 + 3
+
+    def test_declared_size_wins(self):
+        class Declared:
+            size_bytes = 12 * KB
+
+        assert sizeof(Declared()) == 12 * KB
+
+
+class TestNetworkDelivery:
+    def test_remote_delivery_has_latency(self, sim, net):
+        sink = make_sink(net, "node1")
+        src = Endpoint(net, "node0", "svc")
+        net.send(Message("node0/svc", "node1/svc", "ping", "x", 0))
+        sim.run()
+        assert len(sink.received) == 1
+        assert sim.now == pytest.approx(net.latency.one_way(0))
+        del src
+
+    def test_local_delivery_is_instant(self, sim, net):
+        sink = make_sink(net, "node0", "b")
+        Endpoint(net, "node0", "a")
+        net.send(Message("node0/a", "node0/b", "ping", "x", 0))
+        sim.run()
+        assert len(sink.received) == 1
+        assert sim.now == 0.0
+
+    def test_payload_size_slows_delivery(self, sim, net):
+        make_sink(net, "node1")
+        Endpoint(net, "node0", "svc")
+        net.send(Message("node0/svc", "node1/svc", "data", "x", 100 * KB))
+        sim.run()
+        assert sim.now == pytest.approx(net.latency.one_way(100 * KB))
+        assert sim.now > net.latency.one_way(0)
+
+    def test_duplicate_address_rejected(self, net):
+        Endpoint(net, "node0", "svc")
+        with pytest.raises(ValueError):
+            Endpoint(net, "node0", "svc")
+
+    def test_message_to_unknown_endpoint_dropped(self, sim, net):
+        Endpoint(net, "node0", "svc")
+        net.send(Message("node0/svc", "node9/ghost", "ping", "x", 0))
+        sim.run()
+        assert net.stats.dropped == 1
+
+    def test_stats_record_kind_and_bytes(self, sim, net):
+        make_sink(net, "node1")
+        Endpoint(net, "node0", "svc")
+        net.send(Message("node0/svc", "node1/svc", "inv", "x", 10))
+        net.send(Message("node0/svc", "node1/svc", "inv", "x", 20))
+        sim.run()
+        assert net.stats.messages == 2
+        assert net.stats.bytes == 30
+        assert net.stats.by_kind["inv"] == 2
+
+
+class TestNodeFailures:
+    def test_message_to_down_node_dropped(self, sim, net):
+        sink = make_sink(net, "node1")
+        Endpoint(net, "node0", "svc")
+        net.fail_node("node1")
+        net.send(Message("node0/svc", "node1/svc", "ping", "x", 0))
+        sim.run()
+        assert sink.received == []
+        assert net.stats.dropped == 1
+
+    def test_message_from_down_node_dropped(self, sim, net):
+        sink = make_sink(net, "node1")
+        Endpoint(net, "node0", "svc")
+        net.fail_node("node0")
+        net.send(Message("node0/svc", "node1/svc", "ping", "x", 0))
+        sim.run()
+        assert sink.received == []
+
+    def test_inflight_message_to_node_that_fails_is_dropped(self, sim, net):
+        sink = make_sink(net, "node1")
+        Endpoint(net, "node0", "svc")
+        net.send(Message("node0/svc", "node1/svc", "ping", "x", 0))
+        net.fail_node("node1")  # fails while message is in flight
+        sim.run()
+        assert sink.received == []
+
+    def test_restore_node_resumes_delivery(self, sim, net):
+        sink = make_sink(net, "node1")
+        Endpoint(net, "node0", "svc")
+        net.fail_node("node1")
+        net.restore_node("node1")
+        net.send(Message("node0/svc", "node1/svc", "ping", "x", 0))
+        sim.run()
+        assert len(sink.received) == 1
+
+    def test_is_down(self, net):
+        net.fail_node("node3")
+        assert net.is_down("node3")
+        assert not net.is_down("node4")

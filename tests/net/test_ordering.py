@@ -1,0 +1,134 @@
+"""Tests for per-pair FIFO delivery and endpoint service queueing."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import LatencyModel, SimConfig
+from repro.net import Endpoint, Message, Network, Reply
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=3)
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, LatencyModel())
+
+
+class TestFifoPerPair:
+    def test_small_message_cannot_overtake_large(self, sim, net):
+        """A later small message between the same pair must not arrive
+        before an earlier large one (TCP/gRPC connection ordering)."""
+        received = []
+        sink = Endpoint(net, "node1", "svc")
+        sink._receive = lambda m: received.append(m.kind)
+        Endpoint(net, "node0", "svc")
+        net.send(Message("node0/svc", "node1/svc", "big", "x", 512 * 1024))
+        net.send(Message("node0/svc", "node1/svc", "small", "y", 1))
+        sim.run()
+        assert received == ["big", "small"]
+
+    def test_different_pairs_are_independent(self, sim, net):
+        received = []
+        sink = Endpoint(net, "node2", "svc")
+        sink._receive = lambda m: received.append(m.kind)
+        Endpoint(net, "node0", "svc")
+        Endpoint(net, "node1", "svc")
+        net.send(Message("node0/svc", "node2/svc", "big-from-0", "x", 512 * 1024))
+        net.send(Message("node1/svc", "node2/svc", "small-from-1", "y", 1))
+        sim.run()
+        # The small message from a different sender overtakes freely.
+        assert received == ["small-from-1", "big-from-0"]
+
+    def test_fifo_applies_per_direction(self, sim, net):
+        """Ordering is per (src, dst) direction, not global."""
+        got_at_1, got_at_0 = [], []
+        a = Endpoint(net, "node0", "svc")
+        b = Endpoint(net, "node1", "svc")
+        a._receive = lambda m: got_at_0.append(m.kind)
+        b._receive = lambda m: got_at_1.append(m.kind)
+        net.send(Message("node0/svc", "node1/svc", "fwd-big", "x", 512 * 1024))
+        net.send(Message("node1/svc", "node0/svc", "rev-small", "y", 1))
+        sim.run()
+        assert got_at_0 == ["rev-small"]  # reverse direction unaffected
+        assert got_at_1 == ["fwd-big"]
+
+
+class TestServiceQueueing:
+    def _make_server(self, net, service_time, cpu=None):
+        server = Endpoint(net, "node1", "srv", service_time_ms=service_time,
+                          cpu=cpu)
+
+        def handler(endpoint, src, args):
+            return Reply(args)
+            yield  # pragma: no cover
+
+        server.register_handler("op", handler)
+        return server
+
+    def test_requests_queue_on_busy_agent(self, sim, net):
+        self._make_server(net, service_time=10.0)
+        client = Endpoint(net, "node0", "cli")
+        finish = []
+
+        def caller(sim, tag):
+            yield from client.call("node1/srv", "op", tag)
+            finish.append((tag, sim.now))
+
+        for tag in ("a", "b", "c"):
+            sim.spawn(caller(sim, tag))
+        sim.run()
+        times = [t for _tag, t in finish]
+        # Each response is ~service_time after the previous: serialization.
+        assert times[1] - times[0] == pytest.approx(10.0, abs=0.5)
+        assert times[2] - times[1] == pytest.approx(10.0, abs=0.5)
+
+    def test_zero_service_time_is_concurrent(self, sim, net):
+        self._make_server(net, service_time=0.0)
+        client = Endpoint(net, "node0", "cli")
+        finish = []
+
+        def caller(sim, tag):
+            yield from client.call("node1/srv", "op", tag)
+            finish.append(sim.now)
+
+        for tag in ("a", "b"):
+            sim.spawn(caller(sim, tag))
+        sim.run()
+        assert finish[0] == pytest.approx(finish[1])
+
+    def test_service_consumes_node_cpu(self, sim):
+        """An agent's service slice competes with function compute."""
+        cluster = Cluster(sim, SimConfig(num_nodes=2, cores_per_node=1))
+        node1 = cluster.node("node1")
+        server = Endpoint(cluster.network, "node1", "srv",
+                          service_time_ms=5.0, cpu=node1.cores)
+
+        def handler(endpoint, src, args):
+            return Reply("ok")
+            yield  # pragma: no cover
+
+        server.register_handler("op", handler)
+        client = Endpoint(cluster.network, "node0", "cli")
+
+        # Occupy the node's single core with "function work" for 50 ms.
+        def function_work(sim):
+            yield node1.cores.acquire()
+            yield sim.timeout(50.0)
+            node1.cores.release()
+
+        responded = []
+
+        def caller(sim):
+            yield sim.timeout(1.0)  # arrive while the core is busy
+            yield from client.call("node1/srv", "op", None)
+            responded.append(sim.now)
+
+        sim.spawn(function_work(sim))
+        sim.spawn(caller(sim))
+        sim.run()
+        # The RPC could not be serviced until the core freed at t=50.
+        assert responded[0] > 50.0

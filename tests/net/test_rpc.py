@@ -1,0 +1,223 @@
+"""Unit tests for the RPC layer."""
+
+import pytest
+
+from repro.config import KB, LatencyModel
+from repro.net import Endpoint, Network, Reply, RpcError, RpcTimeout
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, LatencyModel())
+
+
+def echo_handler(endpoint, src, args):
+    return Reply(args)
+    yield  # pragma: no cover - generator marker
+
+
+def slow_handler(endpoint, src, args):
+    yield endpoint.sim.timeout(50.0)
+    return Reply("late")
+
+
+class TestCall:
+    def test_round_trip_value(self, sim, net):
+        server = Endpoint(net, "node1", "svc")
+        server.register_handler("echo", echo_handler)
+        client = Endpoint(net, "node0", "svc")
+
+        def caller(sim):
+            value = yield from client.call("node1/svc", "echo", {"k": 1})
+            return (value, sim.now)
+
+        p = sim.spawn(caller(sim))
+        sim.run()
+        value, when = p.value
+        assert value == {"k": 1}
+        # Request and echoed response each carry the 9-byte payload.
+        assert when == pytest.approx(2 * net.latency.one_way(sizeof_dict()))
+
+    def test_reply_size_drives_latency(self, sim, net):
+        server = Endpoint(net, "node1", "svc")
+
+        def big_handler(endpoint, src, args):
+            return Reply("data", size_bytes=200 * KB)
+            yield  # pragma: no cover
+
+        server.register_handler("fetch", big_handler)
+        client = Endpoint(net, "node0", "svc")
+
+        def caller(sim):
+            yield from client.call("node1/svc", "fetch", None, size_bytes=0)
+            return sim.now
+
+        p = sim.spawn(caller(sim))
+        sim.run()
+        expected = net.latency.one_way(0) + net.latency.one_way(200 * KB)
+        assert p.value == pytest.approx(expected)
+
+    def test_timeout_on_dead_destination(self, sim, net):
+        client = Endpoint(net, "node0", "svc")
+
+        def caller(sim):
+            try:
+                yield from client.call("node9/gone", "echo", None, timeout=100.0)
+            except RpcTimeout as exc:
+                return ("timeout", exc.dst, sim.now)
+
+        p = sim.spawn(caller(sim))
+        sim.run()
+        assert p.value == ("timeout", "node9/gone", 100.0)
+
+    def test_timeout_when_server_crashes_mid_call(self, sim, net):
+        server = Endpoint(net, "node1", "svc")
+        server.register_handler("slow", slow_handler)
+        client = Endpoint(net, "node0", "svc")
+
+        def caller(sim):
+            try:
+                yield from client.call("node1/svc", "slow", None, timeout=200.0)
+            except RpcTimeout:
+                return "timeout"
+
+        def crasher(sim):
+            yield sim.timeout(10.0)  # after request delivered, before reply
+            net.fail_node("node1")
+
+        p = sim.spawn(caller(sim))
+        sim.spawn(crasher(sim))
+        sim.run()
+        assert p.value == "timeout"
+
+    def test_unknown_method_raises_rpc_error(self, sim, net):
+        Endpoint(net, "node1", "svc")
+        client = Endpoint(net, "node0", "svc")
+
+        def caller(sim):
+            try:
+                yield from client.call("node1/svc", "nope", None)
+            except RpcError as exc:
+                return str(exc)
+
+        p = sim.spawn(caller(sim))
+        sim.run()
+        assert "no handler" in p.value
+
+    def test_handler_rpc_error_propagates(self, sim, net):
+        server = Endpoint(net, "node1", "svc")
+
+        def failing(endpoint, src, args):
+            raise RpcError("declined")
+            yield  # pragma: no cover
+
+        server.register_handler("fail", failing)
+        client = Endpoint(net, "node0", "svc")
+
+        def caller(sim):
+            try:
+                yield from client.call("node1/svc", "fail", None)
+            except RpcError as exc:
+                return str(exc)
+
+        p = sim.spawn(caller(sim))
+        sim.run()
+        assert p.value == "declined"
+
+    def test_late_response_after_timeout_is_ignored(self, sim, net):
+        server = Endpoint(net, "node1", "svc")
+        server.register_handler("slow", slow_handler)
+        client = Endpoint(net, "node0", "svc")
+
+        def caller(sim):
+            try:
+                yield from client.call("node1/svc", "slow", None, timeout=5.0)
+            except RpcTimeout:
+                pass
+            yield sim.timeout(500.0)
+            return "done"
+
+        p = sim.spawn(caller(sim))
+        sim.run()
+        assert p.value == "done"
+
+    def test_concurrent_calls_multiplex(self, sim, net):
+        server = Endpoint(net, "node1", "svc")
+        server.register_handler("echo", echo_handler)
+        client = Endpoint(net, "node0", "svc")
+        results = []
+
+        def caller(sim, tag):
+            value = yield from client.call("node1/svc", "echo", tag)
+            results.append(value)
+
+        for tag in ("a", "b", "c"):
+            sim.spawn(caller(sim, tag))
+        sim.run()
+        assert sorted(results) == ["a", "b", "c"]
+
+
+class TestNotify:
+    def test_notify_invokes_handler_without_response(self, sim, net):
+        server = Endpoint(net, "node1", "svc")
+        seen = []
+
+        def handler(endpoint, src, args):
+            seen.append((src, args))
+            return None
+            yield  # pragma: no cover
+
+        server.register_handler("ping", handler)
+        client = Endpoint(net, "node0", "svc")
+        client.notify("node1/svc", "ping", "hello")
+        sim.run()
+        assert seen == [("node0/svc", "hello")]
+        # Only the request traveled; no response message.
+        assert net.stats.messages == 1
+
+
+class TestEndpointLifecycle:
+    def test_close_unregisters(self, sim, net):
+        ep = Endpoint(net, "node0", "svc")
+        ep.close()
+        assert net.endpoint("node0/svc") is None
+        # Address can be reused after close.
+        Endpoint(net, "node0", "svc")
+
+    def test_crash_interrupts_inflight_handler(self, sim, net):
+        server = Endpoint(net, "node1", "svc")
+        progress = []
+
+        def handler(endpoint, src, args):
+            progress.append("start")
+            yield endpoint.sim.timeout(100.0)
+            progress.append("finish")  # must never run
+
+        server.register_handler("work", handler)
+        client = Endpoint(net, "node0", "svc")
+
+        def caller(sim):
+            try:
+                yield from client.call("node1/svc", "work", None, timeout=50.0)
+            except RpcTimeout:
+                pass
+
+        def crasher(sim):
+            yield sim.timeout(10.0)
+            net.fail_node("node1")
+
+        sim.spawn(caller(sim))
+        sim.spawn(crasher(sim))
+        sim.run()
+        assert progress == ["start"]
+
+
+def sizeof_dict():
+    """Size of the {"k": 1} request payload used above."""
+    return 1 + 8

@@ -1,0 +1,184 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.sim import Event, SimulationError, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEventLifecycle:
+    def test_pending_event_not_triggered(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_ok_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_succeed_sets_value(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_double_succeed_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_then_succeed_raises(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("boom"))
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_failed_event_value_raises_original(self, sim):
+        ev = sim.event()
+        ev.fail(KeyError("k"))
+        assert not ev.ok
+        with pytest.raises(KeyError):
+            _ = ev.value
+
+    def test_callbacks_run_on_processing(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.succeed("x")
+        assert seen == []  # callbacks deferred until processed
+        sim.run()
+        assert seen == ["x"]
+
+    def test_unhandled_failure_propagates_from_run(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("unhandled"))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_defused_failure_does_not_propagate(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("handled"))
+        ev.defuse()
+        sim.run()  # does not raise
+
+    def test_trigger_like_copies_success(self, sim):
+        a, b = sim.event(), sim.event()
+        a.succeed(7)
+        b.trigger_like(a)
+        assert b.value == 7
+
+    def test_trigger_like_copies_failure(self, sim):
+        a, b = sim.event(), sim.event()
+        a.fail(RuntimeError("r"))
+        a.defuse()
+        b.trigger_like(a)
+        b.defuse()
+        assert isinstance(b.exception, RuntimeError)
+
+
+class TestTimeout:
+    def test_timeout_fires_at_delay(self, sim):
+        t = sim.timeout(5.0, value="done")
+        sim.run()
+        assert sim.now == 5.0
+        assert t.value == "done"
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_timeouts_order_deterministically(self, sim):
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            sim.timeout(delay).callbacks.append(
+                lambda _e, d=delay: order.append(d)
+            )
+        sim.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_same_time_fifo(self, sim):
+        order = []
+        for tag in "abc":
+            sim.timeout(1.0).callbacks.append(lambda _e, t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestAllOf:
+    def test_waits_for_all(self, sim):
+        t1, t2 = sim.timeout(1.0, "a"), sim.timeout(3.0, "b")
+        combined = sim.all_of([t1, t2])
+        sim.run()
+        assert combined.value == ["a", "b"]
+        assert sim.now == 3.0
+
+    def test_empty_fires_immediately(self, sim):
+        combined = sim.all_of([])
+        assert combined.triggered
+        sim.run()
+        assert combined.value == []
+
+    def test_failure_of_child_fails_all(self, sim):
+        good = sim.timeout(1.0)
+        bad = sim.event()
+        combined = sim.all_of([good, bad])
+        bad.fail(RuntimeError("child"))
+        combined.defuse()
+        sim.run()
+        assert isinstance(combined.exception, RuntimeError)
+
+    def test_pre_triggered_children(self, sim):
+        a = sim.event()
+        a.succeed(1)
+        b = sim.timeout(2.0, 2)
+        combined = sim.all_of([a, b])
+        sim.run()
+        assert combined.value == [1, 2]
+
+
+class TestAnyOf:
+    def test_first_wins(self, sim):
+        slow, fast = sim.timeout(10.0, "slow"), sim.timeout(1.0, "fast")
+        race = sim.any_of([slow, fast])
+        sim.run()
+        assert race.value == "fast"
+        assert race.first is fast
+
+    def test_empty_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.any_of([])
+
+    def test_late_failure_is_defused(self, sim):
+        fast = sim.timeout(1.0, "ok")
+        late = sim.event()
+        race = sim.any_of([fast, late])
+        sim.run()
+        late.fail(RuntimeError("late"))
+        sim.run()  # must not raise
+        assert race.value == "ok"
+
+    def test_failed_first_child_fails_race(self, sim):
+        bad = sim.event()
+        slow = sim.timeout(5.0)
+        race = sim.any_of([bad, slow])
+        bad.fail(KeyError("x"))
+        race.defuse()
+        sim.run()
+        assert isinstance(race.exception, KeyError)

@@ -1,0 +1,219 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Interrupt, SimulationError, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestBasicProcesses:
+    def test_process_runs_and_returns_value(self, sim):
+        def proc(sim):
+            yield sim.timeout(2.0)
+            return "result"
+
+        p = sim.spawn(proc(sim))
+        sim.run()
+        assert p.value == "result"
+        assert not p.is_alive
+
+    def test_process_receives_event_value(self, sim):
+        def proc(sim):
+            got = yield sim.timeout(1.0, value=99)
+            return got
+
+        p = sim.spawn(proc(sim))
+        sim.run()
+        assert p.value == 99
+
+    def test_process_waits_on_process(self, sim):
+        def child(sim):
+            yield sim.timeout(3.0)
+            return "child-done"
+
+        def parent(sim):
+            result = yield sim.spawn(child(sim))
+            return (sim.now, result)
+
+        p = sim.spawn(parent(sim))
+        sim.run()
+        assert p.value == (3.0, "child-done")
+
+    def test_immediate_return(self, sim):
+        def proc(sim):
+            return "now"
+            yield  # pragma: no cover - makes this a generator
+
+        p = sim.spawn(proc(sim))
+        sim.run()
+        assert p.value == "now"
+
+    def test_yield_already_processed_event(self, sim):
+        ev = sim.event()
+        ev.succeed("early")
+        sim.run()
+        assert ev.processed
+
+        def proc(sim):
+            got = yield ev
+            return got
+
+        p = sim.spawn(proc(sim))
+        sim.run()
+        assert p.value == "early"
+
+    def test_yield_non_event_fails_process(self, sim):
+        def proc(sim):
+            yield 42
+
+        p = sim.spawn(proc(sim))
+        p.defuse()
+        sim.run()
+        assert isinstance(p.exception, SimulationError)
+
+    def test_crash_propagates_from_run(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("crash")
+
+        sim.spawn(proc(sim))
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_daemon_crash_is_recorded_not_raised(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("daemon crash")
+
+        p = sim.spawn(proc(sim), daemon=True)
+        sim.run()
+        assert len(sim.daemon_failures) == 1
+        assert sim.daemon_failures[0][0] is p
+
+    def test_failed_event_raises_inside_process(self, sim):
+        ev = sim.event()
+
+        def proc(sim):
+            try:
+                yield ev
+            except ValueError:
+                return "caught"
+
+        p = sim.spawn(proc(sim))
+        ev.fail(ValueError("bad"))
+        sim.run()
+        assert p.value == "caught"
+
+    def test_run_until_complete(self, sim):
+        def proc(sim):
+            yield sim.timeout(4.0)
+            return 7
+
+        p = sim.spawn(proc(sim))
+        assert sim.run_until_complete(p) == 7
+
+    def test_run_until_complete_detects_deadlock(self, sim):
+        def proc(sim):
+            yield sim.event()  # never fires
+
+        p = sim.spawn(proc(sim))
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until_complete(p)
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_process(self, sim):
+        def victim(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, sim.now)
+
+        p = sim.spawn(victim(sim))
+
+        def attacker(sim):
+            yield sim.timeout(5.0)
+            p.interrupt("because")
+
+        sim.spawn(attacker(sim))
+        sim.run()
+        assert p.value == ("interrupted", "because", 5.0)
+
+    def test_interrupt_finished_process_is_noop(self, sim):
+        def quick(sim):
+            yield sim.timeout(1.0)
+            return "ok"
+
+        p = sim.spawn(quick(sim))
+        sim.run()
+        p.interrupt("late")
+        sim.run()
+        assert p.value == "ok"
+
+    def test_uncaught_interrupt_fails_process(self, sim):
+        def victim(sim):
+            yield sim.timeout(100.0)
+
+        p = sim.spawn(victim(sim))
+
+        def attacker(sim):
+            yield sim.timeout(1.0)
+            p.interrupt()
+
+        sim.spawn(attacker(sim))
+        p.defuse()
+        sim.run()
+        assert isinstance(p.exception, Interrupt)
+
+    def test_interrupted_wait_event_outcome_ignored(self, sim):
+        slow = sim.timeout(50.0, "slow-value")
+
+        def victim(sim):
+            try:
+                yield slow
+            except Interrupt:
+                yield sim.timeout(100.0)
+                return "resumed"
+
+        p = sim.spawn(victim(sim))
+
+        def attacker(sim):
+            yield sim.timeout(1.0)
+            p.interrupt()
+
+        sim.spawn(attacker(sim))
+        sim.run()
+        assert p.value == "resumed"
+        assert sim.now == 101.0
+
+
+class TestClock:
+    def test_run_until_advances_clock_exactly(self, sim):
+        sim.timeout(3.0)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_does_not_process_later_events(self, sim):
+        seen = []
+        sim.timeout(5.0).callbacks.append(lambda e: seen.append("early"))
+        sim.timeout(15.0).callbacks.append(lambda e: seen.append("late"))
+        sim.run(until=10.0)
+        assert seen == ["early"]
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_run_until_past_raises(self, sim):
+        sim.run(until=10.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=5.0)
+
+    def test_step_on_empty_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_peek_empty_is_inf(self, sim):
+        assert sim.peek() == float("inf")

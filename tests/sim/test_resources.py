@@ -1,0 +1,161 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Resource, SimulationError, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_acquire_within_capacity_is_immediate(self, sim):
+        res = Resource(sim, capacity=2)
+        assert res.acquire().triggered
+        assert res.acquire().triggered
+        assert res.available == 0
+
+    def test_acquire_beyond_capacity_blocks(self, sim):
+        res = Resource(sim, capacity=1)
+        res.acquire()
+        blocked = res.acquire()
+        assert not blocked.triggered
+        assert res.queue_length == 1
+        res.release()
+        assert blocked.triggered
+
+    def test_fifo_granting(self, sim):
+        res = Resource(sim, capacity=1)
+        res.acquire()
+        first, second = res.acquire(), res.acquire()
+        res.release()
+        assert first.triggered and not second.triggered
+        res.release()
+        assert second.triggered
+
+    def test_release_idle_raises(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_cancel_pending_request(self, sim):
+        res = Resource(sim, capacity=1)
+        res.acquire()
+        pending = res.acquire()
+        res.cancel(pending)
+        assert res.queue_length == 0
+        res.release()
+        assert res.available == 1
+
+    def test_cancel_granted_request_releases(self, sim):
+        res = Resource(sim, capacity=1)
+        grant = res.acquire()
+        res.cancel(grant)
+        assert res.available == 1
+
+    def test_cancel_foreign_event_raises(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.cancel(sim.event())
+
+    def test_contention_with_processes(self, sim):
+        res = Resource(sim, capacity=2)
+        finish_times = []
+
+        def worker(sim):
+            yield res.acquire()
+            yield sim.timeout(10.0)
+            res.release()
+            finish_times.append(sim.now)
+
+        for _ in range(4):
+            sim.spawn(worker(sim))
+        sim.run()
+        # 2 run immediately, 2 queue behind them.
+        assert finish_times == [10.0, 10.0, 20.0, 20.0]
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("a")
+        got = store.get()
+        assert got.triggered
+        sim.run()
+        assert got.value == "a"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = store.get()
+        assert not got.triggered
+        store.put("b")
+        assert got.triggered
+
+    def test_fifo_items(self, sim):
+        store = Store(sim)
+        for item in (1, 2, 3):
+            store.put(item)
+        values = [store.get().value for _ in range(3)]
+        assert values == [1, 2, 3]
+
+    def test_fifo_getters(self, sim):
+        store = Store(sim)
+        g1, g2 = store.get(), store.get()
+        store.put("x")
+        store.put("y")
+        assert g1.value == "x"
+        assert g2.value == "y"
+
+    def test_len_and_drain(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.drain() == [1, 2]
+        assert len(store) == 0
+
+    def test_consumer_process_loop(self, sim):
+        store = Store(sim)
+        consumed = []
+
+        def consumer(sim):
+            for _ in range(3):
+                item = yield store.get()
+                consumed.append((sim.now, item))
+
+        def producer(sim):
+            for i in range(3):
+                yield sim.timeout(5.0)
+                store.put(i)
+
+        sim.spawn(consumer(sim))
+        sim.spawn(producer(sim))
+        sim.run()
+        assert consumed == [(5.0, 0), (10.0, 1), (15.0, 2)]
+
+
+class TestRng:
+    def test_streams_are_deterministic(self):
+        a = Simulator(seed=7).rng.stream("x").random()
+        b = Simulator(seed=7).rng.stream("x").random()
+        assert a == b
+
+    def test_streams_are_independent_by_name(self):
+        sim = Simulator(seed=7)
+        assert sim.rng.stream("x").random() != sim.rng.stream("y").random()
+
+    def test_different_seeds_differ(self):
+        a = Simulator(seed=1).rng.stream("x").random()
+        b = Simulator(seed=2).rng.stream("x").random()
+        assert a != b
+
+    def test_stream_identity_is_cached(self):
+        sim = Simulator(seed=3)
+        assert sim.rng.stream("s") is sim.rng.stream("s")
+        assert "s" in sim.rng

@@ -1,0 +1,126 @@
+"""Unit tests for the global storage model."""
+
+import pytest
+
+from repro.config import KB, LatencyModel
+from repro.sim import Simulator
+from repro.storage import DataItem, GlobalStorage
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def storage(sim):
+    return GlobalStorage(sim, LatencyModel())
+
+
+def run(sim, gen):
+    return sim.run_until_complete(sim.spawn(gen))
+
+
+class TestReadWrite:
+    def test_read_missing_key(self, sim, storage):
+        assert run(sim, storage.read("nope")) == (None, 0)
+
+    def test_write_then_read(self, sim, storage):
+        item = DataItem("v1", size_bytes=4 * KB)
+        version = run(sim, storage.write("k", item))
+        assert version == 1
+        assert run(sim, storage.read("k")) == (item, 1)
+
+    def test_versions_increase(self, sim, storage):
+        run(sim, storage.write("k", DataItem("a")))
+        version = run(sim, storage.write("k", DataItem("b")))
+        assert version == 2
+        assert storage.version_of("k") == 2
+
+    def test_read_latency_is_storage_rtt(self, sim, storage):
+        storage.preload({"k": DataItem("v", size_bytes=0)})
+        start = sim.now
+        run(sim, storage.read("k"))
+        assert sim.now - start == pytest.approx(storage.latency.storage_rtt)
+
+    def test_large_value_reads_slower(self, sim, storage):
+        storage.preload({"small": DataItem("s", size_bytes=0),
+                         "big": DataItem("b", size_bytes=1024 * KB)})
+        t0 = sim.now
+        run(sim, storage.read("small"))
+        small_time = sim.now - t0
+        t1 = sim.now
+        run(sim, storage.read("big"))
+        big_time = sim.now - t1
+        assert big_time > small_time
+
+    def test_write_commits_at_ack_not_at_issue(self, sim, storage):
+        storage.preload({"k": DataItem("old")})
+
+        def writer(sim):
+            yield from storage.write("k", DataItem("new"))
+
+        sim.spawn(writer(sim))
+        # Halfway through the write RTT the old value must still be visible.
+        sim.run(until=storage.latency.storage_rtt / 2)
+        assert storage.peek("k").value == DataItem("old")
+        sim.run()
+        assert storage.peek("k").value == DataItem("new")
+
+    def test_preload_sets_version_one(self, storage):
+        storage.preload({"a": DataItem("x"), "b": DataItem("y")})
+        assert storage.version_of("a") == 1
+        assert storage.version_of("b") == 1
+
+    def test_version_of_missing_is_zero(self, storage):
+        assert storage.version_of("ghost") == 0
+
+    def test_read_version_only(self, sim, storage):
+        storage.preload({"k": DataItem("v", size_bytes=64 * KB)})
+        start = sim.now
+        version = run(sim, storage.read_version("k"))
+        assert version == 1
+        # Version probe must not pay the 64 KB transfer cost.
+        assert sim.now - start < storage.latency.storage_read(64 * KB)
+
+    def test_stats_counters(self, sim, storage):
+        item = DataItem("v", size_bytes=100)
+        run(sim, storage.write("k", item))
+        run(sim, storage.read("k"))
+        assert storage.stats.writes == 1
+        assert storage.stats.reads == 1
+        assert storage.stats.write_bytes == 100
+        assert storage.stats.read_bytes == 100
+
+
+class TestWriteListeners:
+    def test_listener_fires_with_writer_tag(self, sim, storage):
+        seen = []
+        storage.add_write_listener(lambda *args: seen.append(args))
+        item = DataItem("v")
+        run(sim, storage.write("k", item, writer="node3/agent"))
+        assert seen == [("k", item, 1, "node3/agent")]
+
+    def test_listener_fires_per_write(self, sim, storage):
+        seen = []
+        storage.add_write_listener(lambda key, *rest: seen.append(key))
+        run(sim, storage.write("a", DataItem("x")))
+        run(sim, storage.write("b", DataItem("y")))
+        assert seen == ["a", "b"]
+
+    def test_preload_does_not_fire_listeners(self, storage):
+        seen = []
+        storage.add_write_listener(lambda *args: seen.append(args))
+        storage.preload({"k": DataItem("v")})
+        assert seen == []
+
+
+class TestDataItem:
+    def test_equality_by_payload_and_size(self):
+        assert DataItem("a", 10) == DataItem("a", 10)
+        assert DataItem("a", 10) != DataItem("b", 10)
+
+    def test_sizeof_uses_declared_size(self):
+        from repro.net import sizeof
+
+        assert sizeof(DataItem("a", 12 * KB)) == 12 * KB

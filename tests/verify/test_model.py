@@ -1,0 +1,152 @@
+"""Tests of the protocol model checker (Section III-H)."""
+
+import pytest
+
+from repro.verify import ModelChecker, ModelConfig, enabled_transitions
+from repro.verify.model import (
+    E,
+    S,
+    initial_state,
+    invariant_violations,
+    _read,
+    _recover,
+    _replace,
+    _write,
+)
+
+
+class TestModelMechanics:
+    def test_initial_state_is_clean(self):
+        state = initial_state(ModelConfig())
+        assert invariant_violations(state) == []
+        assert state.home == "n0"
+
+    def test_read_miss_grants_exclusive(self):
+        state = initial_state(ModelConfig())
+        after = _read(state, "n1")
+        assert after.cache_of("n1") == (E, 0)
+        assert after.directory == (E, ("n1",))
+
+    def test_second_reader_downgrades(self):
+        state = _read(initial_state(ModelConfig()), "n1")
+        after = _read(state, "n2")
+        assert after.cache_of("n1") == (S, 0)
+        assert after.cache_of("n2") == (S, 0)
+        assert after.directory == (S, ("n1", "n2"))
+
+    def test_write_invalidates_sharers(self):
+        state = _read(initial_state(ModelConfig()), "n1")
+        state = _read(state, "n2")
+        after = _write(state, "n0")
+        assert after.cache_of("n1") is None
+        assert after.cache_of("n2") is None
+        assert after.cache_of("n0") == (E, 1)
+        assert after.storage == 1
+
+    def test_exclusive_write_bypasses_home(self):
+        state = _read(initial_state(ModelConfig()), "n1")
+        after = _write(state, "n1")
+        assert after.cache_of("n1") == (E, 1)
+        assert after.storage == 1
+        assert after.directory == (E, ("n1",))  # unchanged
+
+    def test_recovery_evicts_everything(self):
+        state = _read(initial_state(ModelConfig()), "n1")
+        failed = _replace(state, pending_recovery="n0",
+                          active=("n1", "n2"), directory=None)
+        recovered = _recover(failed)
+        assert recovered.caches == ()
+        assert recovered.pending_recovery is None
+
+    def test_stale_copy_is_flagged(self):
+        state = _read(initial_state(ModelConfig()), "n1")
+        corrupted = _replace(state, storage=5)
+        assert any("stale copy" in v for v in invariant_violations(corrupted))
+
+    def test_two_exclusives_flagged(self):
+        state = initial_state(ModelConfig())
+        corrupted = _replace(
+            state, caches=(("n0", E, 0), ("n1", E, 0)),
+            directory=(E, ("n0",)),
+        )
+        messages = invariant_violations(corrupted)
+        assert any("two exclusive" in v for v in messages)
+
+    def test_untracked_holder_flagged(self):
+        state = initial_state(ModelConfig())
+        corrupted = _replace(
+            state, caches=(("n1", S, 0),), directory=(S, ("n2",)))
+        assert any("missing from directory" in v
+                   for v in invariant_violations(corrupted))
+
+
+class TestExhaustiveChecks:
+    """The headline verification runs, mirroring the paper's TLC checks."""
+
+    def test_fault_free_two_nodes(self):
+        report = ModelChecker(ModelConfig(
+            nodes=("n0", "n1"), max_writes=2,
+            allow_failures=False, allow_domain_changes=False,
+        )).check()
+        assert report.ok, (report.violations, report.deadlocks)
+        assert report.states_explored > 10
+
+    def test_fault_free_three_nodes_three_writes(self):
+        report = ModelChecker(ModelConfig(
+            nodes=("n0", "n1", "n2"), max_writes=3,
+            allow_failures=False, allow_domain_changes=False,
+        )).check()
+        assert report.ok
+        assert report.states_explored > 100
+
+    def test_with_failures(self):
+        report = ModelChecker(ModelConfig(
+            nodes=("n0", "n1", "n2"), max_writes=2, max_fails=1,
+            allow_domain_changes=False,
+        )).check()
+        assert report.ok, (report.violations[:3], report.deadlocks[:3])
+
+    def test_with_domain_changes(self):
+        report = ModelChecker(ModelConfig(
+            nodes=("n0", "n1", "n2"), max_writes=2,
+            allow_failures=False, max_domain_changes=2,
+        )).check()
+        assert report.ok
+
+    def test_full_model(self):
+        report = ModelChecker(ModelConfig(
+            nodes=("n0", "n1", "n2"), max_writes=2, max_fails=1,
+            max_domain_changes=1,
+        )).check()
+        assert report.ok
+        assert report.states_explored > 400
+
+    def test_seeded_bug_is_caught(self):
+        """Sanity: break the protocol (skip invalidations) and the checker
+        must find a stale-copy violation."""
+        from repro.verify import model as M
+
+        original = M._write
+
+        def broken_write(state, writer):
+            if state.writes_left == 0:
+                return None
+            new_value = state.storage + 1
+            # BUG: forget to invalidate the other sharers.
+            caches = state.with_cache(writer, (E, new_value))
+            return M._replace(
+                state, caches=caches, storage=new_value,
+                directory=(E, (writer,)), writes_left=state.writes_left - 1,
+            )
+
+        M._write = broken_write
+        try:
+            report = ModelChecker(ModelConfig(
+                nodes=("n0", "n1"), max_writes=1,
+                allow_failures=False, allow_domain_changes=False,
+            )).check()
+        finally:
+            M._write = original
+        assert not report.ok
+        assert any("stale copy" in msg
+                   for _state, msgs in report.violations for msg in msgs)
