@@ -1,0 +1,44 @@
+"""Static analysis enforcing the reproduction's determinism contract.
+
+Every figure in this repo rests on one guarantee: a seeded run of the
+discrete-event simulator is bit-for-bit deterministic.  This package is
+the mechanical check of that guarantee — an AST-based, plugin-style rule
+engine with three rule families:
+
+- **DET*** — determinism: no ambient randomness or wall-clock reads, no
+  iteration over hash-ordered sets into order-sensitive paths, no
+  ``id()``-derived ordering;
+- **SIM*** — sim-process discipline: generator processes yield only
+  Event expressions, never perform real blocking I/O, never read private
+  simulator kernel state;
+- **PRO*** — protocol surface: RPC call/handler names match up, calls
+  carry a timeout path, lock acquires release on all exit paths.
+
+Run it with ``python -m repro.analysis src/repro`` (or the
+``repro-analyze`` console script); waive a finding inline with
+``# noqa: RULEID`` or accept it in ``analysis-baseline.json``.
+"""
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    Analyzer,
+    Baseline,
+    Finding,
+    ModuleInfo,
+    ProjectRule,
+    Rule,
+    all_rules,
+    register,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Analyzer",
+    "Baseline",
+    "Finding",
+    "ModuleInfo",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "register",
+]

@@ -1,0 +1,232 @@
+"""Control-flow reasoning for the lock-discipline rule.
+
+The repo's simulation locks (:class:`repro.sim.resources.Resource`) are
+acquired inside generator processes with ``yield lock.acquire()`` and must
+be released on *every* exit path — including the exceptional ones, because
+the simulator throws :class:`~repro.sim.errors.Interrupt` into processes
+at yield points (node crashes) and RPC helpers raise out of ``yield from``.
+
+Instead of a full CFG we exploit the code shape this enforces: after an
+acquire, the release must be reachable without crossing any statement that
+can escape (``yield``, ``yield from``, ``raise``, ``return``, ``break``,
+``continue``) unless those statements sit inside a ``try`` whose
+``finally`` performs the release.  Concretely, scanning forward from the
+acquire statement (falling out of enclosing blocks as control does), the
+first of these must come before anything risky:
+
+- a statement performing ``<lock>.release()``;
+- a ``try`` statement whose ``finally`` block contains the release (the
+  acquire may also itself sit inside such a ``try``).
+
+A release under a conditional inside the ``finally`` counts (the repo's
+``if escalated: lock.release()`` idiom); defining a closure that would
+release later does not.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class LockProblem:
+    """One unbalanced acquire."""
+
+    lock: str            # source text of the lock expression
+    node: ast.AST        # the acquire statement
+    reason: str          # "no-release" | "unprotected:<detail>"
+
+
+def _expr_text(node: ast.AST) -> str:
+    return ast.unparse(node)
+
+
+def _lock_call(node: ast.AST, method: str) -> Optional[str]:
+    """If ``node`` is ``<expr>.method()``, return the text of ``<expr>``."""
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == method
+            and not node.args and not node.keywords):
+        return _expr_text(node.func.value)
+    return None
+
+
+def find_acquires(stmt: ast.stmt) -> list[tuple[str, Optional[str]]]:
+    """Acquire calls performed by ``stmt`` itself (no nested statements).
+
+    Returns ``(lock_text, bound_name)`` pairs; ``bound_name`` is set when
+    the acquire grant is first assigned (``grant = lock.acquire()``) and
+    yielded afterwards.
+    """
+    results = []
+    if isinstance(stmt, ast.Expr):
+        value = stmt.value
+        if isinstance(value, ast.Yield) and value.value is not None:
+            lock = _lock_call(value.value, "acquire")
+            if lock is not None:
+                results.append((lock, None))
+        else:
+            lock = _lock_call(value, "acquire")
+            if lock is not None:
+                results.append((lock, None))
+    elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        lock = _lock_call(stmt.value, "acquire")
+        if lock is not None and isinstance(stmt.targets[0], ast.Name):
+            results.append((lock, stmt.targets[0].id))
+    return results
+
+
+def _contains_release(node: ast.AST, lock: str) -> bool:
+    """Whether ``node``'s subtree (nested defs excluded) releases ``lock``."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)) and current is not node:
+            continue
+        if _lock_call(current, "release") == lock:
+            return True
+        stack.extend(ast.iter_child_nodes(current))
+    return False
+
+
+def _is_risky(stmt: ast.stmt, grant_name: Optional[str]) -> Optional[str]:
+    """Why ``stmt`` can escape before a release is reached, or None.
+
+    A bare ``yield <grant_name>`` is the second half of an assigned
+    acquire (``grant = lock.acquire(); yield grant``) and is not risky:
+    the lock is not held until that yield completes.
+    """
+    if (grant_name is not None
+            and isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Yield)
+            and isinstance(stmt.value.value, ast.Name)
+            and stmt.value.value.id == grant_name):
+        return None
+    stack: list[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)) and node is not stmt:
+            continue  # statements inside nested defs do not run here
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return "a yield"
+        if isinstance(node, ast.Raise):
+            return "a raise"
+        if isinstance(node, ast.Return):
+            return "a return"
+        if isinstance(node, (ast.Break, ast.Continue)):
+            return "a loop exit"
+        stack.extend(ast.iter_child_nodes(node))
+    return None
+
+
+def _block_chain(func: ast.AST, acquire: ast.stmt) -> list[list[ast.stmt]]:
+    """Statement suffixes control falls through after ``acquire``.
+
+    The first element is the remainder of the acquire's own block (after
+    the acquire); subsequent elements are the remainders of each enclosing
+    block, up to the function body.  Each suffix is paired with the ``try``
+    statements whose body encloses the acquire, which the caller checks
+    for a protecting ``finally``.
+    """
+    chains: list[list[ast.stmt]] = []
+
+    def descend(stmts: list[ast.stmt]) -> bool:
+        for index, stmt in enumerate(stmts):
+            if stmt is acquire:
+                chains.append(list(stmts[index + 1:]))
+                return True
+            for block in _child_blocks(stmt):
+                if descend(block):
+                    chains.append(list(stmts[index + 1:]))
+                    return True
+        return False
+
+    descend(func.body)
+    return chains
+
+
+def _child_blocks(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return  # nested definitions are separate scopes, analyzed on their own
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, name, None)
+        if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+            yield block
+    for handler in getattr(stmt, "handlers", []) or []:
+        yield handler.body
+
+
+def _enclosing_trys(func: ast.AST, acquire: ast.stmt) -> list[ast.Try]:
+    """``try`` statements whose *body* contains the acquire, innermost last."""
+    found: list[ast.Try] = []
+
+    def descend(stmts: list[ast.stmt], trys: list[ast.Try]) -> bool:
+        for stmt in stmts:
+            if stmt is acquire:
+                found.extend(trys)
+                return True
+            if isinstance(stmt, ast.Try):
+                if descend(stmt.body, trys + [stmt]):
+                    return True
+                for block in [stmt.orelse, stmt.finalbody] + [
+                        h.body for h in stmt.handlers]:
+                    if descend(block, trys):
+                        return True
+            else:
+                for block in _child_blocks(stmt):
+                    if descend(block, trys):
+                        return True
+        return False
+
+    descend(func.body, [])
+    return found
+
+
+def check_lock_discipline(func: ast.AST) -> list[LockProblem]:
+    """All unbalanced ``acquire()`` statements in ``func``'s own body."""
+    problems: list[LockProblem] = []
+    statements: list[ast.stmt] = []
+    stack: list[ast.stmt] = list(func.body)
+    while stack:
+        stmt = stack.pop()
+        statements.append(stmt)
+        for block in _child_blocks(stmt):
+            stack.extend(block)
+    statements.sort(key=lambda s: (s.lineno, s.col_offset))
+
+    for stmt in statements:
+        for lock, grant_name in find_acquires(stmt):
+            problem = _check_one(func, stmt, lock, grant_name)
+            if problem is not None:
+                problems.append(problem)
+    return problems
+
+
+def _check_one(func: ast.AST, acquire: ast.stmt, lock: str,
+               grant_name: Optional[str]) -> Optional[LockProblem]:
+    # Safe if an enclosing try's finally releases the lock.
+    for try_stmt in _enclosing_trys(func, acquire):
+        if any(_contains_release(s, lock) for s in try_stmt.finalbody):
+            return None
+    # Otherwise scan forward along the fall-through chain.
+    for suffix in _block_chain(func, acquire):
+        for stmt in suffix:
+            if _lock_call(getattr(stmt, "value", None) or ast.Pass(),
+                          "release") == lock:
+                return None  # immediate release statement
+            if (isinstance(stmt, ast.Try)
+                    and any(_contains_release(s, lock)
+                            for s in stmt.finalbody)):
+                return None  # protected region begins before anything risky
+            risk = _is_risky(stmt, grant_name)
+            if risk is not None:
+                return LockProblem(
+                    lock, acquire,
+                    f"unprotected: {risk} at line {stmt.lineno} can exit "
+                    f"before {lock}.release(); wrap in try/finally",
+                )
+    return LockProblem(lock, acquire, "no-release")

@@ -1,0 +1,172 @@
+"""Sim-process discipline rules (SIM*).
+
+Simulation processes are plain generator functions stepped by
+``repro.sim.process.Process``; the kernel contract is narrow:
+
+- a process may only ``yield`` Event-like objects (Event, Timeout, AllOf,
+  AnyOf, Process, Resource grants) — yielding a bare value kills the
+  process at runtime with a :class:`SimulationError`, but only on the
+  path that executes it;
+- a process must never perform real (wall-clock) blocking I/O — the
+  simulated clock would keep standing still while real time passes, and
+  the result depends on the host machine;
+- code outside ``repro/sim`` must not read the kernel's private state
+  (``Simulator._now``, the event heap, ...) — the public ``sim.now`` /
+  ``peek()`` surface is the contract that lets the kernel evolve.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import (
+    ModuleInfo,
+    Rule,
+    is_generator_function,
+    register,
+    walk_function_body,
+)
+
+#: Yield value node types that can never be an Event.
+_NON_EVENT_NODES = (
+    ast.Constant, ast.List, ast.Tuple, ast.Dict, ast.Set, ast.ListComp,
+    ast.SetComp, ast.DictComp, ast.GeneratorExp, ast.BinOp, ast.Compare,
+    ast.BoolOp, ast.UnaryOp, ast.JoinedStr, ast.FormattedValue, ast.Lambda,
+)
+
+#: Real-I/O builtins banned inside simulation processes.
+_BLOCKING_BUILTINS = {"open", "input", "breakpoint"}
+
+#: ``module.function`` calls that block on real time or real I/O.
+_BLOCKING_ATTR_CALLS = {
+    ("time", "sleep"),
+    ("os", "system"),
+    ("os", "popen"),
+    ("shutil", "copyfile"),
+}
+
+#: Any attribute call rooted at one of these module names is real I/O.
+_BLOCKING_MODULES = {"socket", "subprocess", "requests", "urllib", "http"}
+
+#: Private Simulator attributes that only repro/sim may touch.
+_KERNEL_PRIVATE_ATTRS = {"_now", "_heap", "_seq", "_active_process",
+                         "_schedule"}
+
+
+def _is_sim_process(func: ast.AST) -> bool:
+    """Whether a generator function looks like a kernel-stepped process.
+
+    A sim process has at least one yield that could produce an Event — a
+    call, name or attribute expression, or a ``yield from`` delegation.
+    Pure value generators (host-side tooling yielding tuples/literals)
+    are never handed to the kernel and are exempt from SIM01/SIM02.
+    """
+    for node in walk_function_body(func):
+        if isinstance(node, ast.YieldFrom):
+            return True
+        if isinstance(node, ast.Yield) and isinstance(
+                node.value, (ast.Call, ast.Name, ast.Attribute, ast.IfExp,
+                             ast.Await)):
+            return True
+    return False
+
+
+@register
+class YieldNonEventRule(Rule):
+    """SIM01: a sim process yielded something that cannot be an Event."""
+
+    id = "SIM01"
+    name = "yield-non-event"
+    description = (
+        "generator processes must only yield Event/Timeout/AllOf/AnyOf "
+        "expressions; yielding a literal, collection or arithmetic result "
+        "crashes the process at runtime on that path"
+    )
+
+    def check_module(self, module: ModuleInfo):
+        for func in module.functions():
+            if not is_generator_function(func) or not _is_sim_process(func):
+                continue
+            for node in walk_function_body(func):
+                if not isinstance(node, ast.Yield):
+                    continue
+                value = node.value
+                if value is None:
+                    continue  # bare `yield`: the generator-marker idiom
+                if isinstance(value, _NON_EVENT_NODES):
+                    yield self.finding(
+                        module, node,
+                        f"process {func.name!r} yields "
+                        f"{ast.unparse(value)!r}, which is not an Event; "
+                        "yield sim.timeout()/events, or return the value")
+
+
+@register
+class BlockingIoRule(Rule):
+    """SIM02: real blocking I/O inside a simulation process."""
+
+    id = "SIM02"
+    name = "blocking-io"
+    description = (
+        "bans open()/input()/time.sleep()/socket/subprocess calls inside "
+        "generator processes: real I/O stalls the wall clock while the "
+        "simulated clock stands still, making results machine-dependent"
+    )
+
+    def check_module(self, module: ModuleInfo):
+        for func in module.functions():
+            if not is_generator_function(func) or not _is_sim_process(func):
+                continue
+            for node in walk_function_body(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                message = self._blocking_reason(node)
+                if message is not None:
+                    yield self.finding(
+                        module, node,
+                        f"process {func.name!r} performs real blocking "
+                        f"I/O: {message}")
+
+    @staticmethod
+    def _blocking_reason(node: ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _BLOCKING_BUILTINS:
+                return f"{func.id}() touches the real machine"
+            return None
+        if isinstance(func, ast.Attribute):
+            root = func.value
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                if (root.id, func.attr) in _BLOCKING_ATTR_CALLS:
+                    return f"{root.id}.{func.attr}() blocks on real time/IO"
+                if root.id in _BLOCKING_MODULES:
+                    return f"{root.id}.* performs real network/process I/O"
+        return None
+
+
+@register
+class KernelPrivateStateRule(Rule):
+    """SIM03: private simulator kernel state read outside repro/sim."""
+
+    id = "SIM03"
+    name = "kernel-private-state"
+    description = (
+        "code outside repro/sim must not touch Simulator._now/_heap/_seq/"
+        "_active_process/_schedule; use sim.now, sim.peek() and the "
+        "public scheduling API"
+    )
+
+    def check_module(self, module: ModuleInfo):
+        parts = module.display_path.replace("\\", "/").split("/")
+        if "sim" in parts:
+            return  # the kernel may touch its own internals
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Attribute)
+                    and node.attr in _KERNEL_PRIVATE_ATTRS):
+                yield self.finding(
+                    module, node,
+                    f"access to private simulator state "
+                    f"{ast.unparse(node)!r}; use the public Simulator API "
+                    "(sim.now, sim.peek, sim.spawn)")

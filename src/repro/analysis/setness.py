@@ -1,0 +1,177 @@
+"""Lightweight "is this expression a set?" inference.
+
+Python iterates ``set``/``frozenset`` in hash order, which for strings
+depends on ``PYTHONHASHSEED`` — so the same program produces *different*
+iteration orders across runs.  Any set iteration that feeds scheduling,
+RPC fan-out or metric aggregation therefore breaks the simulator's
+bit-for-bit determinism guarantee.  This module syntactically classifies
+expressions as set-producing so the determinism rules can flag iteration
+over them.
+
+The inference is deliberately local and conservative:
+
+- literal sets / set comprehensions / ``set()`` / ``frozenset()`` calls;
+- set operators (``|``, ``&``, ``-``, ``^``) and named set methods when
+  an operand is already known set-ish;
+- names assigned a set-ish expression earlier in the same function;
+- ``self.x`` attributes annotated or assigned as sets in the same module;
+- attribute names that are sets by repo convention (``sharers``,
+  ``members``, ...), and calls to functions whose return annotation is
+  ``set`` (collected per module, plus a cross-module known list);
+- order-preserving wrappers (``list``/``tuple``/``iter``/``enumerate``)
+  propagate set-ness from their argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+#: Attributes that hold sets by convention across the repo (hash ring
+#: membership, directory sharer sets, speculation read sets, recovery
+#: bookkeeping).  Extend when a new set-valued protocol field appears.
+KNOWN_SET_ATTRS = frozenset({
+    "members", "sharers", "spec_readers", "awaiting", "early_acks",
+    "read_set", "_members",
+})
+
+#: Methods/functions whose *name* implies a set return across modules.
+KNOWN_SET_RETURNS = frozenset({
+    "stale_nodes", "paired_functions", "valid_holders_set",
+})
+
+#: Set methods returning a new set when the receiver is a set.
+_SET_METHODS = frozenset({
+    "difference", "union", "intersection", "symmetric_difference", "copy",
+})
+
+_ORDER_PRESERVING_WRAPPERS = frozenset({"list", "tuple", "iter", "reversed",
+                                        "enumerate"})
+
+
+class ModuleSetFacts:
+    """Per-module facts: annotated set attributes and set-returning defs."""
+
+    def __init__(self, tree: ast.Module):
+        self.set_attrs: set[str] = set()
+        self.set_returns: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign) and _is_set_annotation(node.annotation):
+                target = node.target
+                if isinstance(target, ast.Name):
+                    self.set_attrs.add(target.id)
+                elif isinstance(target, ast.Attribute):
+                    self.set_attrs.add(target.attr)
+            elif isinstance(node, ast.Assign):
+                if _is_set_literalish(node.value):
+                    for target in node.targets:
+                        if (isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"):
+                            self.set_attrs.add(target.attr)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.returns is not None and _is_set_annotation(node.returns):
+                    self.set_returns.add(node.name)
+                # dataclass-style: field(default_factory=set)
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.AnnAssign)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Name)
+                    and node.value.func.id == "field"):
+                for keyword in node.value.keywords:
+                    if (keyword.arg == "default_factory"
+                            and isinstance(keyword.value, ast.Name)
+                            and keyword.value.id in ("set", "frozenset")):
+                        target = node.target
+                        if isinstance(target, ast.Name):
+                            self.set_attrs.add(target.id)
+
+
+def _is_set_annotation(annotation: ast.AST) -> bool:
+    if isinstance(annotation, ast.Name):
+        return annotation.id in ("set", "frozenset")
+    if isinstance(annotation, ast.Subscript):
+        return _is_set_annotation(annotation.value)
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        text = annotation.value.strip()
+        return text.startswith(("set", "frozenset", "Set[", "FrozenSet["))
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in ("Set", "FrozenSet", "AbstractSet", "MutableSet")
+    return False
+
+
+def _is_set_literalish(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")):
+        return True
+    return False
+
+
+def local_set_names(func: ast.AST, facts: ModuleSetFacts) -> set[str]:
+    """Names bound to set-ish values anywhere in ``func``'s own body.
+
+    One flow-insensitive pass bootstrapped from literal bindings, then a
+    second pass propagates through straight renames (``a = b``).
+    """
+    names: set[str] = set()
+    # Parameters annotated as sets.
+    args = getattr(func, "args", None)
+    if args is not None:
+        for arg in list(args.args) + list(args.kwonlyargs):
+            if arg.annotation is not None and _is_set_annotation(arg.annotation):
+                names.add(arg.arg)
+    for _pass in range(2):
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and is_setish(
+                        node.value, facts, names):
+                    names.add(target.id)
+            elif isinstance(node, ast.AnnAssign):
+                if (isinstance(node.target, ast.Name)
+                        and _is_set_annotation(node.annotation)):
+                    names.add(node.target.id)
+            elif isinstance(node, ast.AugAssign):
+                if (isinstance(node.target, ast.Name)
+                        and isinstance(node.op, (ast.BitOr, ast.BitAnd,
+                                                 ast.Sub, ast.BitXor))
+                        and is_setish(node.value, facts, names)):
+                    names.add(node.target.id)
+    return names
+
+
+def is_setish(node: ast.AST, facts: ModuleSetFacts,
+              local_names: Optional[set] = None) -> bool:
+    """Whether ``node`` syntactically evaluates to a set."""
+    local_names = local_names or set()
+    if _is_set_literalish(node):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in local_names
+    if isinstance(node, ast.Attribute):
+        return node.attr in KNOWN_SET_ATTRS or node.attr in facts.set_attrs
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return (is_setish(node.left, facts, local_names)
+                or is_setish(node.right, facts, local_names))
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            if (func.id in _ORDER_PRESERVING_WRAPPERS and node.args
+                    and is_setish(node.args[0], facts, local_names)):
+                return True
+            if func.id in facts.set_returns or func.id in KNOWN_SET_RETURNS:
+                return True
+        if isinstance(func, ast.Attribute):
+            if (func.attr in _SET_METHODS
+                    and is_setish(func.value, facts, local_names)):
+                return True
+            if (func.attr in facts.set_returns
+                    or func.attr in KNOWN_SET_RETURNS):
+                return True
+    if isinstance(node, ast.IfExp):
+        return (is_setish(node.body, facts, local_names)
+                or is_setish(node.orelse, facts, local_names))
+    return False

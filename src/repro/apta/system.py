@@ -20,7 +20,7 @@ from repro.config import MB
 from repro.core.hashring import ConsistentHashRing
 from repro.faas.scheduler import LocalityScheduler, Scheduler
 from repro.metrics import AccessStats, OpKind
-from repro.net.rpc import Endpoint, Reply
+from repro.net.rpc import DEFAULT_RPC_TIMEOUT_MS, Endpoint, Reply
 from repro.net.sizes import sizeof
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -186,7 +186,7 @@ class AptaSystem(StorageAPI):
         home = self.home_of(key)
         value = yield from compute.endpoint.call(
             f"{home}/apta-{self.app}", "read", (key, node_id),
-            size_bytes=len(key) + 8,
+            size_bytes=len(key) + 8, timeout=DEFAULT_RPC_TIMEOUT_MS,
         )
         if value is not None:
             size = sizeof(value)
@@ -205,7 +205,7 @@ class AptaSystem(StorageAPI):
         home = self.home_of(key)
         yield from compute.endpoint.call(
             f"{home}/apta-{self.app}", "write", (key, value, node_id),
-            size_bytes=sizeof(value) + len(key),
+            size_bytes=sizeof(value) + len(key), timeout=DEFAULT_RPC_TIMEOUT_MS,
         )
         size = sizeof(value)
         if size <= compute.cache.capacity_bytes:
@@ -251,7 +251,7 @@ class AptaScheduler(Scheduler):
             platform.sim.spawn(
                 endpoint.call(
                     memory_node.endpoint.address, "stale_query", None,
-                    size_bytes=8,
+                    size_bytes=8, timeout=DEFAULT_RPC_TIMEOUT_MS,
                 ),
                 name="stale-q",
             )

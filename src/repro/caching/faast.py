@@ -19,7 +19,7 @@ from repro.caching.base import CacheEntry, LruCache, StorageAPI, VALID
 from repro.config import MB
 from repro.core.hashring import ConsistentHashRing
 from repro.metrics import AccessStats, OpKind
-from repro.net.rpc import Endpoint, Reply
+from repro.net.rpc import DEFAULT_RPC_TIMEOUT_MS, Endpoint, Reply
 from repro.net.sizes import sizeof
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -149,7 +149,8 @@ class FaastSystem(StorageAPI):
             # The protocol's defining step: fetch the version from the home
             # even though the data is cached locally.
             home_version = yield from instance.endpoint.call(
-                f"{home}/faast-{self.app}", "check_version", key, size_bytes=len(key),
+                f"{home}/faast-{self.app}", "check_version", key,
+                size_bytes=len(key), timeout=DEFAULT_RPC_TIMEOUT_MS,
             )
             self._stats.version_checks += 1
             if home_version == entry.version:
@@ -157,7 +158,8 @@ class FaastSystem(StorageAPI):
                 return entry.value
 
         value, version, home_cached = yield from instance.endpoint.call(
-            f"{home}/faast-{self.app}", "fetch", key, size_bytes=len(key),
+            f"{home}/faast-{self.app}", "fetch", key,
+            size_bytes=len(key), timeout=DEFAULT_RPC_TIMEOUT_MS,
         )
         if value is not None:
             instance._insert(key, value, version)
@@ -176,7 +178,7 @@ class FaastSystem(StorageAPI):
         else:
             version = yield from instance.endpoint.call(
                 f"{home}/faast-{self.app}", "write", (key, value),
-                size_bytes=sizeof(value),
+                size_bytes=sizeof(value), timeout=DEFAULT_RPC_TIMEOUT_MS,
             )
             instance._insert(key, value, version)
             kind = OpKind.REMOTE_WRITE_HIT

@@ -735,7 +735,9 @@ class CacheAgent:
         """
         locks = [self._lock(self._key_locks, key) for key in keys]
         for lock in locks:
-            yield lock.acquire()
+            # Deliberate lock handoff: released by the returned closure
+            # once the caller's dir_install RPC is acknowledged.
+            yield lock.acquire()  # noqa: PRO03
         entries = self.directory.pop_entries_for(keys)
 
         def release():

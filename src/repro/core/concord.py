@@ -20,7 +20,7 @@ from repro.core.domain import keys_moving_to_joiner, new_homes_for_leaver, ring_
 from repro.core.hashring import ConsistentHashRing
 from repro.core.recovery import RecoveryTracker
 from repro.metrics import AccessStats
-from repro.net.rpc import Endpoint, Reply
+from repro.net.rpc import DEFAULT_RPC_TIMEOUT_MS, Endpoint, Reply
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster import Cluster
@@ -96,7 +96,7 @@ class AppController:
 
     def _finish_recovery(self, failed_member: str) -> None:
         """All survivors recovered: lift the read barrier everywhere."""
-        for node_id in self.ring.members:
+        for node_id in sorted(self.ring.members):
             self.endpoint.notify(
                 f"{node_id}/concord-{self.app}", "recovery_complete", failed_member,
             )
@@ -128,6 +128,7 @@ class AppController:
                     self.endpoint.call(
                         f"{node_id}/concord-{self.app}", "domain_prepare",
                         (kind, member, participants), size_bytes=32,
+                        timeout=DEFAULT_RPC_TIMEOUT_MS,
                     ),
                     name=f"prep:{node_id}",
                 )
@@ -140,6 +141,7 @@ class AppController:
                     self.endpoint.call(
                         f"{node_id}/concord-{self.app}", "domain_commit",
                         (kind, member), size_bytes=32,
+                        timeout=DEFAULT_RPC_TIMEOUT_MS,
                     ),
                     name=f"commit:{node_id}",
                 )
@@ -402,6 +404,7 @@ class ConcordSystem(StorageAPI):
                     yield from agent.endpoint.call(
                         f"{joiner}/concord-{self.app}", "dir_install", entries,
                         size_bytes=DIR_ENTRY_WIRE_BYTES * len(entries),
+                        timeout=DEFAULT_RPC_TIMEOUT_MS,
                     )
             finally:
                 release()
@@ -424,6 +427,7 @@ class ConcordSystem(StorageAPI):
                     yield from agent.endpoint.call(
                         f"{target}/concord-{self.app}", "dir_install", entries,
                         size_bytes=DIR_ENTRY_WIRE_BYTES * len(entries),
+                        timeout=DEFAULT_RPC_TIMEOUT_MS,
                     )
             finally:
                 release()

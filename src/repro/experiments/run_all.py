@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
+
+# Wall-clock here is driver UX (per-experiment elapsed time in the final
+# summary), never simulation input — exempt from the determinism rule.
+import time  # noqa: DET01
 
 from repro.experiments import (
     char_reads,

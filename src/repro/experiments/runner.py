@@ -284,11 +284,11 @@ def run_mixed_workload(config: MixedRunConfig) -> MixedRunResult:
             storage_fraction=app.storage_fraction,
         )
     # Merge access stats once per distinct scheme object (OFC is shared).
-    seen = set()
+    seen: list = []
     for name, scheme in schemes.items():
         result.per_app_access[name] = scheme.stats
-        if id(scheme) not in seen:
-            seen.add(id(scheme))
+        if not any(scheme is merged for merged in seen):
+            seen.append(scheme)
             result.access.merge(scheme.stats)
     result.network_messages = cluster.network.stats.messages - network_before
     result.storage_reads = cluster.storage.stats.reads - storage_reads_before

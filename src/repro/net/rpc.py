@@ -29,6 +29,11 @@ from repro.sim.events import Event
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim import Simulator
 
+#: Library-wide RPC timeout.  Callers that have no system-level timeout
+#: config should pass this explicitly (the PRO02 static-analysis rule
+#: requires every call site to name its timeout path).
+DEFAULT_RPC_TIMEOUT_MS = 5000.0
+
 
 class RpcError(Exception):
     """Base class for RPC-level failures."""
@@ -95,7 +100,9 @@ class Endpoint:
         self.address = f"{node_id}/{service}"
         self._handlers: dict[str, Handler] = {}
         self._pending: dict[int, Event] = {}
-        self._inflight_handlers: set = set()
+        # Dict used as an insertion-ordered set: kill_inflight_handlers()
+        # iterates it, and interrupt order must not depend on hash order.
+        self._inflight_handlers: dict = {}
         #: CPU cost of accepting one request.  A server process handles
         #: requests one at a time for this slice, so a hot endpoint (e.g.
         #: the cache agent homing a popular key) becomes a queueing
@@ -149,8 +156,9 @@ class Endpoint:
             name=f"rpc:{self.address}:{method}",
             daemon=True,
         )
-        self._inflight_handlers.add(process)
-        process.callbacks.append(lambda _ev: self._inflight_handlers.discard(process))
+        self._inflight_handlers[process] = None
+        process.callbacks.append(
+            lambda _ev: self._inflight_handlers.pop(process, None))
 
     def _run_handler(self, handler: Handler, message: Message):
         try:
@@ -221,7 +229,7 @@ class Endpoint:
             size_bytes=size_bytes if size_bytes is not None else sizeof(args),
             request_id=request_id,
         ))
-        limit = timeout if timeout is not None else 5000.0
+        limit = timeout if timeout is not None else DEFAULT_RPC_TIMEOUT_MS
         timer = self.sim.timeout(limit)
         winner = yield self.sim.any_of([response, timer])
         if not response.triggered:

@@ -76,7 +76,7 @@ class CommAwarePlacement(PlacementPolicy):
             hosts = [
                 node
                 for node in platform.cluster.alive_nodes()
-                for pair_fn in paired
+                for pair_fn in sorted(paired)
                 if node.containers_of(app.name, pair_fn)
             ]
             if hosts:

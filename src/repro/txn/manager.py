@@ -72,7 +72,7 @@ class LocalTxnManager:
         involved = set(entry.spec_readers)
         if entry.spec_writer is not None:
             involved.add(entry.spec_writer)
-        for txn_id in involved:
+        for txn_id in sorted(involved):
             txn = self.active.get(txn_id)
             if txn is not None and txn.escalated and not txn.squashed:
                 return txn.done
@@ -110,7 +110,7 @@ class LocalTxnManager:
             return False
         if is_write and entry.spec_readers - {accessor}:
             # Write to data speculatively read by other transactions.
-            for txn_id in list(entry.spec_readers - {accessor}):
+            for txn_id in sorted(entry.spec_readers - {accessor}):
                 self._squash(txn_id, reason=f"local write to {key}")
             entry.spec_readers &= {accessor} if accessor else set()
         if accessor is not None and accessor in self.active and not is_write:
@@ -131,14 +131,14 @@ class LocalTxnManager:
     def on_replace(self, key, entry: CacheEntry, ctx) -> None:
         """A fresh value is replacing a speculative cache entry."""
         accessor = getattr(ctx, "txn_id", None) if ctx is not None else None
-        for txn_id in set(entry.spec_readers) - {accessor}:
+        for txn_id in sorted(set(entry.spec_readers) - {accessor}):
             self._squash(txn_id, reason=f"replacement of {key}")
         if entry.spec_writer is not None and entry.spec_writer != accessor:
             self._squash(entry.spec_writer, reason=f"replacement of {key}")
 
     def on_external_invalidate(self, key, entry: CacheEntry) -> None:
         """A remote write invalidated a speculative entry."""
-        for txn_id in set(entry.spec_readers):
+        for txn_id in sorted(entry.spec_readers):
             self._squash(txn_id, reason=f"external invalidate of {key}")
         if entry.spec_writer is not None:
             self._squash(entry.spec_writer, reason=f"external invalidate of {key}")
@@ -166,7 +166,7 @@ class LocalTxnManager:
             entry = cache.peek(key)
             if entry is not None and entry.spec_writer == txn.txn_id:
                 cache.remove(key)
-        for key in txn.read_set:
+        for key in sorted(txn.read_set):
             entry = cache.peek(key)
             if entry is not None:
                 entry.spec_readers.discard(txn.txn_id)
@@ -311,7 +311,7 @@ class ConcordTxnRuntime:
                 if entry is not None and entry.spec_writer == txn.txn_id:
                     entry.spec_writer = None
                     entry.pinned = entry.speculative
-            for key in txn.read_set:
+            for key in sorted(txn.read_set):
                 entry = agent.cache.peek(key)
                 if entry is not None:
                     entry.spec_readers.discard(txn.txn_id)

@@ -1,0 +1,30 @@
+"""Known-bad determinism snippets (DET*); parsed by tests, never imported."""
+import time
+import random
+
+
+def jitter():
+    return random.random()
+
+
+def fanout(members: set):
+    for member in members:
+        handle(member)
+
+
+def fanout_sorted(members: set):
+    for member in sorted(members):
+        handle(member)
+
+
+def dedup(items):
+    return [id(item) for item in items]
+
+
+def waived_fanout(members: set):
+    for member in members:  # noqa: DET02
+        handle(member)
+
+
+def handle(member):
+    return member

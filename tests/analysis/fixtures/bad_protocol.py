@@ -1,0 +1,39 @@
+"""Known-bad protocol snippets (PRO*); parsed by tests, never imported."""
+
+
+class BadAgent:
+    def __init__(self, sim, endpoint, lock):
+        self.sim = sim
+        self.endpoint = endpoint
+        self.lock = lock
+        self.endpoint.register_handler("orphan", self._handle_orphan)
+        self.endpoint.register_handler("ghost", self._handle_ghost)
+
+    def _handle_orphan(self, endpoint, src, args):
+        return None
+        yield
+
+    def ask(self, key):
+        value = yield from self.endpoint.call(
+            "node1/peer", "missing_method", key, size_bytes=8,
+            timeout=1000.0)
+        return value
+
+    def fire(self, key):
+        yield from self.endpoint.call(
+            "node1/peer", "orphan", key, size_bytes=8)
+
+    def leaky(self, key):
+        yield self.lock.acquire()
+        yield self.sim.timeout(1.0)
+        self.lock.release()
+
+    def never_releases(self):
+        yield self.lock.acquire()
+
+    def disciplined(self):
+        yield self.lock.acquire()
+        try:
+            yield self.sim.timeout(1.0)
+        finally:
+            self.lock.release()
