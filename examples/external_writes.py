@@ -10,52 +10,43 @@ never operate on stale data.
 Run:  python examples/external_writes.py
 """
 
-from repro.cluster import Cluster
-from repro.config import SimConfig
-from repro.coord import CoordinationService
-from repro.core import ConcordSystem
-from repro.sim import Simulator
+from repro.session import Session
 from repro.storage import DataItem
 
 
 def main() -> None:
-    sim = Simulator(seed=5)
-    cluster = Cluster(sim, SimConfig(num_nodes=4))
-    coord = CoordinationService(cluster.network, cluster.config)
-    concord = ConcordSystem(cluster, app="catalog", coord=coord)
+    with Session(nodes=4, seed=5, scheme="concord", app="catalog") as s:
+        concord = s.system
+        key = "catalog:price:sku-1"
+        s.preload({key: DataItem("$19.99", size_bytes=256)})
 
-    key = "catalog:price:sku-1"
-    cluster.storage.preload({key: DataItem("$19.99", size_bytes=256)})
+        # Functions on three nodes cache the price.
+        for node in ("node0", "node1", "node2"):
+            value = s.read(node, key)
+            print(f"[{s.sim.now:7.1f} ms] {node} cached price {value.payload}")
 
-    def run(op):
-        return sim.run_until_complete(sim.spawn(op), limit=sim.now + 60_000.0)
+        holders = [n for n, a in concord.agents.items() if a.cache.peek(key)]
+        print(f"\ncached at: {holders}\n")
 
-    # Functions on three nodes cache the price.
-    for node in ("node0", "node1", "node2"):
-        value = run(concord.read(node, key))
-        print(f"[{sim.now:7.1f} ms] {node} cached price {value.payload}")
+        # A batch pricing job — not a serverless function — updates the
+        # blob directly in global storage.
+        def batch_job(sim):
+            yield sim.timeout(100.0)
+            print(f"[{sim.now:7.1f} ms] EXTERNAL batch job writes $19.49")
+            yield from s.storage.write(
+                key, DataItem("$17.49", size_bytes=256), writer="external")
 
-    holders = [n for n, a in concord.agents.items() if a.cache.peek(key)]
-    print(f"\ncached at: {holders}\n")
+        s.sim.spawn(batch_job(s.sim))
+        s.advance(500.0)  # listener -> controller -> home -> purge
 
-    # A batch pricing job — not a serverless function — updates the blob
-    # directly in global storage.
-    def batch_job(sim):
-        yield sim.timeout(100.0)
-        print(f"[{sim.now:7.1f} ms] EXTERNAL batch job writes $19.49")
-        yield from cluster.storage.write(
-            key, DataItem("$17.49", size_bytes=256), writer="external")
+        survivors = [n for n, a in concord.agents.items() if a.cache.peek(key)]
+        print(f"[{s.sim.now:7.1f} ms] cached copies after external write: "
+              f"{survivors}")
 
-    sim.spawn(batch_job(sim))
-    sim.run(until=sim.now + 500.0)  # listener -> controller -> home -> purge
-
-    survivors = [n for n, a in concord.agents.items() if a.cache.peek(key)]
-    print(f"[{sim.now:7.1f} ms] cached copies after external write: {survivors}")
-
-    for node in ("node0", "node1", "node2"):
-        value = run(concord.read(node, key))
-        assert value.payload == "$17.49"
-        print(f"[{sim.now:7.1f} ms] {node} reads {value.payload}  (fresh)")
+        for node in ("node0", "node1", "node2"):
+            value = s.read(node, key)
+            assert value.payload == "$17.49"
+            print(f"[{s.sim.now:7.1f} ms] {node} reads {value.payload}  (fresh)")
 
     print("\nexternal updates invalidated every cached copy — no function "
           "ever saw the stale price.")

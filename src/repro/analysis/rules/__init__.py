@@ -5,6 +5,6 @@ Add a new rule family by creating a module here that defines
 :func:`~repro.analysis.engine.register`, then import it below.
 """
 
-from repro.analysis.rules import determinism, protocol, simprocess
+from repro.analysis.rules import determinism, protocol, simprocess, tracing
 
-__all__ = ["determinism", "protocol", "simprocess"]
+__all__ = ["determinism", "protocol", "simprocess", "tracing"]

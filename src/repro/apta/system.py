@@ -175,7 +175,7 @@ class AptaSystem(StorageAPI):
         return stale
 
     # -- StorageAPI -------------------------------------------------------------
-    def read(self, node_id: str, key: str, ctx: Optional[object] = None):
+    def _do_read(self, node_id: str, key: str, ctx: Optional[object] = None):
         start = self.sim.now
         yield self.sim.timeout(self.cluster.config.latency.local_access)
         compute = self.caches[node_id]
@@ -197,7 +197,7 @@ class AptaSystem(StorageAPI):
         self._stats.record(OpKind.REMOTE_READ_HIT, self.sim.now - start)
         return value
 
-    def write(self, node_id: str, key: str, value: object,
+    def _do_write(self, node_id: str, key: str, value: object,
               ctx: Optional[object] = None):
         start = self.sim.now
         yield self.sim.timeout(self.cluster.config.latency.local_access)

@@ -191,20 +191,49 @@ class StorageAPI(abc.ABC):
     them with ``yield from`` inside function handlers.  ``ctx`` carries the
     invocation context (node, function name, inputs) so schemes that care —
     Concord's placement learning, transactions — can attribute traffic.
+
+    ``read``/``write`` are template methods: they open one ``op`` trace
+    span per logical operation — so every scheme traces uniformly, and
+    the span's duration is exactly the interval each scheme records into
+    its latency histograms — then delegate to the scheme's ``_do_read``/
+    ``_do_write``.  Subclasses must expose the simulator as ``self.sim``
+    (every scheme in this package does).
     """
 
     #: Scheme name for reporting.
     name: str = "abstract"
 
-    @abc.abstractmethod
     def read(self, node_id: str, key: str, ctx: Optional[object] = None) -> Generator:
         """Read ``key`` from the perspective of ``node_id``; returns value."""
+        tracer = self.sim.tracer
+        if not tracer.active:
+            return (yield from self._do_read(node_id, key, ctx))
+        with tracer.span("read", "op",
+                         scheme=self.name, node=node_id, key=key):
+            return (yield from self._do_read(node_id, key, ctx))
 
-    @abc.abstractmethod
     def write(
         self, node_id: str, key: str, value: object, ctx: Optional[object] = None
     ) -> Generator:
         """Write ``key`` from ``node_id``; returns when durably stored."""
+        tracer = self.sim.tracer
+        if not tracer.active:
+            return (yield from self._do_write(node_id, key, value, ctx))
+        with tracer.span("write", "op",
+                         scheme=self.name, node=node_id, key=key):
+            return (yield from self._do_write(node_id, key, value, ctx))
+
+    @abc.abstractmethod
+    def _do_read(
+        self, node_id: str, key: str, ctx: Optional[object] = None
+    ) -> Generator:
+        """Scheme-specific read path (wrapped in the ``op`` span)."""
+
+    @abc.abstractmethod
+    def _do_write(
+        self, node_id: str, key: str, value: object, ctx: Optional[object] = None
+    ) -> Generator:
+        """Scheme-specific write path (wrapped in the ``op`` span)."""
 
     @property
     @abc.abstractmethod

@@ -19,7 +19,7 @@ from repro.caching.base import CacheEntry, LruCache, StorageAPI, VALID
 from repro.config import MB
 from repro.core.hashring import ConsistentHashRing
 from repro.metrics import AccessStats, OpKind
-from repro.net.rpc import DEFAULT_RPC_TIMEOUT_MS, Endpoint, Reply
+from repro.net.rpc import DEFAULT_RPC_TIMEOUT_MS, INHERIT, Endpoint, Reply
 from repro.net.sizes import sizeof
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -127,7 +127,7 @@ class FaastSystem(StorageAPI):
     def home_of(self, key: str) -> str:
         return self.ring.home(key)
 
-    def read(self, node_id: str, key: str, ctx: Optional[object] = None):
+    def _do_read(self, node_id: str, key: str, ctx: Optional[object] = None):
         start = self.sim.now
         yield self.sim.timeout(self.cluster.config.latency.local_access)
         instance = self.instances[node_id]
@@ -151,6 +151,7 @@ class FaastSystem(StorageAPI):
             home_version = yield from instance.endpoint.call(
                 f"{home}/faast-{self.app}", "check_version", key,
                 size_bytes=len(key), timeout=DEFAULT_RPC_TIMEOUT_MS,
+                trace=INHERIT,
             )
             self._stats.version_checks += 1
             if home_version == entry.version:
@@ -160,6 +161,7 @@ class FaastSystem(StorageAPI):
         value, version, home_cached = yield from instance.endpoint.call(
             f"{home}/faast-{self.app}", "fetch", key,
             size_bytes=len(key), timeout=DEFAULT_RPC_TIMEOUT_MS,
+            trace=INHERIT,
         )
         if value is not None:
             instance._insert(key, value, version)
@@ -167,7 +169,7 @@ class FaastSystem(StorageAPI):
         self._stats.record(kind, self.sim.now - start)
         return value
 
-    def write(self, node_id: str, key: str, value: object, ctx: Optional[object] = None):
+    def _do_write(self, node_id: str, key: str, value: object, ctx: Optional[object] = None):
         start = self.sim.now
         yield self.sim.timeout(self.cluster.config.latency.local_access)
         instance = self.instances[node_id]
@@ -179,6 +181,7 @@ class FaastSystem(StorageAPI):
             version = yield from instance.endpoint.call(
                 f"{home}/faast-{self.app}", "write", (key, value),
                 size_bytes=sizeof(value), timeout=DEFAULT_RPC_TIMEOUT_MS,
+                trace=INHERIT,
             )
             instance._insert(key, value, version)
             kind = OpKind.REMOTE_WRITE_HIT

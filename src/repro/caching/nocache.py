@@ -29,13 +29,13 @@ class DirectStorage(StorageAPI):
     def stats(self) -> AccessStats:
         return self._stats
 
-    def read(self, node_id: str, key: str, ctx: Optional[object] = None):
+    def _do_read(self, node_id: str, key: str, ctx: Optional[object] = None):
         start = self.sim.now
         value, _version = yield from self.cluster.storage.read(key)
         self._stats.record(OpKind.READ_MISS, self.sim.now - start)
         return value
 
-    def write(self, node_id: str, key: str, value: object, ctx: Optional[object] = None):
+    def _do_write(self, node_id: str, key: str, value: object, ctx: Optional[object] = None):
         start = self.sim.now
         yield from self.cluster.storage.write(key, value, writer=node_id)
         self._stats.record(OpKind.WRITE_MISS, self.sim.now - start)

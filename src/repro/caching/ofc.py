@@ -13,7 +13,7 @@ from repro.caching.base import CacheEntry, LruCache, StorageAPI, VALID
 from repro.config import MB
 from repro.core.hashring import ConsistentHashRing
 from repro.metrics import AccessStats, OpKind
-from repro.net.rpc import DEFAULT_RPC_TIMEOUT_MS, Endpoint, Reply
+from repro.net.rpc import DEFAULT_RPC_TIMEOUT_MS, INHERIT, Endpoint, Reply
 from repro.net.sizes import sizeof
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -86,7 +86,7 @@ class OfcSystem(StorageAPI):
     def home_of(self, key: str) -> str:
         return self.ring.home(key)
 
-    def read(self, node_id: str, key: str, ctx: Optional[object] = None):
+    def _do_read(self, node_id: str, key: str, ctx: Optional[object] = None):
         start = self.sim.now
         yield self.sim.timeout(self.cluster.config.latency.local_access)
         home = self.home_of(key)
@@ -98,12 +98,13 @@ class OfcSystem(StorageAPI):
             value, cached = yield from requester.call(
                 f"{home}/ofc", "read", key, size_bytes=len(key),
                 timeout=DEFAULT_RPC_TIMEOUT_MS,
+                trace=INHERIT,
             )
             kind = OpKind.REMOTE_READ_HIT if cached else OpKind.READ_MISS
         self._stats.record(kind, self.sim.now - start)
         return value
 
-    def write(self, node_id: str, key: str, value: object, ctx: Optional[object] = None):
+    def _do_write(self, node_id: str, key: str, value: object, ctx: Optional[object] = None):
         start = self.sim.now
         yield self.sim.timeout(self.cluster.config.latency.local_access)
         home = self.home_of(key)
@@ -115,6 +116,7 @@ class OfcSystem(StorageAPI):
             yield from requester.call(
                 f"{home}/ofc", "write", (key, value),
                 size_bytes=sizeof(value), timeout=DEFAULT_RPC_TIMEOUT_MS,
+                trace=INHERIT,
             )
             kind = OpKind.REMOTE_WRITE_HIT
         self._stats.record(kind, self.sim.now - start)

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.caching.base import AccessContext, CacheEntry, EXCLUSIVE, LruCache, SHARED
 from repro.core.directory import DataDirectory
 from repro.metrics import OpKind
-from repro.net.rpc import Endpoint, Reply, RpcError, RpcTimeout
+from repro.net.rpc import INHERIT, Endpoint, Reply, RpcError, RpcTimeout
 from repro.net.sizes import sizeof
 from repro.sim.resources import Resource
 
@@ -58,7 +58,7 @@ class CacheAgent:
         self.node_id = node_id
         self.app = system.app
         self.cache = LruCache(capacity_bytes, name=f"concord:{system.app}:{node_id}")
-        self.directory = DataDirectory(node_id)
+        self.directory = DataDirectory(node_id, tracer=self.sim.tracer)
         self.ring = system.ring_template.copy()
         node = system.cluster.nodes.get(node_id)
         self.endpoint = Endpoint(
@@ -192,6 +192,7 @@ class CacheAgent:
                     f"{home}/concord-{self.app}", "read", (key, self.node_id, fn),
                     size_bytes=len(key) + 8,
                     timeout=self.system.config.rpc_timeout_ms,
+                    trace=INHERIT,
                 )
                 return reply
             except RpcTimeout:
@@ -217,6 +218,7 @@ class CacheAgent:
                     (key, value, self.node_id, fn),
                     size_bytes=sizeof(value) + len(key),
                     timeout=self.system.config.rpc_timeout_ms,
+                    trace=INHERIT,
                 )
                 return OpKind(kind_name), cacheable
             except RpcTimeout:
@@ -253,6 +255,7 @@ class CacheAgent:
                         (key, self.node_id, has_local),
                         size_bytes=len(key) + 8,
                         timeout=self.system.config.rpc_timeout_ms,
+                        trace=INHERIT,
                     )
                 if value is None and has_local:
                     # Upgrade: no data traveled because we hold a Shared
@@ -282,6 +285,15 @@ class CacheAgent:
         (value is None).  Otherwise the data comes from the home's own
         Shared copy if it has one, falling back to storage.
         """
+        tracer = self.sim.tracer
+        if not tracer.active:
+            return (yield from self._home_rfo_impl(key, requester,
+                                                   requester_has_copy))
+        with tracer.span("home_rfo", "agent", key=key, requester=requester):
+            return (yield from self._home_rfo_impl(key, requester,
+                                                   requester_has_copy))
+
+    def _home_rfo_impl(self, key, requester, requester_has_copy):
         lock = self._lock(self._key_locks, key)
         yield lock.acquire()
         try:
@@ -352,6 +364,13 @@ class CacheAgent:
 
     def _home_read(self, key: str, requester: str, fn: str = ""):
         """Serve a read at the home; returns (value, state, dir_hit, cacheable)."""
+        tracer = self.sim.tracer
+        if not tracer.active:
+            return (yield from self._home_read_impl(key, requester, fn))
+        with tracer.span("home_read", "agent", key=key, requester=requester):
+            return (yield from self._home_read_impl(key, requester, fn))
+
+    def _home_read_impl(self, key, requester, fn):
         lock = self._lock(self._key_locks, key)
         yield lock.acquire()
         try:
@@ -411,6 +430,13 @@ class CacheAgent:
 
     def _home_write(self, key: str, value: object, requester: str, fn: str = ""):
         """Serialize a write at the home; returns (OpKind, cacheable)."""
+        tracer = self.sim.tracer
+        if not tracer.active:
+            return (yield from self._home_write_impl(key, value, requester, fn))
+        with tracer.span("home_write", "agent", key=key, requester=requester):
+            return (yield from self._home_write_impl(key, value, requester, fn))
+
+    def _home_write_impl(self, key, value, requester, fn):
         lock = self._lock(self._key_locks, key)
         yield lock.acquire()
         try:
@@ -475,22 +501,24 @@ class CacheAgent:
                 return None
             local.state = SHARED
             return local.value
-        call = self.sim.spawn(
-            self._call_catching(
-                f"{owner}/concord-{self.app}", "fetch_downgrade", key, len(key)),
-            name=f"fetch:{key}:{owner}",
-        )
-        # Abort early if the owner is declared failed while we wait; its
-        # copies are unreadable (crash) or about to be flushed (ejection).
-        yield self.sim.any_of([call, self._removal_event(owner)])
-        if not call.triggered:
-            return None
-        status, reply = call.value
-        if status == "err":
-            if isinstance(reply, RpcTimeout):
-                self.system.report_unreachable(owner)
-            return None
-        return None if isinstance(reply, NotCached) else reply
+        with self.sim.tracer.span("fetch_owner", "agent", key=key, owner=owner):
+            call = self.sim.spawn(
+                self._call_catching(
+                    f"{owner}/concord-{self.app}", "fetch_downgrade", key,
+                    len(key)),
+                name=f"fetch:{key}:{owner}",
+            )
+            # Abort early if the owner is declared failed while we wait; its
+            # copies are unreadable (crash) or about to be flushed (ejection).
+            yield self.sim.any_of([call, self._removal_event(owner)])
+            if not call.triggered:
+                return None
+            status, reply = call.value
+            if status == "err":
+                if isinstance(reply, RpcTimeout):
+                    self.system.report_unreachable(owner)
+                return None
+            return None if isinstance(reply, NotCached) else reply
 
     def _send_invalidations(self, key: str, sharers: list):
         """Issue invalidations; returns the ack-wait processes.
@@ -520,18 +548,23 @@ class CacheAgent:
     def _invalidate_one(self, key: str, sharer: str):
         if sharer not in self.ring.members:
             return  # already recovered/left; nothing readable remains there
-        call = self.sim.spawn(
-            self._call_catching(
-                f"{sharer}/concord-{self.app}", "invalidate", key, len(key)),
-            name=f"invrpc:{key}:{sharer}",
-        )
-        yield self.sim.any_of([call, self._removal_event(sharer)])
-        if not call.triggered:
-            return  # sharer was declared failed; recovery handles its copies
-        status, reply = call.value
-        if status == "err" and isinstance(reply, RpcTimeout):
-            # A dead sharer holds no readable copy; report and move on.
-            self.system.report_unreachable(sharer)
+        # One span per sharer: the write's invalidation fan-out shows up
+        # as parallel children of the home_write span.
+        with self.sim.tracer.span("invalidate", "invalidation",
+                                  key=key, sharer=sharer):
+            call = self.sim.spawn(
+                self._call_catching(
+                    f"{sharer}/concord-{self.app}", "invalidate", key,
+                    len(key)),
+                name=f"invrpc:{key}:{sharer}",
+            )
+            yield self.sim.any_of([call, self._removal_event(sharer)])
+            if not call.triggered:
+                return  # sharer declared failed; recovery handles its copies
+            status, reply = call.value
+            if status == "err" and isinstance(reply, RpcTimeout):
+                # A dead sharer holds no readable copy; report and move on.
+                self.system.report_unreachable(sharer)
 
     def _call_catching(self, dst: str, method: str, args: object, size: int):
         """RPC returning ("ok", value) or ("err", exception) — never raises."""
@@ -539,6 +572,7 @@ class CacheAgent:
             value = yield from self.endpoint.call(
                 dst, method, args, size_bytes=size,
                 timeout=self.system.config.rpc_timeout_ms,
+                trace=INHERIT,
             )
         except RpcError as exc:
             return ("err", exc)
@@ -709,7 +743,7 @@ class CacheAgent:
         self.ejected = True
         self.epoch += 1
         self.cache.clear()
-        self.directory = DataDirectory(self.node_id)
+        self.directory = DataDirectory(self.node_id, tracer=self.sim.tracer)
         self._last_writer.clear()
         if self.node_id in self.ring.members:
             self.ring.remove(self.node_id)

@@ -20,7 +20,7 @@ from repro.core.domain import keys_moving_to_joiner, new_homes_for_leaver, ring_
 from repro.core.hashring import ConsistentHashRing
 from repro.core.recovery import RecoveryTracker
 from repro.metrics import AccessStats
-from repro.net.rpc import DEFAULT_RPC_TIMEOUT_MS, Endpoint, Reply
+from repro.net.rpc import DEFAULT_RPC_TIMEOUT_MS, INHERIT, Endpoint, Reply
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster import Cluster
@@ -99,6 +99,7 @@ class AppController:
         for node_id in sorted(self.ring.members):
             self.endpoint.notify(
                 f"{node_id}/concord-{self.app}", "recovery_complete", failed_member,
+                trace=INHERIT,
             )
 
     # -- voluntary domain changes ----------------------------------------------
@@ -129,6 +130,7 @@ class AppController:
                         f"{node_id}/concord-{self.app}", "domain_prepare",
                         (kind, member, participants), size_bytes=32,
                         timeout=DEFAULT_RPC_TIMEOUT_MS,
+                        trace=INHERIT,
                     ),
                     name=f"prep:{node_id}",
                 )
@@ -142,6 +144,7 @@ class AppController:
                         f"{node_id}/concord-{self.app}", "domain_commit",
                         (kind, member), size_bytes=32,
                         timeout=DEFAULT_RPC_TIMEOUT_MS,
+                        trace=INHERIT,
                     ),
                     name=f"commit:{node_id}",
                 )
@@ -176,6 +179,7 @@ class AppController:
                 yield from self.endpoint.call(
                     f"{home}/concord-{self.app}", "external_write", (key, version),
                     size_bytes=len(key) + 8,
+                    trace=INHERIT,
                 )
                 return
             except (NotHome, RpcTimeout):
@@ -240,14 +244,14 @@ class ConcordSystem(StorageAPI):
     def stats(self) -> AccessStats:
         return self._stats
 
-    def read(self, node_id: str, key: str, ctx: Optional[AccessContext] = None):
+    def _do_read(self, node_id: str, key: str, ctx: Optional[AccessContext] = None):
         agent = self.agents[node_id]
         start = self.sim.now
         value, kind = yield from agent.read(key, ctx)
         self._stats.record(kind, self.sim.now - start)
         return value
 
-    def write(self, node_id: str, key: str, value: object,
+    def _do_write(self, node_id: str, key: str, value: object,
               ctx: Optional[AccessContext] = None):
         agent = self.agents[node_id]
         start = self.sim.now
@@ -357,6 +361,7 @@ class ConcordSystem(StorageAPI):
         agent.endpoint.notify(
             self.controller.endpoint.address, "recovery_ack",
             (failed_member, agent.node_id), size_bytes=16,
+            trace=INHERIT,
         )
 
     def _rejoin(self, agent: CacheAgent):
@@ -405,6 +410,7 @@ class ConcordSystem(StorageAPI):
                         f"{joiner}/concord-{self.app}", "dir_install", entries,
                         size_bytes=DIR_ENTRY_WIRE_BYTES * len(entries),
                         timeout=DEFAULT_RPC_TIMEOUT_MS,
+                        trace=INHERIT,
                     )
             finally:
                 release()
@@ -428,6 +434,7 @@ class ConcordSystem(StorageAPI):
                         f"{target}/concord-{self.app}", "dir_install", entries,
                         size_bytes=DIR_ENTRY_WIRE_BYTES * len(entries),
                         timeout=DEFAULT_RPC_TIMEOUT_MS,
+                        trace=INHERIT,
                     )
             finally:
                 release()

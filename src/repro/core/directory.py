@@ -42,10 +42,18 @@ class DirectoryEntry:
 
 
 class DataDirectory:
-    """The set of directory entries homed at one cache agent."""
+    """The set of directory entries homed at one cache agent.
 
-    def __init__(self, node_id: str):
+    When constructed with a :class:`~repro.trace.Tracer`, directory
+    lookups and mutations are recorded as zero-duration ``directory``
+    events inside whatever operation span is current — the "directory
+    lookup" nodes of the per-op trace tree.  The directory itself has no
+    clock; timestamps come from the tracer's simulator.
+    """
+
+    def __init__(self, node_id: str, tracer=None):
         self.node_id = node_id
+        self.tracer = tracer
         self._entries: dict[str, DirectoryEntry] = {}
 
     def __len__(self) -> int:
@@ -55,7 +63,13 @@ class DataDirectory:
         return key in self._entries
 
     def get(self, key: str) -> Optional[DirectoryEntry]:
-        return self._entries.get(key)
+        entry = self._entries.get(key)
+        tracer = self.tracer
+        if tracer is not None and tracer.active:
+            tracer.instant("dir:get", "directory", key=key,
+                           state=entry.state if entry is not None else "miss",
+                           sharers=len(entry.sharers) if entry else 0)
+        return entry
 
     def keys(self) -> list[str]:
         return list(self._entries.keys())
@@ -67,10 +81,18 @@ class DataDirectory:
         """(Re)create the entry with a single exclusive owner."""
         entry = DirectoryEntry(key=key, state=EXCLUSIVE, sharers={owner})
         self._entries[key] = entry
+        tracer = self.tracer
+        if tracer is not None and tracer.active:
+            tracer.instant("dir:set_exclusive", "directory",
+                           key=key, owner=owner)
         return entry
 
     def add_sharer(self, key: str, sharer: str) -> DirectoryEntry:
         """Add a sharer, downgrading to Shared if needed."""
+        tracer = self.tracer
+        if tracer is not None and tracer.active:
+            tracer.instant("dir:add_sharer", "directory",
+                           key=key, sharer=sharer)
         entry = self._entries.get(key)
         if entry is None:
             entry = DirectoryEntry(key=key, state=EXCLUSIVE, sharers={sharer})
@@ -88,7 +110,11 @@ class DataDirectory:
             entry.state = SHARED
 
     def remove(self, key: str) -> Optional[DirectoryEntry]:
-        return self._entries.pop(key, None)
+        entry = self._entries.pop(key, None)
+        tracer = self.tracer
+        if entry is not None and tracer is not None and tracer.active:
+            tracer.instant("dir:remove", "directory", key=key)
+        return entry
 
     def install(self, entry: DirectoryEntry) -> None:
         """Adopt an entry transferred from another home (domain change)."""

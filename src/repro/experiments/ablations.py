@@ -14,9 +14,10 @@ from __future__ import annotations
 from repro.cluster import Cluster
 from repro.config import SimConfig
 from repro.coord import CoordinationService
-from repro.core import ConcordSystem, ConsistentHashRing
+from repro.core import ConsistentHashRing
 from repro.experiments.runner import MixedRunConfig, run_mixed_workload
 from repro.experiments.tables import ExperimentResult
+from repro.schemes import build_scheme
 from repro.sim import Simulator
 from repro.storage import DataItem
 
@@ -34,8 +35,9 @@ def run_estate(scale: float = 1.0, seed: int = 201) -> ExperimentResult:
              "updates (paper Section VII).",
     )
     for variant, estate in (("with E-state", True), ("without", False)):
-        system = ConcordSystem(
-            cluster, app=f"ab-{estate}", coord=coord, estate_writes=estate)
+        system = build_scheme(
+            "concord", cluster, coord, app=f"ab-{estate}",
+            estate_writes=estate)
         key = f"counter-{estate}"
 
         def op(gen):
@@ -67,8 +69,8 @@ def run_parallel_inv(scale: float = 1.0, seed: int = 203) -> ExperimentResult:
         sim = Simulator(seed=seed)
         cluster = Cluster(sim, SimConfig(num_nodes=8))
         coord = CoordinationService(cluster.network, cluster.config)
-        system = ConcordSystem(
-            cluster, app="abinv", coord=coord,
+        system = build_scheme(
+            "concord", cluster, coord, app="abinv",
             parallel_invalidations=parallel)
         key = "shared"
         cluster.storage.preload({key: DataItem("v", 1024)})

@@ -2,6 +2,12 @@
 
 On a conventional (cache-less) platform, storage accounts for 35-93 % of
 end-to-end response time with an average of 63.1 % (paper Section II-A).
+
+The breakdown is measured twice: from the platform's per-invocation time
+counters, and independently from the causal trace (the ``op`` and
+``compute`` spans of each request's span tree).  The two must agree —
+the run fails if they diverge — so the counters and the tracing layer
+cross-validate each other.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ from repro.config import SimConfig
 from repro.experiments.tables import ExperimentResult
 from repro.faas import FaasPlatform
 from repro.sim import Simulator
+from repro.trace import Tracer
+from repro.trace.summary import per_app_requests
 from repro.workloads import ALL_PROFILES, build_app, entity_inputs_factory
 from repro.workloads.profiles import preload_storage
 
@@ -19,15 +27,18 @@ from repro.workloads.profiles import preload_storage
 def run(scale: float = 1.0, seed: int = 101) -> ExperimentResult:
     """Measure each app's storage share on an unloaded cache-less cluster."""
     requests = max(4, int(20 * scale))
-    sim = Simulator(seed=seed)
+    tracer = Tracer()
+    sim = Simulator(seed=seed, tracer=tracer)
     cluster = Cluster(sim, SimConfig(num_nodes=4, cores_per_node=8))
     platform = FaasPlatform(cluster)
 
     result = ExperimentResult(
         experiment="Figure 1",
         title="Response-time breakdown (no caching)",
-        columns=["app", "response_ms", "storage_ms", "compute_ms", "storage_pct"],
-        note="Paper: storage is 35.1-93.0% of response time, average 63.1%.",
+        columns=["app", "response_ms", "storage_ms", "compute_ms",
+                 "storage_pct", "trace_storage_pct"],
+        note="Paper: storage is 35.1-93.0% of response time, average 63.1%. "
+             "trace_storage_pct is derived independently from span trees.",
     )
     fractions = []
     for name, profile in ALL_PROFILES.items():
@@ -48,11 +59,26 @@ def run(scale: float = 1.0, seed: int = 101) -> ExperimentResult:
             "compute_ms": app.compute_ms_total / app.requests_completed,
             "storage_pct": 100.0 * fraction,
         })
+    # Cross-check: re-derive the breakdown from the causal trace.  The
+    # ``op`` spans bracket exactly the interval the invocation context
+    # charges to storage_ms, so counters and spans must agree.
+    traced = per_app_requests(tracer.to_dicts())
+    trace_pcts = []
+    for row in result.data:
+        summary = traced[row["app"]]
+        row["trace_storage_pct"] = summary["storage_pct"]
+        trace_pcts.append(summary["storage_pct"])
+        if abs(row["trace_storage_pct"] - row["storage_pct"]) > 0.1:
+            raise RuntimeError(
+                f"trace/counter breakdown mismatch for {row['app']}: "
+                f"{row['trace_storage_pct']:.3f}% (spans) vs "
+                f"{row['storage_pct']:.3f}% (counters)")
     result.data.append({
         "app": "Average",
         "response_ms": "",
         "storage_ms": "",
         "compute_ms": "",
         "storage_pct": 100.0 * sum(fractions) / len(fractions),
+        "trace_storage_pct": sum(trace_pcts) / len(trace_pcts),
     })
     return result

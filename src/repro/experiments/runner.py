@@ -14,21 +14,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.caching import DirectStorage, FaastSystem, OfcSystem
 from repro.cluster import Cluster
 from repro.config import MB, LatencyModel, SimConfig
 from repro.coord import CoordinationService
 from repro.core import ConcordSystem
-from repro.faas import CasScheduler, FaasPlatform, LocalityScheduler
+from repro.faas import FaasPlatform
 from repro.metrics import AccessStats, Histogram
+from repro.schemes import build_scheme_map, make_scheduler, scheme_spec
 from repro.sim import Simulator
+from repro.trace import Tracer, export_chrome
 from repro.workloads import ALL_PROFILES, build_app, entity_inputs_factory
-from repro.workloads.profiles import preload_storage, working_set
+from repro.workloads.profiles import preload_storage
 
 #: Load levels as target cluster CPU utilization (paper Section V).
 LOAD_LEVELS = {"low": 0.25, "medium": 0.50, "high": 0.70}
-
-SCHEMES = ("nocache", "ofc", "faast", "concord", "concord-nocas")
 
 
 @dataclass
@@ -65,6 +64,10 @@ class MixedRunConfig:
     #: busy at the hot agents of single-home schemes under the three
     #: loads) while barely moving unloaded per-op costs.
     agent_service_ms: float = 1.2
+    #: Causal tracing: ``True`` collects spans (``result.tracer``), a path
+    #: string additionally exports a Chrome trace there, a
+    #: :class:`~repro.trace.Tracer` instance is used as-is.
+    trace: object = None
 
     def cpu_ms_per_request(self) -> float:
         """Average CPU demand of one request across the app mix."""
@@ -112,6 +115,8 @@ class MixedRunResult:
     network_messages: int = 0
     storage_reads: int = 0
     storage_writes: int = 0
+    #: The run's Tracer when ``config.trace`` was set (not fingerprinted).
+    tracer: object = None
 
     def mean_latency(self) -> float:
         values = [s.mean_latency_ms for s in self.per_app.values() if s.completed]
@@ -119,93 +124,36 @@ class MixedRunResult:
 
 
 def _make_schemes(config, cluster, coord):
-    """Build the per-app StorageAPI map for the configured scheme."""
-    schemes = {}
-    if config.scheme == "ofc":
-        budget = (config.ofc_shared_capacity
-                  or config.cache_capacity or 64 * MB)
-        shared = OfcSystem(cluster, capacity_per_node=budget)
-        return {name: shared for name in config.apps}
-    memory_storage = None
-    if config.scheme == "concord-mem":
-        from dataclasses import replace as dc_replace
-
-        from repro.storage import GlobalStorage
-
-        # Memory-node tier: storage served at internode latency.
-        mem_latency = dc_replace(
-            cluster.config.latency,
-            storage_rtt=cluster.config.latency.internode_rtt,
-            storage_bytes_per_ms=cluster.config.latency.serialization_bytes_per_ms,
-        )
-        memory_storage = GlobalStorage(cluster.sim, mem_latency, name="memtier")
-    for name in config.apps:
-        if config.scheme == "nocache":
-            schemes[name] = DirectStorage(cluster)
-        elif config.scheme in ("apta-az", "apta-mem"):
-            from repro.apta import AptaSystem, make_memory_tier
-
-            backing = cluster.storage if config.scheme == "apta-az" else None
-            schemes[name] = AptaSystem(
-                cluster, make_memory_tier(cluster, config.num_nodes),
-                app=name, backing=backing,
-                capacity_per_node=(config.cache_capacity or 64 * MB),
-            )
-        elif config.scheme == "concord-mem":
-            schemes[name] = ConcordSystem(
-                cluster, app=name, coord=coord, storage=memory_storage,
-                capacity_override=config.cache_capacity,
-            )
-        elif config.scheme == "faast":
-            read_only = set()
-            if config.read_only_annotations:
-                from repro.workloads.distributions import is_read_only
-                from repro.workloads.profiles import entity_key
-
-                profile = ALL_PROFILES[name]
-                read_only = {
-                    entity_key(name, e, i)
-                    for e in range(profile.entities)
-                    for i in range(profile.items_per_entity)
-                    if is_read_only(entity_key(name, e, i))
-                }
-            schemes[name] = FaastSystem(
-                cluster, app=name,
-                capacity_per_instance=(config.cache_capacity or 64 * MB),
-                read_only_keys=read_only,
-            )
-        elif config.scheme in ("concord", "concord-nocas"):
-            schemes[name] = ConcordSystem(
-                cluster, app=name, coord=coord,
-                capacity_override=config.cache_capacity,
-            )
-        else:
-            raise ValueError(f"unknown scheme {config.scheme!r}")
-    return schemes
+    """Build the per-app StorageAPI map through the scheme registry."""
+    return build_scheme_map(
+        config.scheme, cluster, coord, config.apps,
+        capacity=config.cache_capacity,
+        ofc_shared_capacity=config.ofc_shared_capacity,
+        read_only_annotations=config.read_only_annotations,
+        num_memory_nodes=config.num_nodes,
+    )
 
 
-def _scheduler_for(config, sim, schemes):
-    if config.scheme in ("concord", "concord-mem"):
-        return CasScheduler()
-    if config.scheme in ("apta-az", "apta-mem"):
-        from repro.apta import AptaScheduler
-
-        return AptaScheduler(schemes)
-    return LocalityScheduler()
+def _make_tracer(config) -> Optional[Tracer]:
+    if not config.trace:
+        return None
+    return config.trace if isinstance(config.trace, Tracer) else Tracer()
 
 
 def run_mixed_workload(config: MixedRunConfig) -> MixedRunResult:
     """Execute one measurement run and collect all metrics."""
-    sim = Simulator(seed=config.seed)
+    tracer = _make_tracer(config)
+    sim = Simulator(seed=config.seed, tracer=tracer)
     latency = replace(LatencyModel(), agent_service_ms=config.agent_service_ms)
     sim_config = SimConfig(
         num_nodes=config.num_nodes, cores_per_node=config.cores_per_node,
         latency=latency)
     cluster = Cluster(sim, sim_config)
     coord = CoordinationService(cluster.network, sim_config)
+    spec = scheme_spec(config.scheme)
     schemes = _make_schemes(config, cluster, coord)
     platform = FaasPlatform(
-        cluster, scheduler=_scheduler_for(config, sim, schemes))
+        cluster, scheduler=make_scheduler(config.scheme, schemes))
 
     factories = {}
     deployed = {}
@@ -213,11 +161,9 @@ def run_mixed_workload(config: MixedRunConfig) -> MixedRunResult:
         profile = ALL_PROFILES[name]
         preload_storage(cluster.storage, profile)
         scheme = schemes[name]
-        if config.scheme == "apta-mem":
-            # The memory tier is the terminal store; fill it directly.
-            scheme.preload(working_set(profile))
-        elif config.scheme == "concord-mem":
-            preload_storage(scheme.storage, profile)
+        if spec.preload is not None:
+            # Schemes acting as the terminal store prime themselves too.
+            spec.preload(scheme, profile)
         deployed[name] = platform.deploy(build_app(profile), scheme)
         factories[name] = entity_inputs_factory(profile, sim)
 
@@ -293,6 +239,9 @@ def run_mixed_workload(config: MixedRunConfig) -> MixedRunResult:
     result.network_messages = cluster.network.stats.messages - network_before
     result.storage_reads = cluster.storage.stats.reads - storage_reads_before
     result.storage_writes = cluster.storage.stats.writes - storage_writes_before
+    result.tracer = tracer
+    if tracer is not None and isinstance(config.trace, str):
+        export_chrome(tracer, config.trace)
     return result
 
 
@@ -315,7 +264,7 @@ def unloaded_latency(
     coord = CoordinationService(cluster.network, sim_config)
     schemes = _make_schemes(config, cluster, coord)
     platform = FaasPlatform(
-        cluster, scheduler=_scheduler_for(config, sim, schemes))
+        cluster, scheduler=make_scheduler(config.scheme, schemes))
     latencies = {}
     for name in config.apps:
         profile = ALL_PROFILES[name]

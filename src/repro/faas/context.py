@@ -63,12 +63,20 @@ class InvocationContext:
     # -- compute ------------------------------------------------------------
     def compute(self, ms: float):
         """Burn ``ms`` of CPU on this node's cores (queues when busy)."""
+        tracer = self.sim.tracer
+        span = (tracer.span("compute", "compute",
+                            node=self.node.id, function=self.function)
+                if tracer.active else None)
         start = self.sim.now
-        grant = self.node.cores.acquire()
-        yield grant
         try:
-            yield self.sim.timeout(ms)
+            grant = self.node.cores.acquire()
+            yield grant
+            try:
+                yield self.sim.timeout(ms)
+            finally:
+                self.node.cores.release()
+            self.compute_ms += self.sim.now - start
+            return None
         finally:
-            self.node.cores.release()
-        self.compute_ms += self.sim.now - start
-        return None
+            if span is not None:
+                span.end()

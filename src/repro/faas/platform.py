@@ -141,7 +141,21 @@ class FaasPlatform:
 
     # -- request execution -------------------------------------------------------
     def request(self, app_name: str, inputs: Optional[dict] = None):
-        """Execute one request end-to-end (generator; returns RequestResult)."""
+        """Execute one request end-to-end (generator; returns RequestResult).
+
+        When tracing, each request opens a fresh root ``request`` span
+        (``parent=None``), so everything the request causes — function
+        invocations, cache-agent work, invalidation fan-out, storage round
+        trips, even on other nodes — forms one trace tree per request.
+        """
+        tracer = self.sim.tracer
+        if not tracer.active:
+            return (yield from self._request(app_name, inputs))
+        with tracer.span(f"request:{app_name}", "request",
+                         parent=None, app=app_name):
+            return (yield from self._request(app_name, inputs))
+
+    def _request(self, app_name: str, inputs: Optional[dict] = None):
         app = self.apps[app_name]
         inputs = dict(inputs or {})
         start = self.sim.now
@@ -169,6 +183,14 @@ class FaasPlatform:
 
         Returns ``(ctx, handler_result)``.
         """
+        tracer = self.sim.tracer
+        if not tracer.active:
+            return (yield from self._invoke(app, function_name, inputs))
+        with tracer.span(f"invoke:{function_name}", "invoke",
+                         app=app.name, function=function_name):
+            return (yield from self._invoke(app, function_name, inputs))
+
+    def _invoke(self, app: DeployedApp, function_name: str, inputs: dict):
         spec = app.spec.function(function_name)
         if spec is None:
             raise KeyError(f"{app.name} has no function {function_name!r}")

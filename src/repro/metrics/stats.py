@@ -21,15 +21,36 @@ class Histogram:
     def __init__(self):
         self._samples: list[float] = []
         self._sorted = True
+        #: Diagnostic: number of times a query had to sort (tests assert
+        #: repeated percentile queries after a merge sort exactly once).
+        self._sorts = 0
 
     def record(self, value: float) -> None:
+        # An append in non-decreasing order keeps the samples sorted, so
+        # monotone streams never pay a sort at query time.
+        if self._sorted and self._samples and value < self._samples[-1]:
+            self._sorted = False
         self._samples.append(value)
-        self._sorted = False
 
     def extend(self, other: "Histogram") -> None:
         """Merge another histogram's samples into this one."""
+        if not other._samples:
+            return
+        if not self._samples:
+            self._samples = list(other._samples)
+            self._sorted = other._sorted
+            return
+        still_sorted = (self._sorted and other._sorted
+                        and other._samples[0] >= self._samples[-1])
         self._samples.extend(other._samples)
-        self._sorted = False
+        self._sorted = still_sorted
+
+    def _ensure_sorted(self) -> list:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+            self._sorts += 1
+        return self._samples
 
     @property
     def count(self) -> int:
@@ -43,11 +64,15 @@ class Histogram:
 
     @property
     def max(self) -> float:
-        return max(self._samples) if self._samples else math.nan
+        if not self._samples:
+            return math.nan
+        return self._samples[-1] if self._sorted else max(self._samples)
 
     @property
     def min(self) -> float:
-        return min(self._samples) if self._samples else math.nan
+        if not self._samples:
+            return math.nan
+        return self._samples[0] if self._sorted else min(self._samples)
 
     def percentile(self, p: float) -> float:
         """Exact percentile via nearest-rank (p in [0, 100])."""
@@ -55,18 +80,16 @@ class Histogram:
             return math.nan
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
-        if not self._sorted:
-            self._samples.sort()
-            self._sorted = True
-        rank = max(1, math.ceil(p / 100.0 * len(self._samples)))
-        return self._samples[rank - 1]
+        samples = self._ensure_sorted()
+        rank = max(1, math.ceil(p / 100.0 * len(samples)))
+        return samples[rank - 1]
 
     def trimmed_mean(self, drop_top_fraction: float = 0.1) -> float:
         """Mean excluding the largest ``drop_top_fraction`` of samples
         (e.g. cold-start transients at the head of a measurement phase)."""
         if not self._samples:
             return math.nan
-        kept = sorted(self._samples)
+        kept = self._ensure_sorted()
         cut = int(len(kept) * drop_top_fraction)
         kept = kept[:len(kept) - cut] if cut else kept
         return sum(kept) / len(kept)

@@ -32,6 +32,9 @@ class Message:
     #: Correlates a response with its request (None for one-way sends).
     request_id: Optional[int] = None
     is_response: bool = False
+    #: TraceContext travelling with the request so the serving side joins
+    #: the caller's span tree (None when tracing is off / for responses).
+    trace: Optional[object] = None
 
 
 @dataclass

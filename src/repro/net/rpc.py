@@ -25,6 +25,7 @@ from repro.net.fabric import Message, Network
 from repro.net.sizes import sizeof
 from repro.sim.errors import Interrupt
 from repro.sim.events import Event
+from repro.trace.tracer import INHERIT, TraceContext  # noqa: F401 - re-export
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim import Simulator
@@ -156,11 +157,26 @@ class Endpoint:
             name=f"rpc:{self.address}:{method}",
             daemon=True,
         )
+        # The handler joins the caller's span tree: its ambient context is
+        # whatever TraceContext travelled with the request.
+        process.trace_ctx = message.trace
         self._inflight_handlers[process] = None
         process.callbacks.append(
             lambda _ev: self._inflight_handlers.pop(process, None))
 
     def _run_handler(self, handler: Handler, message: Message):
+        tracer = self.sim.tracer
+        if not tracer.active:
+            yield from self._serve(handler, message)
+            return
+        # Server-side span: covers the service slice (queueing at a hot
+        # agent) plus the handler body.  _serve() swallows Interrupt, so
+        # the span ends on every path, including node crashes.
+        with tracer.span(f"serve:{message.kind}", "rpc.server",
+                         src=message.src, addr=self.address):
+            yield from self._serve(handler, message)
+
+    def _serve(self, handler: Handler, message: Message):
         try:
             if self._server is not None:
                 yield self._server.acquire()
@@ -207,6 +223,7 @@ class Endpoint:
         args: object = None,
         size_bytes: Optional[int] = None,
         timeout: Optional[float] = None,
+        trace=INHERIT,
     ):
         """Issue an RPC; yields from a generator returning the response.
 
@@ -217,26 +234,47 @@ class Endpoint:
         Raises :class:`RpcTimeout` if no response arrives within
         ``timeout`` ms (default 5000), and re-raises any :class:`RpcError`
         the handler failed with.
+
+        ``trace`` names the call's position in the span tree (TRC01):
+        the default :data:`INHERIT` attaches to the calling process's
+        ambient :class:`TraceContext`; pass an explicit context/span to
+        re-parent, or ``None`` to start a fresh trace.  The context
+        travels with the request, and the client span survives the
+        timeout path (ended in a ``finally`` with ``status=timeout``),
+        so retries issued afterwards join the same operation's trace.
         """
-        request_id = next(self._ids)
-        response = Event(self.sim, name=f"rpc-resp:{method}")
-        self._pending[request_id] = response
-        self.network.send(Message(
-            src=self.address,
-            dst=dst,
-            kind=method,
-            payload=(method, args),
-            size_bytes=size_bytes if size_bytes is not None else sizeof(args),
-            request_id=request_id,
-        ))
-        limit = timeout if timeout is not None else DEFAULT_RPC_TIMEOUT_MS
-        timer = self.sim.timeout(limit)
-        winner = yield self.sim.any_of([response, timer])
-        if not response.triggered:
-            self._pending.pop(request_id, None)
-            raise RpcTimeout(dst, method, limit)
-        del winner
-        return response.value
+        tracer = self.sim.tracer
+        span = None
+        ctx = None
+        if tracer.active:
+            span = tracer.span(f"rpc:{method}", "rpc", parent=trace, dst=dst)
+            ctx = span.context
+        try:
+            request_id = next(self._ids)
+            response = Event(self.sim, name=f"rpc-resp:{method}")
+            self._pending[request_id] = response
+            self.network.send(Message(
+                src=self.address,
+                dst=dst,
+                kind=method,
+                payload=(method, args),
+                size_bytes=size_bytes if size_bytes is not None else sizeof(args),
+                request_id=request_id,
+                trace=ctx,
+            ))
+            limit = timeout if timeout is not None else DEFAULT_RPC_TIMEOUT_MS
+            timer = self.sim.timeout(limit)
+            winner = yield self.sim.any_of([response, timer])
+            if not response.triggered:
+                self._pending.pop(request_id, None)
+                if span is not None:
+                    span.set("status", "timeout")
+                raise RpcTimeout(dst, method, limit)
+            del winner
+            return response.value
+        finally:
+            if span is not None:
+                span.end()
 
     def notify(
         self,
@@ -244,8 +282,16 @@ class Endpoint:
         method: str,
         args: object = None,
         size_bytes: Optional[int] = None,
+        trace=INHERIT,
     ) -> None:
-        """Fire-and-forget one-way message (no response expected)."""
+        """Fire-and-forget one-way message (no response expected).
+
+        ``trace`` works as in :meth:`call`: the resolved TraceContext
+        rides along so the receiving handler joins the span tree, but no
+        client span is opened (there is nothing to wait for).
+        """
+        tracer = self.sim.tracer
+        ctx = tracer.resolve(trace) if tracer.active else None
         self.network.send(Message(
             src=self.address,
             dst=dst,
@@ -253,4 +299,5 @@ class Endpoint:
             payload=(method, args),
             size_bytes=size_bytes if size_bytes is not None else sizeof(args),
             request_id=None,
+            trace=ctx,
         ))

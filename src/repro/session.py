@@ -1,0 +1,118 @@
+"""One-object facade over the simulator / cluster / scheme wiring.
+
+The explicit five-object setup (Simulator, Cluster, CoordinationService,
+scheme system, drive-to-completion helper) stays fully supported — every
+piece remains public — but most scripts want exactly one shape::
+
+    from repro.session import Session
+    from repro.storage import DataItem
+
+    with Session(nodes=4, seed=42, scheme="concord") as s:
+        s.preload({"k": DataItem("v0", 256)})
+        value = s.read("node1", "k")
+        s.write("node2", "k", DataItem("v1", 256))
+
+Schemes are constructed through the :mod:`repro.schemes` registry, so any
+registered name works (``concord``, ``faast``, ``ofc``, ``nocache``, ...).
+Passing ``trace=True`` attaches a :class:`~repro.trace.Tracer`; passing a
+path string additionally exports a Chrome trace there when the session
+closes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster import Cluster
+from repro.config import SimConfig
+from repro.coord import CoordinationService
+from repro.schemes import build_scheme
+from repro.sim import Simulator
+from repro.trace import Tracer, export_chrome, export_jsonl
+
+__all__ = ["Session"]
+
+
+class Session:
+    """A ready-to-use simulated cluster running one caching scheme."""
+
+    def __init__(
+        self,
+        nodes: int = 4,
+        seed: int = 42,
+        scheme: str = "concord",
+        app: str = "app",
+        cores_per_node: int = 8,
+        trace: object = None,
+        config: Optional[SimConfig] = None,
+        **scheme_cfg,
+    ):
+        self._trace = trace
+        tracer = None
+        if trace:
+            tracer = trace if isinstance(trace, Tracer) else Tracer()
+        self.tracer: Optional[Tracer] = tracer
+        self.sim = Simulator(seed=seed, tracer=tracer)
+        self.config = config or SimConfig(
+            num_nodes=nodes, cores_per_node=cores_per_node)
+        self.cluster = Cluster(self.sim, self.config)
+        self.coord = CoordinationService(self.cluster.network, self.config)
+        self.scheme = scheme
+        self.app = app
+        #: The scheme instance (a StorageAPI) built through the registry.
+        self.system = build_scheme(
+            scheme, self.cluster, self.coord, app=app, **scheme_cfg)
+
+    # -- data ----------------------------------------------------------------
+    @property
+    def storage(self):
+        """The cluster's global (durable) storage."""
+        return self.cluster.storage
+
+    def preload(self, items: dict) -> None:
+        """Populate global storage instantly (no simulated latency)."""
+        self.cluster.storage.preload(items)
+
+    # -- driving the clock ---------------------------------------------------
+    def run(self, operation, limit_ms: float = 60_000.0):
+        """Drive one operation generator to completion; returns its value."""
+        return self.sim.run_until_complete(
+            self.sim.spawn(operation), limit=self.sim.now + limit_ms)
+
+    def read(self, node_id: str, key: str):
+        """Read ``key`` from ``node_id`` through the scheme (blocking)."""
+        return self.run(self.system.read(node_id, key))
+
+    def write(self, node_id: str, key: str, value: object):
+        """Write ``key`` at ``node_id`` through the scheme (blocking)."""
+        return self.run(self.system.write(node_id, key, value))
+
+    def advance(self, ms: float) -> None:
+        """Let the simulation run for ``ms`` more milliseconds."""
+        self.sim.run(until=self.sim.now + ms)
+
+    # -- tracing -------------------------------------------------------------
+    def export_trace(self, path: str, fmt: str = "chrome") -> None:
+        """Write collected spans to ``path`` (``chrome`` or ``jsonl``)."""
+        if self.tracer is None:
+            raise RuntimeError("session was created without trace=...")
+        if fmt == "chrome":
+            export_chrome(self.tracer, path)
+        elif fmt == "jsonl":
+            export_jsonl(self.tracer, path)
+        else:
+            raise ValueError(f"unknown trace format {fmt!r}")
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Finish the session; exports the trace when one was requested."""
+        if self.tracer is not None and isinstance(self._trace, str):
+            self.export_trace(self._trace)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.close()
+        return False

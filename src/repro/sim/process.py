@@ -26,7 +26,7 @@ class Process(Event):
     simulated condition (for example a process on a failed node).
     """
 
-    __slots__ = ("generator", "daemon", "_waiting_on")
+    __slots__ = ("generator", "daemon", "trace_ctx", "_waiting_on")
 
     def __init__(
         self,
@@ -38,6 +38,9 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
         self.daemon = daemon
+        #: Ambient TraceContext this process runs under (see repro.trace).
+        #: Inherited from the spawning process; updated as spans open/close.
+        self.trace_ctx = None
         #: The event this process is currently blocked on, if any.
         self._waiting_on: Optional[Event] = None
         # Kick off the first step "now".

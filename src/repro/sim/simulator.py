@@ -9,6 +9,7 @@ from repro.sim.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
 from repro.sim.rng import RngRegistry
+from repro.trace.tracer import NULL_TRACER
 
 
 class Simulator:
@@ -19,7 +20,7 @@ class Simulator:
     which keeps runs fully deterministic.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, tracer=None):
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
@@ -28,6 +29,9 @@ class Simulator:
         self.daemon_failures: list[tuple[Process, BaseException]] = []
         #: Named deterministic RNG substreams.
         self.rng = RngRegistry(seed)
+        #: Causal-trace collector (repro.trace); the shared no-op tracer
+        #: unless one is attached, so hot paths can gate on tracer.active.
+        self.tracer = (tracer if tracer is not None else NULL_TRACER).bind(self)
 
     @property
     def now(self) -> float:
@@ -59,8 +63,16 @@ class Simulator:
     def spawn(
         self, generator: ProcessGenerator, name: str = "", daemon: bool = False
     ) -> Process:
-        """Start a new process from ``generator``."""
-        return Process(self, generator, name=name, daemon=daemon)
+        """Start a new process from ``generator``.
+
+        The child inherits the spawner's TraceContext, so work forked from
+        inside a traced operation (handlers, invalidations, write-through
+        processes) stays attached to that operation's span tree.
+        """
+        process = Process(self, generator, name=name, daemon=daemon)
+        if self._active_process is not None:
+            process.trace_ctx = self._active_process.trace_ctx
+        return process
 
     # -- scheduling / running ----------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:

@@ -99,12 +99,23 @@ class GlobalStorage:
         self._listeners.append(listener)
 
     # -- simulated access ---------------------------------------------------
+    def _traced(self, op: str, key: str, inner):
+        """Wrap one access generator in a ``storage`` span when tracing."""
+        tracer = self.sim.tracer
+        if not tracer.active:
+            return (yield from inner)
+        with tracer.span(f"storage:{op}", "storage", store=self.name, key=key):
+            return (yield from inner)
+
     def read(self, key: str):
         """Read ``key``: yields, returns ``(value, version)``.
 
         A missing key returns ``(None, 0)`` — serverless storage APIs are
         key-value and idempotent (paper Section II-B).
         """
+        return (yield from self._traced("read", key, self._read(key)))
+
+    def _read(self, key: str):
         record = self._data.get(key)
         size = sizeof(record.value) if record else 0
         yield self.sim.timeout(self.latency.storage_read(size))
@@ -124,6 +135,10 @@ class GlobalStorage:
         that started earlier can still observe the old value, exactly as
         with a real blob service.
         """
+        return (yield from self._traced("write", key,
+                                        self._write(key, value, writer)))
+
+    def _write(self, key: str, value: object, writer: str):
         size = sizeof(value)
         yield self.sim.timeout(self.latency.storage_write(size))
         self.stats.writes += 1
@@ -143,6 +158,11 @@ class GlobalStorage:
         the current one.  Models DynamoDB/Blob conditional updates, the
         primitive Saga/Beldi-style systems detect conflicts with.
         """
+        return (yield from self._traced(
+            "cas", key, self._compare_and_swap(key, value, expected_version,
+                                               writer)))
+
+    def _compare_and_swap(self, key, value, expected_version, writer):
         size = sizeof(value)
         yield self.sim.timeout(self.latency.storage_write(size))
         self.stats.writes += 1
@@ -159,6 +179,10 @@ class GlobalStorage:
 
     def read_version(self, key: str):
         """Fetch only the version number of ``key`` (Faa$T fallback path)."""
+        return (yield from self._traced("read_version", key,
+                                        self._read_version(key)))
+
+    def _read_version(self, key: str):
         yield self.sim.timeout(self.latency.storage_read(8))
         self.stats.reads += 1
         return self.version_of(key)

@@ -1,0 +1,50 @@
+"""Deterministic causal tracing for the Concord reproduction.
+
+Public surface::
+
+    from repro.trace import Tracer, INHERIT
+
+    tracer = Tracer()
+    sim = Simulator(seed=42, tracer=tracer)
+    ...
+    export_chrome(tracer, "out.json")     # Perfetto-loadable
+    export_jsonl(tracer, "out.jsonl")     # one span per line
+
+See :mod:`repro.trace.tracer` for the span model and the determinism
+contract, and ``repro-trace`` (:mod:`repro.trace.cli`) for turning an
+export back into a Fig. 1-style latency breakdown.
+"""
+
+from repro.trace.export import (
+    chrome_dumps,
+    export_chrome,
+    export_jsonl,
+    jsonl_dumps,
+    load_trace,
+    loads_trace,
+)
+from repro.trace.tracer import (
+    INHERIT,
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+)
+
+__all__ = [
+    "INHERIT",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "chrome_dumps",
+    "export_chrome",
+    "export_jsonl",
+    "jsonl_dumps",
+    "load_trace",
+    "loads_trace",
+]

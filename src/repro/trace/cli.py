@@ -1,0 +1,88 @@
+"""Command-line entry point: ``python -m repro.trace`` / ``repro-trace``.
+
+Usage::
+
+    repro-trace out.json                 # Fig. 1-style breakdown table
+    repro-trace out.json --format=json   # machine-readable summary
+    repro-trace out.json --ops           # only the per-op table
+
+Accepts both export formats (JSONL span records and Chrome trace_event
+documents) and auto-detects which one it was given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.trace.export import load_trace
+from repro.trace.summary import (
+    category_totals,
+    format_breakdown,
+    op_breakdown,
+    per_app_requests,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description=("Summarize a repro.trace export (JSONL or Chrome "
+                     "trace_event) into a Fig. 1-style latency-breakdown "
+                     "table."),
+    )
+    parser.add_argument("trace", type=Path,
+                        help="trace file written by Tracer export "
+                             "(JSONL or Chrome trace_event JSON)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--ops", action="store_true",
+                        help="print only the per-op table")
+    return parser
+
+
+def main(argv: Optional[list] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if not args.trace.exists():
+        print(f"error: no such trace file: {args.trace}", file=out)
+        return 2
+    try:
+        spans = load_trace(args.trace)
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"error: {args.trace} is not a repro trace export: {exc}",
+              file=out)
+        return 2
+
+    if args.format == "json":
+        payload = {
+            "spans": len(spans),
+            "per_app": per_app_requests(spans),
+            "ops": {
+                f"{scheme}:{name}": stats
+                for (scheme, name), stats in sorted(op_breakdown(spans).items())
+            },
+            "categories": category_totals(spans),
+        }
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+        return 0
+
+    if args.ops:
+        ops = op_breakdown(spans)
+        for (scheme, name), stats in sorted(ops.items()):
+            print(f"{scheme:>12}  {name:<8} n={stats['count']:<6} "
+                  f"total={stats['total_ms']:.2f}ms "
+                  f"mean={stats['mean_ms']:.3f}ms", file=out)
+        return 0
+
+    print(format_breakdown(spans, title=f"trace: {args.trace}"),
+          end="", file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Trace serialization: JSONL span records and Chrome ``trace_event``.
+
+Both writers are byte-deterministic for a given simulation: spans are
+emitted sorted by span id (creation order), every JSON object is dumped
+with ``sort_keys=True``, and nothing derived from object identity or
+hash order reaches the output.  The Chrome variant loads directly in
+Perfetto / ``chrome://tracing`` — one ``pid`` for the run, one ``tid``
+lane per simulator process, complete (``ph: "X"``) events in
+microseconds.
+
+These are plain functions (not simulation processes), so file I/O here
+is outside the SIM02 no-blocking-calls contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Union
+
+
+def _span_dicts(source) -> list:
+    """Accept a Tracer or an iterable of span dicts; return sorted dicts."""
+    if hasattr(source, "to_dicts"):
+        return source.to_dicts()
+    return sorted(source, key=lambda s: s["span_id"])
+
+
+def jsonl_dumps(source) -> str:
+    """Serialize completed spans as one JSON object per line."""
+    lines = [json.dumps(span, sort_keys=True, separators=(",", ":"))
+             for span in _span_dicts(source)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_jsonl(source, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(jsonl_dumps(source))
+
+
+def chrome_events(source, lane_names=None) -> list:
+    """Build the Chrome ``traceEvents`` list (metadata + complete events)."""
+    spans = _span_dicts(source)
+    if lane_names is None:
+        lane_names = source.lane_names() if hasattr(source, "lane_names") else {}
+    events = []
+    for tid in sorted(lane_names):
+        events.append({
+            "ph": "M", "pid": 1, "tid": tid, "name": "thread_name",
+            "args": {"name": lane_names[tid]},
+        })
+    for span in spans:
+        args = dict(span.get("attrs") or {})
+        args["trace_id"] = span["trace_id"]
+        args["span_id"] = span["span_id"]
+        if span.get("parent_id") is not None:
+            args["parent_id"] = span["parent_id"]
+        events.append({
+            "ph": "X",
+            "pid": 1,
+            "tid": span.get("tid", 0),
+            "name": span["name"],
+            "cat": span["category"],
+            # trace_event timestamps are microseconds; sim time is ms.
+            "ts": span["start_ms"] * 1000.0,
+            "dur": (span["end_ms"] - span["start_ms"]) * 1000.0,
+            "args": args,
+        })
+    return events
+
+
+def chrome_dumps(source, lane_names=None) -> str:
+    """Serialize as a Chrome trace_event JSON document."""
+    events = chrome_events(source, lane_names=lane_names)
+    lines = [json.dumps(event, sort_keys=True, separators=(",", ":"))
+             for event in events]
+    body = ",\n  ".join(lines)
+    return ('{"displayTimeUnit": "ms",\n "traceEvents": [\n  '
+            + body + "\n ]}\n")
+
+
+def export_chrome(source, path, lane_names=None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(chrome_dumps(source, lane_names=lane_names))
+
+
+def _spans_from_chrome(document: dict) -> list:
+    spans = []
+    for event in document.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args") or {})
+        trace_id = args.pop("trace_id", None)
+        span_id = args.pop("span_id", None)
+        parent_id = args.pop("parent_id", None)
+        start_ms = event.get("ts", 0.0) / 1000.0
+        duration_ms = event.get("dur", 0.0) / 1000.0
+        spans.append({
+            "trace_id": trace_id,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "name": event.get("name", ""),
+            "category": event.get("cat", "span"),
+            "start_ms": start_ms,
+            "end_ms": start_ms + duration_ms,
+            "duration_ms": duration_ms,
+            "attrs": args,
+            "tid": event.get("tid", 0),
+        })
+    return spans
+
+
+def loads_trace(text: str) -> list:
+    """Parse either export format into a list of span dicts."""
+    stripped = text.lstrip()
+    if not stripped:
+        return []
+    if stripped.startswith("{") and "traceEvents" in stripped.split("\n", 1)[0]:
+        return _spans_from_chrome(json.loads(text))
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        document = None
+    if isinstance(document, dict) and "traceEvents" in document:
+        return _spans_from_chrome(document)
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(json.loads(line))
+    return spans
+
+
+def load_trace(path) -> list:
+    """Read a trace file (JSONL or Chrome) into span dicts."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads_trace(handle.read())

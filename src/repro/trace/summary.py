@@ -1,0 +1,161 @@
+"""Turn a span soup back into a Fig. 1-style latency breakdown.
+
+Works on the plain span dicts produced by :mod:`repro.trace.export`
+(either format) or ``Tracer.to_dicts()``.  Two views are computed:
+
+* **Per-app request table** — for traces that contain ``request`` root
+  spans (FaaS platform runs): requests, mean response, storage and
+  compute milliseconds attributed from ``op``/``compute`` descendant
+  spans, and the storage share of the breakdown — the same columns as
+  ``fig01_breakdown``'s counter-based table, which makes the two
+  directly comparable.
+* **Category totals** — time summed per span category (agent, rpc,
+  invalidation, storage, ...) across the whole trace; useful for raw
+  operation traces that have no surrounding requests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def _mean(total: float, count: int) -> float:
+    return total / count if count else 0.0
+
+
+def per_app_requests(spans) -> dict:
+    """app -> aggregate request stats derived purely from the trace.
+
+    ``request`` spans are roots, so every span in the same ``trace_id``
+    belongs to that request; storage time is the sum of ``op`` spans
+    (the uniform StorageAPI instrumentation) and compute time the sum of
+    ``compute`` spans.
+    """
+    requests = {}     # trace_id -> (app, duration)
+    storage = {}      # trace_id -> ms
+    compute = {}      # trace_id -> ms
+    for span in spans:
+        category = span.get("category")
+        if category == "request":
+            app = (span.get("attrs") or {}).get("app", "?")
+            requests[span["trace_id"]] = (app, span["duration_ms"])
+        elif category == "op":
+            storage[span["trace_id"]] = (
+                storage.get(span["trace_id"], 0.0) + span["duration_ms"])
+        elif category == "compute":
+            compute[span["trace_id"]] = (
+                compute.get(span["trace_id"], 0.0) + span["duration_ms"])
+
+    table: dict = {}
+    for trace_id, (app, duration_ms) in requests.items():
+        row = table.setdefault(app, {
+            "requests": 0, "response_ms": 0.0,
+            "storage_ms": 0.0, "compute_ms": 0.0,
+        })
+        row["requests"] += 1
+        row["response_ms"] += duration_ms
+        row["storage_ms"] += storage.get(trace_id, 0.0)
+        row["compute_ms"] += compute.get(trace_id, 0.0)
+    for row in table.values():
+        count = row["requests"]
+        row["response_ms"] = _mean(row["response_ms"], count)
+        row["storage_ms"] = _mean(row["storage_ms"], count)
+        row["compute_ms"] = _mean(row["compute_ms"], count)
+        busy = row["storage_ms"] + row["compute_ms"]
+        row["storage_pct"] = 100.0 * row["storage_ms"] / busy if busy else 0.0
+    return table
+
+
+def category_totals(spans) -> dict:
+    """category -> {"count", "total_ms", "mean_ms"} over all spans."""
+    totals: dict = {}
+    for span in spans:
+        row = totals.setdefault(span.get("category", "span"),
+                                {"count": 0, "total_ms": 0.0})
+        row["count"] += 1
+        row["total_ms"] += span["duration_ms"]
+    for row in totals.values():
+        row["mean_ms"] = _mean(row["total_ms"], row["count"])
+    return totals
+
+
+def op_breakdown(spans) -> dict:
+    """(scheme, op name) -> count / mean duration for ``op`` spans."""
+    ops: dict = {}
+    for span in spans:
+        if span.get("category") != "op":
+            continue
+        scheme = (span.get("attrs") or {}).get("scheme", "?")
+        row = ops.setdefault((scheme, span.get("name", "?")),
+                             {"count": 0, "total_ms": 0.0})
+        row["count"] += 1
+        row["total_ms"] += span["duration_ms"]
+    for row in ops.values():
+        row["mean_ms"] = _mean(row["total_ms"], row["count"])
+    return ops
+
+
+def _render_table(title: str, columns: list, rows: list) -> list:
+    widths = {col: len(col) for col in columns}
+    rendered = []
+    for row in rows:
+        cells = {}
+        for col in columns:
+            value = row.get(col, "")
+            text = f"{value:.2f}" if isinstance(value, float) else str(value)
+            cells[col] = text
+            widths[col] = max(widths[col], len(text))
+        rendered.append(cells)
+    rule = "+" + "+".join("-" * (widths[c] + 2) for c in columns) + "+"
+    out = [title, rule,
+           "|" + "|".join(f" {c.ljust(widths[c])} " for c in columns) + "|",
+           rule]
+    for cells in rendered:
+        out.append("|" + "|".join(
+            f" {cells[c].ljust(widths[c])} " for c in columns) + "|")
+    out.append(rule)
+    return out
+
+
+def format_breakdown(spans, title: Optional[str] = None) -> str:
+    """Human-readable Fig. 1-style summary of a span list."""
+    lines = []
+    if title:
+        lines.append(title)
+    total_spans = len(list(spans))
+    lines.append(f"{total_spans} completed span(s)")
+    lines.append("")
+
+    apps = per_app_requests(spans)
+    if apps:
+        rows = [
+            {"app": app, **stats} for app, stats in sorted(apps.items())
+        ]
+        lines.extend(_render_table(
+            "Per-app latency breakdown (means per request, trace-derived)",
+            ["app", "requests", "response_ms", "storage_ms", "compute_ms",
+             "storage_pct"],
+            rows))
+        lines.append("")
+
+    ops = op_breakdown(spans)
+    if ops:
+        rows = [
+            {"scheme": scheme, "op": name, **stats}
+            for (scheme, name), stats in sorted(ops.items())
+        ]
+        lines.extend(_render_table(
+            "Storage operations (category 'op')",
+            ["scheme", "op", "count", "total_ms", "mean_ms"], rows))
+        lines.append("")
+
+    totals = category_totals(spans)
+    if totals:
+        rows = [
+            {"category": category, **stats}
+            for category, stats in sorted(totals.items())
+        ]
+        lines.extend(_render_table(
+            "Time by span category",
+            ["category", "count", "total_ms", "mean_ms"], rows))
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,344 @@
+"""Deterministic causal tracing clocked off the simulated clock.
+
+A :class:`Tracer` collects :class:`Span` records describing what one
+logical operation did — agent op, directory lookup, invalidation fan-out,
+storage round trip — as a tree linked by ``(trace_id, span_id,
+parent_id)``.  The design constraints mirror the repository's analysis
+rules:
+
+* **Simulated time only** (DET01): spans are stamped with ``sim.now``;
+  the tracer never reads a wall clock.
+* **Deterministic identity** (DET03): trace/span ids come from plain
+  counters, never ``id()`` or hashes, so two identically-seeded runs
+  produce byte-identical exports regardless of ``PYTHONHASHSEED``.
+* **Zero-cost no-op mode**: an unconfigured simulator carries the shared
+  :data:`NULL_TRACER` whose ``active`` flag lets hot paths skip span
+  construction entirely.
+
+Context propagation is ambient: every :class:`~repro.sim.process.Process`
+carries a ``trace_ctx`` slot, inherited from its spawner and updated as
+spans open and close, so generator-based protocol code rarely needs to
+thread contexts by hand.  RPC boundaries carry the context explicitly in
+``Message.trace``; passing ``trace=INHERIT`` at a call site (the default)
+says "attach to whatever operation this process is serving".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Position inside one span tree, carried across process boundaries."""
+
+    trace_id: int
+    span_id: int
+
+
+class _Inherit:
+    """Sentinel: resolve the parent from the current process context."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "INHERIT"
+
+
+#: Pass as ``parent=``/``trace=`` to propagate the ambient TraceContext.
+INHERIT = _Inherit()
+
+
+class Span:
+    """One timed node of a trace tree.  Usable as a context manager."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "category",
+                 "start_ms", "end_ms", "attrs",
+                 "_tracer", "_process", "_prev_ctx", "tid")
+
+    def __init__(self, tracer, trace_id, span_id, parent_id, name,
+                 category, start_ms, attrs):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.start_ms = start_ms
+        self.end_ms: Optional[float] = None
+        self.attrs = attrs
+        self.tid = 0
+        self._tracer = tracer
+        self._process = None
+        self._prev_ctx: Optional[TraceContext] = None
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(self.trace_id, self.span_id)
+
+    @property
+    def duration_ms(self) -> float:
+        end = self.end_ms if self.end_ms is not None else self.start_ms
+        return end - self.start_ms
+
+    def set(self, key: str, value) -> "Span":
+        """Attach/overwrite one attribute (e.g. ``status`` on timeout)."""
+        self.attrs[key] = value
+        return self
+
+    def end(self) -> None:
+        self._tracer._end(self)
+
+    def to_dict(self) -> dict:
+        end = self.end_ms if self.end_ms is not None else self.start_ms
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start_ms": self.start_ms,
+            "end_ms": end,
+            "duration_ms": end - self.start_ms,
+            "attrs": self.attrs,
+            "tid": self.tid,
+        }
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end_ms is None else f"{self.duration_ms:.3f}ms"
+        return (f"Span({self.category}:{self.name} "
+                f"t{self.trace_id}/s{self.span_id} {state})")
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+    context = None
+
+    def set(self, key, value):
+        return self
+
+    def end(self):
+        return None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Per-run span collector bound to one :class:`Simulator`.
+
+    Spans are handed out by :meth:`span` (context manager) and recorded
+    in *closure* order once ended; only completed spans are exported.
+    ``open_spans()`` exposes whatever is still running — a drained
+    simulation must leave it empty.
+    """
+
+    active = True
+
+    def __init__(self):
+        self._sim = None
+        self._finished: list = []
+        # Insertion-ordered registry of spans not yet ended (dict-as-set).
+        self._open: dict = {}
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        # Process -> lane id for Chrome export; assigned by first use so
+        # the numbering is deterministic. Key None = outside any process.
+        self._lanes: dict = {}
+        self._lane_names: dict = {}
+        # Context for code running outside any sim process.
+        self._ambient: Optional[TraceContext] = None
+
+    # -- wiring -------------------------------------------------------
+
+    def bind(self, sim) -> "Tracer":
+        if self._sim is not None and self._sim is not sim:
+            raise ValueError("Tracer is already bound to another Simulator")
+        self._sim = sim
+        return self
+
+    @property
+    def sim(self):
+        return self._sim
+
+    # -- context handling ---------------------------------------------
+
+    def current(self) -> Optional[TraceContext]:
+        """The TraceContext of the running process (or ambient code)."""
+        process = self._sim.active_process if self._sim is not None else None
+        if process is not None:
+            return process.trace_ctx
+        return self._ambient
+
+    def resolve(self, parent) -> Optional[TraceContext]:
+        """Normalize a ``parent=``/``trace=`` argument to a context."""
+        if parent is INHERIT:
+            return self.current()
+        if parent is None or isinstance(parent, TraceContext):
+            return parent
+        if isinstance(parent, Span):
+            return parent.context
+        raise TypeError(f"not a trace parent: {parent!r}")
+
+    def _set_current(self, ctx: Optional[TraceContext]) -> None:
+        process = self._sim.active_process if self._sim is not None else None
+        if process is not None:
+            process.trace_ctx = ctx
+        else:
+            self._ambient = ctx
+
+    def _lane_for(self, process) -> int:
+        lane = self._lanes.get(process)
+        if lane is None:
+            lane = len(self._lanes)
+            self._lanes[process] = lane
+            if process is None:
+                self._lane_names[lane] = "driver"
+            else:
+                self._lane_names[lane] = process.name or f"process-{lane}"
+        return lane
+
+    # -- span lifecycle -----------------------------------------------
+
+    def span(self, name: str, category: str = "span",
+             parent=INHERIT, **attrs) -> Span:
+        """Open a span; it becomes the current context until ended."""
+        if self._sim is None:
+            raise RuntimeError("Tracer.span() before bind(): attach the "
+                               "tracer via Simulator(tracer=...)")
+        parent_ctx = self.resolve(parent)
+        if parent_ctx is None:
+            trace_id = next(self._trace_ids)
+            parent_id = None
+        else:
+            trace_id = parent_ctx.trace_id
+            parent_id = parent_ctx.span_id
+        span = Span(self, trace_id, next(self._span_ids), parent_id,
+                    name, category, self._sim.now, attrs)
+        process = self._sim.active_process
+        span._process = process
+        span._prev_ctx = self.current()
+        span.tid = self._lane_for(process)
+        self._set_current(span.context)
+        self._open[span] = None
+        return span
+
+    def instant(self, name: str, category: str = "event",
+                parent=INHERIT, **attrs) -> Span:
+        """Record a zero-duration event without shifting the context."""
+        if self._sim is None:
+            raise RuntimeError("Tracer.instant() before bind()")
+        parent_ctx = self.resolve(parent)
+        if parent_ctx is None:
+            trace_id = next(self._trace_ids)
+            parent_id = None
+        else:
+            trace_id = parent_ctx.trace_id
+            parent_id = parent_ctx.span_id
+        span = Span(self, trace_id, next(self._span_ids), parent_id,
+                    name, category, self._sim.now, attrs)
+        span.tid = self._lane_for(self._sim.active_process)
+        span.end_ms = span.start_ms
+        self._finished.append(span)
+        return span
+
+    def _end(self, span: Span) -> None:
+        if span.end_ms is not None:
+            return
+        span.end_ms = self._sim.now
+        self._open.pop(span, None)
+        self._finished.append(span)
+        # Restore the context on whichever process opened the span, but
+        # only if that span is still its current context (spans closed
+        # out of order keep whatever the inner code installed).
+        process = span._process
+        holder_ctx = (process.trace_ctx if process is not None
+                      else self._ambient)
+        if holder_ctx is not None and holder_ctx.span_id == span.span_id:
+            if process is not None:
+                process.trace_ctx = span._prev_ctx
+            else:
+                self._ambient = span._prev_ctx
+
+    # -- inspection / export ------------------------------------------
+
+    @property
+    def spans(self) -> list:
+        """Completed spans, in the order they ended."""
+        return list(self._finished)
+
+    def open_spans(self) -> list:
+        """Spans begun but not yet ended (should drain to empty)."""
+        return list(self._open)
+
+    def lane_names(self) -> dict:
+        """Chrome-export lane id -> human-readable process name."""
+        return dict(self._lane_names)
+
+    def to_dicts(self) -> list:
+        """Completed spans as JSON-ready dicts, sorted by span id."""
+        return [span.to_dict()
+                for span in sorted(self._finished, key=lambda s: s.span_id)]
+
+
+class NullTracer:
+    """Inactive tracer: every operation is a no-op.
+
+    ``active`` is False so hot paths can skip attribute packing; code
+    that opens spans unconditionally still works and pays only a couple
+    of attribute lookups.
+    """
+
+    active = False
+
+    def bind(self, sim) -> "NullTracer":
+        return self
+
+    @property
+    def sim(self):
+        return None
+
+    def current(self) -> Optional[TraceContext]:
+        return None
+
+    def resolve(self, parent) -> Optional[TraceContext]:
+        return None
+
+    def span(self, name, category="span", parent=INHERIT, **attrs):
+        return NULL_SPAN
+
+    def instant(self, name, category="event", parent=INHERIT, **attrs):
+        return NULL_SPAN
+
+    @property
+    def spans(self) -> list:
+        return []
+
+    def open_spans(self) -> list:
+        return []
+
+    def lane_names(self) -> dict:
+        return {}
+
+    def to_dicts(self) -> list:
+        return []
+
+
+#: Shared inactive tracer; the default for every Simulator.
+NULL_TRACER = NullTracer()

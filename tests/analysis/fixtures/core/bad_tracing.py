@@ -1,0 +1,26 @@
+"""Known-bad tracing snippets (TRC*); parsed by tests, never imported.
+
+Lives under a ``core/`` directory on purpose: TRC01 only applies to the
+protocol layers (``core/`` and ``caching/``).
+"""
+
+
+class BadTracedAgent:
+    def __init__(self, endpoint):
+        self.endpoint = endpoint
+
+    def dropped_call(self, key):
+        value = yield from self.endpoint.call(
+            "node1/peer", "read", key, size_bytes=8, timeout=1000.0)
+        return value
+
+    def dropped_notify(self, key):
+        self.endpoint.notify("node1/peer", "evicted", key, size_bytes=8)
+        return None
+        yield
+
+    def connected_call(self, key):
+        value = yield from self.endpoint.call(
+            "node1/peer", "read", key, size_bytes=8, timeout=1000.0,
+            trace=INHERIT)  # noqa: F821 - parsed, never imported
+        return value

@@ -115,6 +115,33 @@ class TestProtocolRules:
                        for f in report.findings)
 
 
+class TestTracingRules:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return Analyzer().run([FIXTURES / "core" / "bad_tracing.py"])
+
+    def test_call_without_trace_flagged(self, report):
+        assert any(f.rule == "TRC01"
+                   and f.symbol == "BadTracedAgent.dropped_call"
+                   for f in report.findings)
+
+    def test_notify_without_trace_flagged(self, report):
+        assert any(f.rule == "TRC01"
+                   and f.symbol == "BadTracedAgent.dropped_notify"
+                   for f in report.findings)
+
+    def test_annotated_site_clean(self, report):
+        assert not any(f.rule == "TRC01"
+                       and f.symbol == "BadTracedAgent.connected_call"
+                       for f in report.findings)
+
+    def test_scoped_to_protocol_layers(self):
+        # The same RPC-without-trace= pattern outside core//caching/ is
+        # not TRC01's business (bad_protocol.py has such sites).
+        report = run_on("bad_protocol.py", select=["TRC01"])
+        assert not report.findings
+
+
 def test_select_restricts_rules():
     report = run_on("bad_determinism.py", select=["DET02"])
     assert {f.rule for f in report.findings} == {"DET02"}

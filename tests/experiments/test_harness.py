@@ -53,6 +53,35 @@ class TestTinyRuns:
         assert completed > 0
         assert outcome.access.reads > 0
 
+    def test_trace_knob_collects_and_exports(self, tmp_path):
+        from repro.trace import load_trace
+        from repro.trace.summary import per_app_requests
+
+        path = tmp_path / "run.json"
+        config = MixedRunConfig(
+            scheme="concord", num_nodes=2, cores_per_node=4,
+            apps=("TrainT",),
+            total_rps=10.0, utilization=None,
+            duration_ms=600.0, warmup_ms=200.0, drain_ms=1500.0,
+            trace=str(path),
+        )
+        outcome = run_mixed_workload(config)
+        assert outcome.tracer is not None
+        assert outcome.tracer.open_spans() == []
+        spans = load_trace(path)
+        assert any(s["category"] == "request" for s in spans)
+        traced = per_app_requests(spans)
+        assert "TrainT" in traced
+
+    def test_trace_off_by_default(self):
+        config = MixedRunConfig(
+            scheme="nocache", num_nodes=2, cores_per_node=4,
+            apps=("TrainT",), total_rps=10.0, utilization=None,
+            duration_ms=400.0, warmup_ms=200.0, drain_ms=1000.0,
+        )
+        outcome = run_mixed_workload(config)
+        assert outcome.tracer is None
+
     def test_concord_collects_sharers_and_memory(self):
         config = MixedRunConfig(
             scheme="concord", num_nodes=2, cores_per_node=4,

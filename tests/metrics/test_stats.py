@@ -63,6 +63,62 @@ class TestHistogram:
         assert h.trimmed_mean(0.1) == 1.0
         assert h.mean > 100.0
 
+    def test_merge_then_percentiles_sort_once(self):
+        # Regression: percentile/trimmed_mean queries after an extend()
+        # merge must sort the combined samples exactly once, not per query.
+        a, b = Histogram(), Histogram()
+        for v in (5.0, 1.0, 3.0):
+            a.record(v)
+        for v in (4.0, 2.0):
+            b.record(v)
+        a.extend(b)
+        assert a._sorts == 0
+        for p in (10.0, 25.0, 50.0, 75.0, 90.0, 99.0):
+            a.percentile(p)
+        a.trimmed_mean(0.2)
+        assert a._sorts == 1
+        assert a.p50 == 3.0
+        assert a.min == 1.0 and a.max == 5.0
+
+    def test_monotone_stream_never_sorts(self):
+        h = Histogram()
+        for v in range(100):
+            h.record(float(v))
+        assert h.percentile(50.0) == 49.0
+        assert h.trimmed_mean(0.1) == pytest.approx(sum(range(90)) / 90)
+        assert h._sorts == 0
+
+    def test_extend_into_empty_adopts_sortedness(self):
+        src, dst = Histogram(), Histogram()
+        for v in (3.0, 1.0, 2.0):
+            src.record(v)
+        dst.extend(src)
+        assert dst.p50 == 2.0
+        assert dst._sorts == 1
+        # The copy sorted its own samples; the source is untouched.
+        assert src._samples == [3.0, 1.0, 2.0]
+        assert src.p50 == 2.0
+
+    def test_extend_of_ordered_histograms_stays_sorted(self):
+        a, b = Histogram(), Histogram()
+        for v in (1.0, 2.0):
+            a.record(v)
+        for v in (3.0, 4.0):
+            b.record(v)
+        a.extend(b)
+        assert a.p99 == 4.0
+        assert a._sorts == 0
+
+    def test_record_between_queries_stays_correct(self):
+        h = Histogram()
+        h.record(2.0)
+        h.record(1.0)
+        assert h.p50 == 1.0
+        h.record(0.5)  # out-of-order after a sort: must dirty the cache
+        assert h.p50 == 1.0
+        assert h.min == 0.5
+        assert h._sorts == 2
+
     @settings(max_examples=40, deadline=None)
     @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=100))
     def test_percentile_bounds_property(self, values):

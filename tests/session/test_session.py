@@ -1,0 +1,124 @@
+"""The Session facade: wiring, driving, tracing lifecycle."""
+
+import json
+
+import pytest
+
+from repro.caching import DirectStorage
+from repro.core import ConcordSystem
+from repro.schemes import UnknownSchemeError
+from repro.session import Session
+from repro.storage import DataItem
+from repro.trace import Tracer, load_trace
+
+
+class TestWiring:
+    def test_defaults_build_a_concord_cluster(self):
+        with Session() as s:
+            assert isinstance(s.system, ConcordSystem)
+            assert len(s.cluster.node_ids) == 4
+            assert s.storage is s.cluster.storage
+            assert s.tracer is None
+
+    def test_scheme_selection_through_registry(self):
+        with Session(scheme="nocache") as s:
+            assert isinstance(s.system, DirectStorage)
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(UnknownSchemeError):
+            Session(scheme="definitely-not-a-scheme")
+
+    def test_scheme_config_passthrough(self):
+        with Session(scheme="concord", capacity=1024) as s:
+            agent = next(iter(s.system.agents.values()))
+            assert agent.cache.capacity_bytes == 1024
+
+    def test_node_and_core_counts(self):
+        with Session(nodes=6, cores_per_node=2) as s:
+            assert len(s.cluster.node_ids) == 6
+            node = s.cluster.node("node0")
+            assert node.cores.capacity == 2
+
+
+class TestDriving:
+    def test_read_write_round_trip(self):
+        with Session(seed=9) as s:
+            s.preload({"k": DataItem("v0", 256)})
+            assert s.read("node1", "k").payload == "v0"
+            s.write("node2", "k", DataItem("v1", 256))
+            assert s.read("node3", "k").payload == "v1"
+
+    def test_clock_advances(self):
+        with Session(seed=9) as s:
+            s.preload({"k": DataItem("v0", 256)})
+            before = s.sim.now
+            s.read("node1", "k")
+            after_read = s.sim.now
+            assert after_read > before
+            s.advance(250.0)
+            assert s.sim.now == after_read + 250.0
+
+    def test_run_arbitrary_generator(self):
+        with Session(seed=9) as s:
+            def op(sim):
+                yield sim.timeout(5.0)
+                return "done"
+
+            assert s.run(op(s.sim)) == "done"
+
+    def test_identical_sessions_identical_results(self):
+        def trial():
+            with Session(seed=33) as s:
+                s.preload({"k": DataItem("v0", 256)})
+                s.read("node1", "k")
+                s.write("node2", "k", DataItem("v1", 256))
+                return s.sim.now
+
+        assert trial() == trial()
+
+
+class TestTracing:
+    def test_trace_true_collects_spans(self):
+        with Session(seed=9, trace=True) as s:
+            s.preload({"k": DataItem("v0", 256)})
+            s.read("node1", "k")
+            assert s.tracer is not None
+            assert any(span.category == "op" for span in s.tracer.spans)
+            assert s.tracer.open_spans() == []
+
+    def test_trace_path_exports_chrome_on_close(self, tmp_path):
+        path = tmp_path / "session.json"
+        with Session(seed=9, trace=str(path)) as s:
+            s.preload({"k": DataItem("v0", 256)})
+            s.read("node1", "k")
+        document = json.loads(path.read_text())
+        assert document["traceEvents"]
+        spans = load_trace(path)
+        assert any(span["category"] == "op" for span in spans)
+
+    def test_trace_accepts_existing_tracer(self):
+        tracer = Tracer()
+        with Session(seed=9, trace=tracer) as s:
+            assert s.tracer is tracer
+            s.preload({"k": DataItem("v0", 256)})
+            s.read("node1", "k")
+        assert tracer.spans
+
+    def test_export_jsonl_format(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        with Session(seed=9, trace=True) as s:
+            s.preload({"k": DataItem("v0", 256)})
+            s.read("node1", "k")
+            s.export_trace(str(path), fmt="jsonl")
+        spans = load_trace(path)
+        assert spans == s.tracer.to_dicts()
+
+    def test_export_without_tracer_raises(self, tmp_path):
+        with Session(seed=9) as s:
+            with pytest.raises(RuntimeError):
+                s.export_trace(str(tmp_path / "x.json"))
+
+    def test_export_unknown_format_rejected(self, tmp_path):
+        with Session(seed=9, trace=True) as s:
+            with pytest.raises(ValueError):
+                s.export_trace(str(tmp_path / "x.bin"), fmt="protobuf")

@@ -1,0 +1,180 @@
+"""Context propagation across RPC, timeout/retry paths, and full ops."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import LatencyModel, SimConfig
+from repro.coord import CoordinationService
+from repro.core import ConcordSystem
+from repro.net import Endpoint, Network, Reply, RpcTimeout
+from repro.sim import Simulator
+from repro.storage import DataItem
+from repro.trace import Tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer()
+
+
+@pytest.fixture
+def sim(tracer):
+    return Simulator(seed=7, tracer=tracer)
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, LatencyModel())
+
+
+def echo_handler(endpoint, src, args):
+    return Reply(args)
+    yield  # pragma: no cover - generator marker
+
+
+class TestRpcPropagation:
+    def test_server_span_joins_client_trace(self, sim, net, tracer):
+        server = Endpoint(net, "node1", "svc")
+        server.register_handler("echo", echo_handler)
+        client = Endpoint(net, "node0", "svc")
+
+        def caller(sim):
+            with tracer.span("op", "op", parent=None):
+                yield from client.call("node1/svc", "echo", "x", timeout=500.0)
+
+        sim.spawn(caller(sim))
+        sim.run()
+        by_name = {s.name: s for s in tracer.spans}
+        op, rpc, serve = by_name["op"], by_name["rpc:echo"], by_name["serve:echo"]
+        assert rpc.trace_id == op.trace_id
+        assert rpc.parent_id == op.span_id
+        assert serve.trace_id == op.trace_id
+        assert serve.parent_id == rpc.span_id
+        assert serve.attrs["src"] == "node0/svc"
+
+    def test_notify_carries_context_to_handler(self, sim, net, tracer):
+        seen = {}
+
+        def sink(endpoint, src, args):
+            seen["ctx"] = tracer.current()
+            return None
+            yield  # pragma: no cover - generator marker
+
+        server = Endpoint(net, "node1", "svc")
+        server.register_handler("drop", sink)
+        client = Endpoint(net, "node0", "svc")
+
+        def caller(sim):
+            with tracer.span("op", "op", parent=None) as op:
+                seen["op"] = op.context
+                client.notify("node1/svc", "drop", "x")
+                yield sim.timeout(50.0)
+
+        sim.spawn(caller(sim))
+        sim.run()
+        # The handler runs inside its serve: span, which is a child of
+        # the notifying operation — the notify carried the context over.
+        assert seen["ctx"].trace_id == seen["op"].trace_id
+        serve = next(s for s in tracer.spans if s.name == "serve:drop")
+        assert serve.parent_id == seen["op"].span_id
+        assert seen["ctx"] == serve.context
+
+    def test_timeout_marks_span_and_restores_context(self, sim, net, tracer):
+        client = Endpoint(net, "node0", "svc")
+        outcome = {}
+
+        def caller(sim):
+            with tracer.span("op", "op", parent=None) as op:
+                try:
+                    yield from client.call("node9/gone", "echo", "x",
+                                           timeout=100.0)
+                except RpcTimeout:
+                    outcome["ctx_after"] = tracer.current()
+                    outcome["op"] = op.context
+
+        sim.spawn(caller(sim))
+        sim.run()
+        # The failed rpc span closed and handed the context back to the op.
+        assert outcome["ctx_after"] == outcome["op"]
+        rpc = next(s for s in tracer.spans if s.name == "rpc:echo")
+        assert rpc.attrs["status"] == "timeout"
+        assert rpc.duration_ms == pytest.approx(100.0)
+        assert tracer.open_spans() == []
+
+    def test_retry_after_timeout_joins_same_trace(self, sim, net, tracer):
+        server = Endpoint(net, "node1", "svc")
+        server.register_handler("echo", echo_handler)
+        client = Endpoint(net, "node0", "svc")
+
+        def caller(sim):
+            with tracer.span("op", "op", parent=None):
+                try:
+                    yield from client.call("node9/gone", "echo", "x",
+                                           timeout=100.0)
+                except RpcTimeout:
+                    pass
+                yield from client.call("node1/svc", "echo", "x", timeout=500.0)
+
+        sim.spawn(caller(sim))
+        sim.run()
+        op = next(s for s in tracer.spans if s.name == "op")
+        rpcs = [s for s in tracer.spans if s.name == "rpc:echo"]
+        assert len(rpcs) == 2
+        assert all(s.trace_id == op.trace_id for s in rpcs)
+        assert all(s.parent_id == op.span_id for s in rpcs)
+
+
+class TestConcordEndToEnd:
+    @pytest.fixture
+    def system(self, sim, tracer):
+        cluster = Cluster(sim, SimConfig(num_nodes=4))
+        coord = CoordinationService(cluster.network, cluster.config)
+        system = ConcordSystem(cluster, app="t", coord=coord)
+        cluster.storage.preload({"k": DataItem("v0", 256)})
+        return system
+
+    def drive(self, sim, op):
+        return sim.run_until_complete(sim.spawn(op), limit=sim.now + 60_000.0)
+
+    def test_no_leaked_spans_after_drain(self, sim, tracer, system):
+        self.drive(sim, system.read("node1", "k"))
+        self.drive(sim, system.read("node2", "k"))
+        self.drive(sim, system.write("node3", "k", DataItem("v1", 256)))
+        sim.run(until=sim.now + 10_000.0)
+        assert tracer.open_spans() == []
+
+    def test_op_spans_match_recorded_histograms_exactly(self, sim, tracer,
+                                                        system):
+        self.drive(sim, system.read("node1", "k"))
+        self.drive(sim, system.read("node2", "k"))
+        self.drive(sim, system.write("node3", "k", DataItem("v1", 256)))
+        hist_total = sum(
+            histogram.mean * histogram.count
+            for histogram in system.stats.latency.values())
+        op_total = sum(s.duration_ms for s in tracer.spans
+                       if s.category == "op")
+        assert op_total == pytest.approx(hist_total, abs=1e-9)
+
+    def test_write_produces_one_invalidation_span_per_sharer(
+            self, sim, tracer, system):
+        self.drive(sim, system.read("node1", "k"))
+        self.drive(sim, system.read("node2", "k"))
+        write = system.write("node0", "k", DataItem("v1", 256))
+        self.drive(sim, write)
+        invalidations = [s for s in tracer.spans
+                         if s.category == "invalidation"]
+        # node1 and node2 held shared copies (the writer and home do not
+        # need invalidation RPCs for themselves).
+        sharers = {s.attrs["sharer"] for s in invalidations}
+        assert len(invalidations) == len(sharers) >= 1
+        write_op = next(s for s in tracer.spans
+                        if s.category == "op" and s.name == "write")
+        assert all(s.trace_id == write_op.trace_id for s in invalidations)
+
+    def test_request_trace_covers_cross_node_work(self, sim, tracer, system):
+        self.drive(sim, system.read("node1", "k"))
+        read_op = next(s for s in tracer.spans if s.category == "op")
+        members = [s for s in tracer.spans if s.trace_id == read_op.trace_id]
+        categories = {s.category for s in members}
+        assert {"op", "rpc", "rpc.server", "agent", "storage",
+                "directory"} <= categories

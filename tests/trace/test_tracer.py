@@ -1,0 +1,190 @@
+"""Unit tests for the Tracer / Span core."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.trace import (
+    INHERIT,
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+)
+
+
+@pytest.fixture
+def tracer():
+    return Tracer()
+
+
+@pytest.fixture
+def sim(tracer):
+    return Simulator(seed=1, tracer=tracer)
+
+
+class TestSpanTree:
+    def test_root_span_starts_new_trace(self, sim, tracer):
+        with tracer.span("a", "op", parent=None):
+            pass
+        with tracer.span("b", "op", parent=None):
+            pass
+        (a, b) = tracer.spans
+        assert a.parent_id is None and b.parent_id is None
+        assert a.trace_id != b.trace_id
+
+    def test_nesting_links_parent_and_restores_context(self, sim, tracer):
+        with tracer.span("outer", "op") as outer:
+            assert tracer.current() == outer.context
+            with tracer.span("inner", "agent") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+                assert tracer.current() == inner.context
+            assert tracer.current() == outer.context
+        assert tracer.current() is None
+
+    def test_span_times_come_from_sim_clock(self, sim, tracer):
+        def proc(sim):
+            with tracer.span("timed", "op"):
+                yield sim.timeout(7.5)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        (span,) = tracer.spans
+        assert span.start_ms == 0.0
+        assert span.end_ms == 7.5
+        assert span.duration_ms == 7.5
+
+    def test_instant_does_not_shift_context(self, sim, tracer):
+        with tracer.span("op", "op") as op:
+            tracer.instant("dir:get", "directory", key="k")
+            assert tracer.current() == op.context
+        instant = next(s for s in tracer.spans if s.name == "dir:get")
+        assert instant.duration_ms == 0.0
+        assert instant.parent_id == op.span_id
+
+    def test_explicit_parent_overrides_ambient(self, sim, tracer):
+        with tracer.span("a", "op") as a:
+            pass
+        with tracer.span("b", "op"):
+            child = tracer.span("c", "op", parent=a)
+            child.end()
+        c = next(s for s in tracer.spans if s.name == "c")
+        assert c.parent_id == a.span_id
+        assert c.trace_id == a.trace_id
+
+    def test_open_spans_drain(self, sim, tracer):
+        span = tracer.span("lingering", "op")
+        assert tracer.open_spans() == [span]
+        span.end()
+        assert tracer.open_spans() == []
+
+    def test_double_end_is_idempotent(self, sim, tracer):
+        span = tracer.span("once", "op")
+        span.end()
+        span.end()
+        assert len(tracer.spans) == 1
+
+    def test_set_attaches_attribute(self, sim, tracer):
+        with tracer.span("rpc", "rpc", dst="node1/svc") as span:
+            span.set("status", "timeout")
+        assert tracer.spans[0].attrs == {"dst": "node1/svc",
+                                         "status": "timeout"}
+
+    def test_span_ids_are_counters_not_hashes(self, sim, tracer):
+        for _ in range(3):
+            with tracer.span("s", "op", parent=None):
+                pass
+        assert [s.span_id for s in tracer.spans] == [1, 2, 3]
+        assert [s.trace_id for s in tracer.spans] == [1, 2, 3]
+
+    def test_resolve_rejects_garbage(self, sim, tracer):
+        with pytest.raises(TypeError):
+            tracer.resolve("not-a-context")
+
+    def test_resolve_passthrough(self, sim, tracer):
+        ctx = TraceContext(5, 9)
+        assert tracer.resolve(ctx) is ctx
+        assert tracer.resolve(None) is None
+        assert tracer.resolve(INHERIT) is None  # nothing current yet
+
+
+class TestProcessAmbientContext:
+    def test_spawned_process_inherits_spawner_context(self, sim, tracer):
+        seen = {}
+
+        def child(sim):
+            seen["ctx"] = tracer.current()
+            return None
+            yield  # pragma: no cover - generator marker
+
+        def parent(sim):
+            with tracer.span("op", "op") as op:
+                seen["op"] = op.context
+                sim.spawn(child(sim), daemon=True)
+                yield sim.timeout(1.0)
+
+        sim.spawn(parent(sim))
+        sim.run()
+        assert seen["ctx"] == seen["op"]
+
+    def test_sibling_processes_keep_distinct_contexts(self, sim, tracer):
+        order = []
+
+        def worker(sim, label):
+            with tracer.span(label, "op", parent=None) as span:
+                order.append((label, span.trace_id))
+                yield sim.timeout(1.0)
+                assert tracer.current() == span.context
+
+        sim.spawn(worker(sim, "w1"))
+        sim.spawn(worker(sim, "w2"))
+        sim.run()
+        assert len({tid for _, tid in order}) == 2
+
+
+class TestBinding:
+    def test_span_before_bind_raises(self, tracer):
+        with pytest.raises(RuntimeError):
+            tracer.span("x")
+
+    def test_rebinding_same_sim_ok(self, sim, tracer):
+        assert tracer.bind(sim) is tracer
+
+    def test_rebinding_other_sim_rejected(self, sim, tracer):
+        with pytest.raises(ValueError):
+            Simulator(seed=2, tracer=tracer)
+
+
+class TestNullTracer:
+    def test_simulator_defaults_to_null_tracer(self):
+        sim = Simulator(seed=0)
+        assert sim.tracer is NULL_TRACER
+        assert not sim.tracer.active
+
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        with tracer.span("anything", "op", key="k") as span:
+            assert span is NULL_SPAN
+            assert span.set("a", 1) is NULL_SPAN
+        assert tracer.instant("e") is NULL_SPAN
+        assert tracer.spans == []
+        assert tracer.open_spans() == []
+        assert tracer.to_dicts() == []
+        assert tracer.current() is None
+        assert tracer.resolve(INHERIT) is None
+
+
+class TestExportOrdering:
+    def test_to_dicts_sorted_by_span_id(self, sim, tracer):
+        with tracer.span("outer", "op"):
+            with tracer.span("inner", "agent"):
+                pass
+        # Closure order is inner-first; export order is span-id order.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+        assert [d["name"] for d in tracer.to_dicts()] == ["outer", "inner"]
+
+    def test_open_span_excluded_from_export(self, sim, tracer):
+        tracer.span("open", "op")
+        assert tracer.to_dicts() == []
