@@ -5,6 +5,12 @@ Add a new rule family by creating a module here that defines
 :func:`~repro.analysis.engine.register`, then import it below.
 """
 
-from repro.analysis.rules import determinism, protocol, simprocess, tracing
+from repro.analysis.rules import (
+    determinism,
+    protocol,
+    simprocess,
+    telemetry,
+    tracing,
+)
 
-__all__ = ["determinism", "protocol", "simprocess", "tracing"]
+__all__ = ["determinism", "protocol", "simprocess", "telemetry", "tracing"]

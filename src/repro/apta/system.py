@@ -15,7 +15,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.caching.base import CacheEntry, LruCache, StorageAPI, VALID
+from repro.caching.base import (
+    CacheEntry,
+    LruCache,
+    StorageAPI,
+    VALID,
+    register_cache_gauges,
+    register_scheme_metrics,
+)
 from repro.config import MB
 from repro.core.hashring import ConsistentHashRing
 from repro.faas.scheduler import LocalityScheduler, Scheduler
@@ -154,6 +161,11 @@ class AptaSystem(StorageAPI):
             nid: _ComputeCache(self, nid) for nid in cluster.node_ids
         }
         self._stats = AccessStats()
+        register_scheme_metrics(self.sim.metrics, self, app)
+        if self.sim.metrics.active:
+            for node_id, compute_cache in self.caches.items():
+                register_cache_gauges(self.sim.metrics, compute_cache.cache,
+                                      scheme=self.name, app=app, node=node_id)
 
     @property
     def stats(self) -> AccessStats:

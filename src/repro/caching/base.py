@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Iterable, Optional
 
 from repro.metrics import AccessStats
+from repro.metrics.stats import OpKind
 from repro.net.sizes import sizeof
 
 # Cache entry coherence states (paper Section III-C1: MESI without M).
@@ -239,3 +240,66 @@ class StorageAPI(abc.ABC):
     @abc.abstractmethod
     def stats(self) -> AccessStats:
         """Aggregate access statistics for reporting."""
+
+
+def register_scheme_metrics(registry, scheme: StorageAPI, app: str) -> None:
+    """Register pull instruments over a scheme's :class:`AccessStats`.
+
+    Every scheme constructor calls this, so all schemes expose the same
+    telemetry families: per-kind op counters, read/hit counters, and the
+    cumulative hit ratio.  Callbacks re-read ``scheme.stats`` on every
+    sample (never captured sub-objects — ``AccessStats.reset()`` at
+    end-of-warmup replaces some of them), which also means the sampled
+    counters step backwards once at the warmup cut; windowed consumers
+    should treat negative deltas as a phase boundary.
+    """
+    if not registry.active:
+        return
+    name = scheme.name
+    ops = registry.counter(
+        "cache_ops_total", "Storage operations by classification.",
+        labelnames=("app", "op", "scheme"))
+    for kind in OpKind:
+        ops.set_callback(lambda kind=kind: scheme.stats.ops.get(kind, 0),
+                         scheme=name, app=app, op=kind.value)
+    registry.counter(
+        "cache_reads_total", "Read operations served.",
+        labelnames=("app", "scheme"),
+    ).set_callback(lambda: scheme.stats.reads, scheme=name, app=app)
+
+    def read_hits() -> int:
+        stats = scheme.stats
+        return (stats.count(OpKind.LOCAL_READ_HIT)
+                + stats.count(OpKind.REMOTE_READ_HIT))
+
+    registry.counter(
+        "cache_read_hits_total", "Reads served from some cache instance.",
+        labelnames=("app", "scheme"),
+    ).set_callback(read_hits, scheme=name, app=app)
+
+    def hit_ratio() -> float:
+        reads = scheme.stats.reads
+        # 0.0 (not NaN) before the first read keeps exports JSON-clean.
+        return read_hits() / reads if reads else 0.0
+
+    registry.gauge(
+        "cache_hit_ratio", "Cumulative read hit ratio.",
+        labelnames=("app", "scheme"),
+    ).set_callback(hit_ratio, scheme=name, app=app)
+
+
+def register_cache_gauges(registry, cache: LruCache, scheme: str, app: str,
+                          node: str) -> None:
+    """Register occupancy/eviction instruments for one cache instance."""
+    if not registry.active:
+        return
+    registry.gauge(
+        "cache_occupancy_bytes", "Bytes resident in the cache instance.",
+        labelnames=("app", "node", "scheme"),
+    ).set_callback(lambda: cache.used_bytes, scheme=scheme, app=app,
+                   node=node)
+    registry.counter(
+        "cache_evictions_total", "Entries evicted to make room.",
+        labelnames=("app", "node", "scheme"),
+    ).set_callback(lambda: cache.evictions, scheme=scheme, app=app,
+                   node=node)

@@ -15,7 +15,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Optional
 
-from repro.caching.base import CacheEntry, LruCache, StorageAPI, VALID
+from repro.caching.base import (
+    CacheEntry,
+    LruCache,
+    StorageAPI,
+    VALID,
+    register_cache_gauges,
+    register_scheme_metrics,
+)
 from repro.config import MB
 from repro.core.hashring import ConsistentHashRing
 from repro.metrics import AccessStats, OpKind
@@ -119,6 +126,11 @@ class FaastSystem(StorageAPI):
         #: Keys annotated read-only by the developer (skip version checks).
         self.read_only_keys = read_only_keys or set()
         self._stats = AccessStats()
+        register_scheme_metrics(self.sim.metrics, self, app)
+        if self.sim.metrics.active:
+            for node_id, instance in self.instances.items():
+                register_cache_gauges(self.sim.metrics, instance.cache,
+                                      scheme=self.name, app=app, node=node_id)
 
     @property
     def stats(self) -> AccessStats:

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.caching.base import StorageAPI
+from repro.caching.base import StorageAPI, register_scheme_metrics
 from repro.metrics import AccessStats, OpKind
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -24,6 +24,7 @@ class DirectStorage(StorageAPI):
         self.cluster = cluster
         self.sim = cluster.sim
         self._stats = AccessStats()
+        register_scheme_metrics(self.sim.metrics, self, app="shared")
 
     @property
     def stats(self) -> AccessStats:

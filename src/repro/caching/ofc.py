@@ -9,7 +9,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.caching.base import CacheEntry, LruCache, StorageAPI, VALID
+from repro.caching.base import (
+    CacheEntry,
+    LruCache,
+    StorageAPI,
+    VALID,
+    register_cache_gauges,
+    register_scheme_metrics,
+)
 from repro.config import MB
 from repro.core.hashring import ConsistentHashRing
 from repro.metrics import AccessStats, OpKind
@@ -78,6 +85,13 @@ class OfcSystem(StorageAPI):
         self.ring = ConsistentHashRing(cluster.node_ids)
         self.agents = {nid: _OfcAgent(self, nid) for nid in cluster.node_ids}
         self._stats = AccessStats()
+        # OFC caches are node-wide, shared across applications.
+        register_scheme_metrics(self.sim.metrics, self, app="shared")
+        if self.sim.metrics.active:
+            for node_id, agent in self.agents.items():
+                register_cache_gauges(self.sim.metrics, agent.cache,
+                                      scheme=self.name, app="shared",
+                                      node=node_id)
 
     @property
     def stats(self) -> AccessStats:

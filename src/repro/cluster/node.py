@@ -57,6 +57,19 @@ class Node:
         self.memory_capacity = config.memory_per_node
         self.containers: dict[int, Container] = {}
         self.alive = True
+        metrics = sim.metrics
+        if metrics.active:
+            self.cores.register_gauges(metrics, "node_cpu", node=node_id)
+            metrics.gauge(
+                "node_memory_in_use_bytes",
+                "Memory allocated to containers on the node.",
+                labelnames=("node",),
+            ).set_callback(lambda: self.memory_in_use, node=node_id)
+            metrics.gauge(
+                "node_warm_containers",
+                "Warm containers resident on the node.",
+                labelnames=("node",),
+            ).set_callback(lambda: len(self.containers), node=node_id)
 
     # -- containers ---------------------------------------------------------
     def add_container(

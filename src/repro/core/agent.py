@@ -90,6 +90,12 @@ class CacheAgent:
         #: True once this agent learned it was (possibly falsely) declared
         #: failed; it flushes and rejoins before serving again.
         self.ejected = False
+        #: Telemetry counters (sampled by repro.telemetry when enabled).
+        self.invalidations_sent = 0
+        self.invalidations_received = 0
+        #: Invalidation round trips currently awaiting an acknowledgement.
+        self.invalidations_inflight = 0
+        self._register_metrics()
 
         handlers = {
             "read": self._handle_read,
@@ -101,6 +107,39 @@ class CacheAgent:
         }
         for method, handler in handlers.items():
             self.endpoint.register_handler(method, handler)
+
+    def _register_metrics(self) -> None:
+        """Expose per-node coherence instruments on the sim registry.
+
+        Agents created by churn re-register the same label sets; the
+        registry's get-or-create children make that an overwrite of the
+        dead agent's callbacks, so timelines follow the live instance.
+        """
+        metrics = self.sim.metrics
+        if not metrics.active:
+            return
+        from repro.caching.base import register_cache_gauges
+
+        register_cache_gauges(metrics, self.cache, scheme="concord",
+                              app=self.app, node=self.node_id)
+        labels = {"scheme": "concord", "app": self.app, "node": self.node_id}
+        metrics.counter(
+            "cache_invalidations_sent_total",
+            "Invalidation RPCs issued to remote sharers.",
+            labelnames=("app", "node", "scheme"),
+        ).set_callback(lambda: self.invalidations_sent, **labels)
+        metrics.counter(
+            "cache_invalidations_received_total",
+            "Invalidation RPCs served for remote homes.",
+            labelnames=("app", "node", "scheme"),
+        ).set_callback(lambda: self.invalidations_received, **labels)
+        metrics.gauge(
+            "cache_invalidations_pending",
+            "Invalidation round trips awaiting acknowledgement.",
+            labelnames=("app", "node", "scheme"),
+        ).set_callback(lambda: self.invalidations_inflight, **labels)
+        self.directory.register_metrics(metrics, scheme="concord",
+                                        app=self.app)
 
     # ------------------------------------------------------------------
     # Public data path (called by ConcordSystem.read / write)
@@ -533,6 +572,7 @@ class CacheAgent:
                 self._invalidate_local(key)
                 continue
             yield self.sim.timeout(self.system.latency.send_ms)
+            self.invalidations_sent += 1
             pending.append(self.sim.spawn(
                 self._invalidate_one(key, sharer), name=f"inv:{key}:{sharer}",
             ))
@@ -550,21 +590,25 @@ class CacheAgent:
             return  # already recovered/left; nothing readable remains there
         # One span per sharer: the write's invalidation fan-out shows up
         # as parallel children of the home_write span.
-        with self.sim.tracer.span("invalidate", "invalidation",
-                                  key=key, sharer=sharer):
-            call = self.sim.spawn(
-                self._call_catching(
-                    f"{sharer}/concord-{self.app}", "invalidate", key,
-                    len(key)),
-                name=f"invrpc:{key}:{sharer}",
-            )
-            yield self.sim.any_of([call, self._removal_event(sharer)])
-            if not call.triggered:
-                return  # sharer declared failed; recovery handles its copies
-            status, reply = call.value
-            if status == "err" and isinstance(reply, RpcTimeout):
-                # A dead sharer holds no readable copy; report and move on.
-                self.system.report_unreachable(sharer)
+        self.invalidations_inflight += 1
+        try:
+            with self.sim.tracer.span("invalidate", "invalidation",
+                                      key=key, sharer=sharer):
+                call = self.sim.spawn(
+                    self._call_catching(
+                        f"{sharer}/concord-{self.app}", "invalidate", key,
+                        len(key)),
+                    name=f"invrpc:{key}:{sharer}",
+                )
+                yield self.sim.any_of([call, self._removal_event(sharer)])
+                if not call.triggered:
+                    return  # sharer declared failed; recovery handles its copies
+                status, reply = call.value
+                if status == "err" and isinstance(reply, RpcTimeout):
+                    # A dead sharer holds no readable copy; report and move on.
+                    self.system.report_unreachable(sharer)
+        finally:
+            self.invalidations_inflight -= 1
 
     def _call_catching(self, dst: str, method: str, args: object, size: int):
         """RPC returning ("ok", value) or ("err", exception) — never raises."""
@@ -637,6 +681,7 @@ class CacheAgent:
         return Reply(entry.value, size_bytes=entry.size_bytes)
 
     def _handle_invalidate(self, endpoint, src, key):
+        self.invalidations_received += 1
         yield from self._wait_protection(key)
         lock = self._lock(self._owner_locks, key)
         yield lock.acquire()

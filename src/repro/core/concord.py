@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
-from repro.caching.base import AccessContext, StorageAPI
+from repro.caching.base import AccessContext, StorageAPI, register_scheme_metrics
 from repro.config import MB
 from repro.coord.service import CoordinationService, MembershipEvent, ping_handler
 from repro.core.agent import RETRY_DELAY_MS, CacheAgent
@@ -238,6 +238,7 @@ class ConcordSystem(StorageAPI):
             for node_id, agent in self.agents.items():
                 self.coord.join(app, node_id, agent.endpoint.address)
         self.storage.add_write_listener(self._on_storage_write)
+        register_scheme_metrics(self.sim.metrics, self, app)
 
     # -- StorageAPI ---------------------------------------------------------------
     @property

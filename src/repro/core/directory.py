@@ -56,6 +56,38 @@ class DataDirectory:
         self.tracer = tracer
         self._entries: dict[str, DirectoryEntry] = {}
 
+    def register_metrics(self, registry, scheme: str, app: str) -> None:
+        """Register sharer-set gauges for this home's directory.
+
+        Callbacks use :meth:`sharer_counts` (value lists, never set
+        iteration) so sampling stays hash-order independent.
+        """
+        if not registry.active:
+            return
+        labels = {"scheme": scheme, "app": app, "node": self.node_id}
+        registry.gauge(
+            "directory_entries", "Items homed at this directory.",
+            labelnames=("app", "node", "scheme"),
+        ).set_callback(lambda: len(self._entries), **labels)
+
+        def sharers_max() -> int:
+            counts = self.sharer_counts()
+            return max(counts) if counts else 0
+
+        registry.gauge(
+            "directory_sharers_max", "Largest sharer set homed here.",
+            labelnames=("app", "node", "scheme"),
+        ).set_callback(sharers_max, **labels)
+
+        def sharers_mean() -> float:
+            counts = self.sharer_counts()
+            return sum(counts) / len(counts) if counts else 0.0
+
+        registry.gauge(
+            "directory_sharers_mean", "Mean sharer-set size homed here.",
+            labelnames=("app", "node", "scheme"),
+        ).set_callback(sharers_mean, **labels)
+
     def __len__(self) -> int:
         return len(self._entries)
 

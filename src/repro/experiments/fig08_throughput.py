@@ -8,6 +8,9 @@ over OFC by 1.7x and over Faa$T by 1.8x on average.
 
 from __future__ import annotations
 
+from pathlib import Path
+from typing import Optional
+
 from repro.experiments.runner import (
     MixedRunConfig,
     run_mixed_workload,
@@ -40,10 +43,19 @@ def _within_slo(outcome, slo: dict) -> bool:
 
 def max_sustained_rps(
     scheme: str, slo: dict, rps_grid: list, scale: float, seed: int,
+    timelines: Optional[str] = None,
 ) -> float:
-    """Largest grid point whose run satisfies every app's SLO."""
+    """Largest grid point whose run satisfies every app's SLO.
+
+    When ``timelines`` names a directory, every grid point additionally
+    exports its telemetry timeline there as
+    ``fig08_<scheme>_rps<rate>.jsonl`` (readable with ``repro-metrics``).
+    """
     best = 0.0
     for rps in rps_grid:
+        metrics = None
+        if timelines is not None:
+            metrics = str(Path(timelines) / f"fig08_{scheme}_rps{rps}.jsonl")
         config = MixedRunConfig(
             scheme=scheme, num_nodes=8, cores_per_node=4,
             utilization=None, total_rps=rps,
@@ -52,6 +64,7 @@ def max_sustained_rps(
             duration_ms=5000.0,
             warmup_ms=1500.0,
             seed=seed,
+            metrics=metrics,
         )
         outcome = run_mixed_workload(config)
         if _within_slo(outcome, slo):
@@ -61,7 +74,10 @@ def max_sustained_rps(
     return best
 
 
-def run(scale: float = 1.0, seed: int = 109) -> ExperimentResult:
+def run(scale: float = 1.0, seed: int = 109,
+        timelines: Optional[str] = None) -> ExperimentResult:
+    if timelines is not None:
+        Path(timelines).mkdir(parents=True, exist_ok=True)
     result = ExperimentResult(
         experiment="Figure 8",
         title="Cluster throughput at SLO (5x unloaded latency)",
@@ -80,7 +96,8 @@ def run(scale: float = 1.0, seed: int = 109) -> ExperimentResult:
     rps_grid = [60, 100, 115, 130, 145, 160, 175, 190, 210]
     sustained = {}
     for scheme in SCHEMES:
-        sustained[scheme] = max_sustained_rps(scheme, slo, rps_grid, scale, seed)
+        sustained[scheme] = max_sustained_rps(
+            scheme, slo, rps_grid, scale, seed, timelines=timelines)
     for scheme in SCHEMES:
         result.data.append({
             "scheme": scheme,

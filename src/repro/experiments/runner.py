@@ -22,6 +22,8 @@ from repro.faas import FaasPlatform
 from repro.metrics import AccessStats, Histogram
 from repro.schemes import build_scheme_map, make_scheduler, scheme_spec
 from repro.sim import Simulator
+from repro.telemetry import MetricsRegistry, Sampler
+from repro.telemetry import export_jsonl as export_metrics_jsonl
 from repro.trace import Tracer, export_chrome
 from repro.workloads import ALL_PROFILES, build_app, entity_inputs_factory
 from repro.workloads.profiles import preload_storage
@@ -68,6 +70,13 @@ class MixedRunConfig:
     #: string additionally exports a Chrome trace there, a
     #: :class:`~repro.trace.Tracer` instance is used as-is.
     trace: object = None
+    #: Time-series telemetry: ``True`` samples instruments into
+    #: ``result.metrics``, a path string additionally exports the JSONL
+    #: timeline there, a :class:`~repro.telemetry.MetricsRegistry`
+    #: instance is used as-is.
+    metrics: object = None
+    #: Simulated-clock sampling period of the telemetry Sampler.
+    metrics_interval_ms: float = 100.0
 
     def cpu_ms_per_request(self) -> float:
         """Average CPU demand of one request across the app mix."""
@@ -117,6 +126,8 @@ class MixedRunResult:
     storage_writes: int = 0
     #: The run's Tracer when ``config.trace`` was set (not fingerprinted).
     tracer: object = None
+    #: The run's MetricsRegistry when ``config.metrics`` was set.
+    metrics: object = None
 
     def mean_latency(self) -> float:
         values = [s.mean_latency_ms for s in self.per_app.values() if s.completed]
@@ -140,10 +151,18 @@ def _make_tracer(config) -> Optional[Tracer]:
     return config.trace if isinstance(config.trace, Tracer) else Tracer()
 
 
+def _make_registry(config) -> Optional[MetricsRegistry]:
+    if not config.metrics:
+        return None
+    return (config.metrics if isinstance(config.metrics, MetricsRegistry)
+            else MetricsRegistry())
+
+
 def run_mixed_workload(config: MixedRunConfig) -> MixedRunResult:
     """Execute one measurement run and collect all metrics."""
     tracer = _make_tracer(config)
-    sim = Simulator(seed=config.seed, tracer=tracer)
+    registry = _make_registry(config)
+    sim = Simulator(seed=config.seed, tracer=tracer, metrics=registry)
     latency = replace(LatencyModel(), agent_service_ms=config.agent_service_ms)
     sim_config = SimConfig(
         num_nodes=config.num_nodes, cores_per_node=config.cores_per_node,
@@ -214,6 +233,10 @@ def run_mixed_workload(config: MixedRunConfig) -> MixedRunResult:
                     (sum(counts) / len(counts), max(counts)))
 
     sim.spawn(sampler(sim), name="sampler", daemon=True)
+    # Time-series telemetry sampling starts with the measurement phase,
+    # so exported timelines cover measurement + drain (not warmup).
+    metrics_sampler = Sampler(sim, interval_ms=config.metrics_interval_ms)
+    metrics_sampler.start()
 
     # Measurement phase.
     load_phase(config.duration_ms)
@@ -242,6 +265,10 @@ def run_mixed_workload(config: MixedRunConfig) -> MixedRunResult:
     result.tracer = tracer
     if tracer is not None and isinstance(config.trace, str):
         export_chrome(tracer, config.trace)
+    metrics_sampler.stop()
+    result.metrics = registry
+    if registry is not None and isinstance(config.metrics, str):
+        export_metrics_jsonl(registry, config.metrics)
     return result
 
 

@@ -16,6 +16,7 @@ from repro.faas.app import AppSpec
 from repro.faas.context import InvocationContext
 from repro.faas.scheduler import RandomScheduler, Scheduler
 from repro.metrics import Histogram
+from repro.telemetry.registry import NULL_CHILD
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.caching.base import StorageAPI
@@ -57,6 +58,11 @@ class DeployedApp:
     requests_completed: int = 0
     requests_failed: int = 0
     cold_starts: int = 0
+    #: Requests admitted but not yet completed (queued + running).
+    inflight: int = 0
+    #: Telemetry children (no-ops unless the sim carries a registry).
+    metric_latency: object = field(default=NULL_CHILD, repr=False)
+    metric_sched_delay: object = field(default=NULL_CHILD, repr=False)
 
     @property
     def name(self) -> str:
@@ -127,7 +133,42 @@ class FaasPlatform:
                         memory_alloc=function.memory_alloc,
                         memory_used=function.memory_used,
                     )
+        self._register_app_metrics(app)
         return app
+
+    def _register_app_metrics(self, app: DeployedApp) -> None:
+        """Expose per-app request instruments on the sim registry."""
+        metrics = self.sim.metrics
+        if not metrics.active:
+            return
+        name = app.name
+        metrics.counter(
+            "faas_requests_completed_total", "Requests finished end-to-end.",
+            labelnames=("app",),
+        ).set_callback(lambda: app.requests_completed, app=name)
+        metrics.counter(
+            "faas_requests_failed_total", "Submitted requests that raised.",
+            labelnames=("app",),
+        ).set_callback(lambda: app.requests_failed, app=name)
+        metrics.counter(
+            "faas_cold_starts_total", "Invocations that cold-started.",
+            labelnames=("app",),
+        ).set_callback(lambda: app.cold_starts, app=name)
+        metrics.gauge(
+            "faas_inflight_requests",
+            "Requests admitted but not yet completed.",
+            labelnames=("app",),
+        ).set_callback(lambda: app.inflight, app=name)
+        app.metric_latency = metrics.histogram(
+            "faas_request_latency_ms", "End-to-end request latency.",
+            labelnames=("app",),
+        ).labels(app=name)
+        app.metric_sched_delay = metrics.histogram(
+            "faas_scheduling_delay_ms",
+            "Admission-to-execution delay per invocation "
+            "(scheduling, placement, cold start).",
+            labelnames=("app",),
+        ).labels(app=name)
 
     def warm_nodes(self, app: DeployedApp, function: str) -> list:
         """Alive nodes holding a warm container of ``function``."""
@@ -160,19 +201,24 @@ class FaasPlatform:
         inputs = dict(inputs or {})
         start = self.sim.now
         storage_ms = compute_ms = 0.0
-        yield self.sim.timeout(FRONTEND_OVERHEAD_MS)
-        output = None
-        for function_name in app.spec.workflow:
-            ctx, result = yield from self.invoke(app, function_name, inputs)
-            storage_ms += ctx.storage_ms
-            compute_ms += ctx.compute_ms
-            output = result
-            inputs = {**inputs, "prev": result}
+        app.inflight += 1
+        try:
+            yield self.sim.timeout(FRONTEND_OVERHEAD_MS)
+            output = None
+            for function_name in app.spec.workflow:
+                ctx, result = yield from self.invoke(app, function_name, inputs)
+                storage_ms += ctx.storage_ms
+                compute_ms += ctx.compute_ms
+                output = result
+                inputs = {**inputs, "prev": result}
+        finally:
+            app.inflight -= 1
         result = RequestResult(
             app=app_name, start_ms=start, end_ms=self.sim.now,
             storage_ms=storage_ms, compute_ms=compute_ms, output=output,
         )
         app.latency.record(result.latency_ms)
+        app.metric_latency.observe(result.latency_ms)
         app.storage_ms_total += storage_ms
         app.compute_ms_total += compute_ms
         app.requests_completed += 1
@@ -194,6 +240,7 @@ class FaasPlatform:
         spec = app.spec.function(function_name)
         if spec is None:
             raise KeyError(f"{app.name} has no function {function_name!r}")
+        admitted = self.sim.now
         pre_pick = getattr(self.scheduler, "pre_pick", None)
         if pre_pick is not None:
             # Schedulers may need cluster state before deciding (Apta
@@ -216,6 +263,7 @@ class FaasPlatform:
                 app.node_ids.append(node.id)
             app.cold_starts += 1
             yield self.sim.timeout(COLD_START_MS)
+        app.metric_sched_delay.observe(self.sim.now - admitted)
         container.active += 1
         container.last_used = self.sim.now
         ctx = InvocationContext(

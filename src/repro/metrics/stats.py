@@ -84,9 +84,30 @@ class Histogram:
         rank = max(1, math.ceil(p / 100.0 * len(samples)))
         return samples[rank - 1]
 
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples (NaN when empty)."""
+        if not self._samples:
+            return math.nan
+        mean = self.mean
+        return sum((s - mean) ** 2 for s in self._samples) / len(self._samples)
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation of the samples (NaN when empty)."""
+        if not self._samples:
+            return math.nan
+        return math.sqrt(self.variance)
+
     def trimmed_mean(self, drop_top_fraction: float = 0.1) -> float:
-        """Mean excluding the largest ``drop_top_fraction`` of samples
-        (e.g. cold-start transients at the head of a measurement phase)."""
+        """Mean excluding the *largest* ``drop_top_fraction`` of samples.
+
+        This is a top-trim by value, not a warmup trim by arrival order:
+        cold-start transients are usually also the largest latencies, so
+        dropping the top tail removes them wherever they occur in the
+        stream — but a slow sample recorded mid-run is dropped just the
+        same.  Use :meth:`AccessStats.reset` at end-of-warmup when you
+        need a true phase cut."""
         if not self._samples:
             return math.nan
         kept = self._ensure_sorted()

@@ -70,6 +70,22 @@ class Network:
         #: handed out, enforcing FIFO delivery per connection as TCP does.
         self._pair_clock: dict[tuple[str, str], float] = {}
         self.stats = NetworkStats()
+        metrics = sim.metrics
+        if metrics.active:
+            stats = self.stats
+            metrics.counter(
+                "net_messages_total", "Messages put on the wire.",
+                labelnames=(),
+            ).set_callback(lambda: stats.messages)
+            metrics.counter(
+                "net_bytes_total", "Payload bytes put on the wire.",
+                labelnames=(),
+            ).set_callback(lambda: stats.bytes)
+            metrics.counter(
+                "net_dropped_total",
+                "Messages dropped at crashed or torn-down endpoints.",
+                labelnames=(),
+            ).set_callback(lambda: stats.dropped)
 
     # -- membership --------------------------------------------------------
     def register(self, endpoint: "Endpoint") -> None:

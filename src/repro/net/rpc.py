@@ -115,11 +115,26 @@ class Endpoint:
         #: caching schemes lose cluster capacity to coherence work.
         self._cpu = cpu
         self._server = None
+        #: Client-side calls that never got an answer (peer crashed or
+        #: message dropped); sampled as rpc_timeouts_total.
+        self.timeouts = 0
         if service_time_ms > 0.0:
             from repro.sim.resources import Resource
 
             self._server = Resource(self.sim, capacity=1, name=f"srv:{self.address}")
         network.register(self)
+        metrics = self.sim.metrics
+        if metrics.active:
+            metrics.gauge(
+                "rpc_inflight", "Client calls awaiting a response.",
+                labelnames=("node", "service"),
+            ).set_callback(lambda: len(self._pending),
+                           node=node_id, service=service)
+            metrics.counter(
+                "rpc_timeouts_total", "Client calls that timed out.",
+                labelnames=("node", "service"),
+            ).set_callback(lambda: self.timeouts,
+                           node=node_id, service=service)
 
     def close(self) -> None:
         """Detach from the network and abort in-flight handlers."""
@@ -267,6 +282,7 @@ class Endpoint:
             winner = yield self.sim.any_of([response, timer])
             if not response.triggered:
                 self._pending.pop(request_id, None)
+                self.timeouts += 1
                 if span is not None:
                     span.set("status", "timeout")
                 raise RpcTimeout(dst, method, limit)

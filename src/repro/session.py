@@ -16,7 +16,10 @@ Schemes are constructed through the :mod:`repro.schemes` registry, so any
 registered name works (``concord``, ``faast``, ``ofc``, ``nocache``, ...).
 Passing ``trace=True`` attaches a :class:`~repro.trace.Tracer`; passing a
 path string additionally exports a Chrome trace there when the session
-closes.
+closes.  ``metrics=`` works the same way for time-series telemetry: pass
+``True`` (or a :class:`~repro.telemetry.MetricsRegistry`) to attach a
+registry sampled every ``metrics_interval_ms`` of simulated time, or a
+path string to also export the JSONL timeline on close.
 """
 
 from __future__ import annotations
@@ -28,6 +31,10 @@ from repro.config import SimConfig
 from repro.coord import CoordinationService
 from repro.schemes import build_scheme
 from repro.sim import Simulator
+from repro.telemetry import MetricsRegistry, Sampler
+from repro.telemetry import export_csv as _metrics_export_csv
+from repro.telemetry import export_jsonl as _metrics_export_jsonl
+from repro.telemetry import export_prometheus as _metrics_export_prometheus
 from repro.trace import Tracer, export_chrome, export_jsonl
 
 __all__ = ["Session"]
@@ -44,6 +51,8 @@ class Session:
         app: str = "app",
         cores_per_node: int = 8,
         trace: object = None,
+        metrics: object = None,
+        metrics_interval_ms: float = 100.0,
         config: Optional[SimConfig] = None,
         **scheme_cfg,
     ):
@@ -52,7 +61,13 @@ class Session:
         if trace:
             tracer = trace if isinstance(trace, Tracer) else Tracer()
         self.tracer: Optional[Tracer] = tracer
-        self.sim = Simulator(seed=seed, tracer=tracer)
+        self._metrics = metrics
+        registry = None
+        if metrics:
+            registry = (metrics if isinstance(metrics, MetricsRegistry)
+                        else MetricsRegistry())
+        self.metrics: Optional[MetricsRegistry] = registry
+        self.sim = Simulator(seed=seed, tracer=tracer, metrics=registry)
         self.config = config or SimConfig(
             num_nodes=nodes, cores_per_node=cores_per_node)
         self.cluster = Cluster(self.sim, self.config)
@@ -62,6 +77,9 @@ class Session:
         #: The scheme instance (a StorageAPI) built through the registry.
         self.system = build_scheme(
             scheme, self.cluster, self.coord, app=app, **scheme_cfg)
+        #: Fixed-interval telemetry sampler (inert when metrics is off).
+        self.sampler = Sampler(self.sim, interval_ms=metrics_interval_ms)
+        self.sampler.start()
 
     # -- data ----------------------------------------------------------------
     @property
@@ -103,11 +121,33 @@ class Session:
         else:
             raise ValueError(f"unknown trace format {fmt!r}")
 
+    # -- telemetry -----------------------------------------------------------
+    def export_metrics(self, path: str, fmt: str = "jsonl") -> None:
+        """Write sampled timelines to ``path``.
+
+        ``fmt`` is ``jsonl``, ``csv`` or ``prometheus`` (text exposition
+        format; export-only — the ``repro-metrics`` CLI reads the first
+        two).
+        """
+        if self.metrics is None:
+            raise RuntimeError("session was created without metrics=...")
+        if fmt == "jsonl":
+            _metrics_export_jsonl(self.metrics, path)
+        elif fmt == "csv":
+            _metrics_export_csv(self.metrics, path)
+        elif fmt == "prometheus":
+            _metrics_export_prometheus(self.metrics, path)
+        else:
+            raise ValueError(f"unknown metrics format {fmt!r}")
+
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
-        """Finish the session; exports the trace when one was requested."""
+        """Finish the session; exports trace/timeline when requested."""
+        self.sampler.stop()
         if self.tracer is not None and isinstance(self._trace, str):
             self.export_trace(self._trace)
+        if self.metrics is not None and isinstance(self._metrics, str):
+            self.export_metrics(self._metrics)
 
     def __enter__(self) -> "Session":
         return self

@@ -51,6 +51,29 @@ class Resource:
         """Number of free slots."""
         return self.capacity - self._in_use
 
+    def register_gauges(self, registry, prefix: str, **labels) -> None:
+        """Register pull gauges for this resource's occupancy and queue.
+
+        Intended for long-lived, low-cardinality resources (a node's
+        core pool) — not per-key locks, whose label cardinality would
+        swamp every export.  Callbacks read the counters the resource
+        already maintains, so acquire/release hot paths pay nothing.
+        """
+        if not registry.active:
+            return
+        labelnames = tuple(sorted(labels))
+        registry.gauge(
+            f"{prefix}_in_use", "Granted slots.", labelnames=labelnames,
+        ).set_callback(lambda: self._in_use, **labels)
+        registry.gauge(
+            f"{prefix}_queue_length", "Requests waiting for a slot.",
+            labelnames=labelnames,
+        ).set_callback(lambda: len(self._waiters), **labels)
+        registry.gauge(
+            f"{prefix}_utilization", "Granted slots / capacity.",
+            labelnames=labelnames,
+        ).set_callback(lambda: self._in_use / self.capacity, **labels)
+
     def acquire(self) -> Event:
         """Request a slot; the returned event fires when granted."""
         grant = Event(self.sim, name=f"acquire:{self.name}")

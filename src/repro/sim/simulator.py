@@ -9,6 +9,7 @@ from repro.sim.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
 from repro.sim.rng import RngRegistry
+from repro.telemetry.registry import NULL_REGISTRY
 from repro.trace.tracer import NULL_TRACER
 
 
@@ -20,7 +21,7 @@ class Simulator:
     which keeps runs fully deterministic.
     """
 
-    def __init__(self, seed: int = 0, tracer=None):
+    def __init__(self, seed: int = 0, tracer=None, metrics=None):
         self._now = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
@@ -32,6 +33,12 @@ class Simulator:
         #: Causal-trace collector (repro.trace); the shared no-op tracer
         #: unless one is attached, so hot paths can gate on tracer.active.
         self.tracer = (tracer if tracer is not None else NULL_TRACER).bind(self)
+        #: Telemetry instrument registry (repro.telemetry); the shared
+        #: no-op registry unless one is attached, so instrumentation
+        #: sites can gate on metrics.active.
+        self.metrics = (
+            metrics if metrics is not None else NULL_REGISTRY
+        ).bind(self)
 
     @property
     def now(self) -> float:

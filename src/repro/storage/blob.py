@@ -78,6 +78,32 @@ class GlobalStorage:
         self._data: dict[str, StorageRecord] = {}
         self._listeners: list[WriteListener] = []
         self.stats = StorageStats()
+        #: Operations currently inside their storage round trip.
+        self._inflight = 0
+        metrics = sim.metrics
+        if metrics.active:
+            stats = self.stats
+            metrics.counter(
+                "storage_reads_total", "Storage read round trips.",
+                labelnames=("store",),
+            ).set_callback(lambda: stats.reads, store=name)
+            metrics.counter(
+                "storage_writes_total", "Storage write round trips.",
+                labelnames=("store",),
+            ).set_callback(lambda: stats.writes, store=name)
+            metrics.counter(
+                "storage_read_bytes_total", "Bytes read from storage.",
+                labelnames=("store",),
+            ).set_callback(lambda: stats.read_bytes, store=name)
+            metrics.counter(
+                "storage_write_bytes_total", "Bytes written to storage.",
+                labelnames=("store",),
+            ).set_callback(lambda: stats.write_bytes, store=name)
+            metrics.gauge(
+                "storage_inflight_ops",
+                "Operations inside their storage round trip.",
+                labelnames=("store",),
+            ).set_callback(lambda: self._inflight, store=name)
 
     # -- synchronous setup / inspection (no simulated latency) -------------
     def preload(self, items: dict[str, object]) -> None:
@@ -100,12 +126,21 @@ class GlobalStorage:
 
     # -- simulated access ---------------------------------------------------
     def _traced(self, op: str, key: str, inner):
-        """Wrap one access generator in a ``storage`` span when tracing."""
-        tracer = self.sim.tracer
-        if not tracer.active:
-            return (yield from inner)
-        with tracer.span(f"storage:{op}", "storage", store=self.name, key=key):
-            return (yield from inner)
+        """Wrap one access generator in a ``storage`` span when tracing.
+
+        Also brackets the in-flight-op count sampled by telemetry (the
+        increment/decrement pair is two int ops; no cost worth gating).
+        """
+        self._inflight += 1
+        try:
+            tracer = self.sim.tracer
+            if not tracer.active:
+                return (yield from inner)
+            with tracer.span(f"storage:{op}", "storage", store=self.name,
+                             key=key):
+                return (yield from inner)
+        finally:
+            self._inflight -= 1
 
     def read(self, key: str):
         """Read ``key``: yields, returns ``(value, version)``.

@@ -1,0 +1,258 @@
+"""Rule-based SLO/anomaly detection over sampled timelines.
+
+Each detector scans exported series (the dict form produced by
+:meth:`TimeSeriesStore.to_dicts` / :func:`repro.telemetry.export.
+load_series`) and reports :class:`Anomaly` windows in *simulated* time.
+Detectors are deliberately simple threshold/baseline rules — the goal is
+flagging the dynamics the paper argues about (invalidation storms under
+write bursts, sustained run-queue buildup at hot nodes, hit-ratio
+collapse under churn), not statistical novelty.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One rule firing over a simulated-time window."""
+
+    rule: str
+    metric: str
+    #: Label pairs identifying the offending series ((), when aggregated).
+    labels: tuple
+    start_ms: float
+    end_ms: float
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "metric": self.metric,
+            "labels": dict(self.labels),
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "detail": self.detail,
+        }
+
+
+def _named(series_list: list, name: str) -> list:
+    """Series with ``name``, normalized to dicts.
+
+    Accepts either the dict form (``TimeSeriesStore.to_dicts`` /
+    ``load_series``) or live :class:`~repro.telemetry.store.Series`
+    objects, so in-process callers need not round-trip through export.
+    """
+    dicts = [series if isinstance(series, dict) else series.to_dict()
+             for series in series_list]
+    return [series for series in dicts if series["name"] == name]
+
+
+def _label_key(series: dict) -> tuple:
+    return tuple(sorted(series.get("labels", {}).items()))
+
+
+def _interval_deltas(series_list: list) -> list:
+    """Per-sampling-interval value deltas summed across series.
+
+    Returns ``[(interval_end_ms, interval_start_ms, delta), ...]`` in
+    time order.  Series that start mid-run (e.g. agents created by
+    churn) simply contribute nothing before their first sample.
+    """
+    totals: dict = {}
+    starts: dict = {}
+    for series in series_list:
+        points = series["points"]
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            totals[t1] = totals.get(t1, 0.0) + (v1 - v0)
+            prev = starts.get(t1)
+            if prev is None or t0 < prev:
+                starts[t1] = t0
+    return [(t1, starts[t1], totals[t1]) for t1 in sorted(totals)]
+
+
+def _flag_runs(intervals: list, flagged, min_samples: int) -> list:
+    """Group consecutive flagged intervals into (start, end, members)."""
+    runs = []
+    current = []
+    for interval in intervals:
+        if flagged(interval):
+            current.append(interval)
+        else:
+            if len(current) >= min_samples:
+                runs.append(current)
+            current = []
+    if len(current) >= min_samples:
+        runs.append(current)
+    return [(run[0][1], run[-1][0], run) for run in runs]
+
+
+# -- detectors ---------------------------------------------------------
+
+def detect_invalidation_storm(series_list: list,
+                              metric: str = "cache_invalidations_sent_total",
+                              factor: float = 4.0,
+                              min_delta: float = 4.0,
+                              min_samples: int = 2) -> list:
+    """Flag windows where cluster-wide invalidation rate spikes.
+
+    The per-interval invalidation count (summed over all nodes/schemes)
+    is compared against ``max(min_delta, factor * median_interval)``;
+    ``min_samples`` consecutive hot intervals form a storm window.
+    """
+    intervals = _interval_deltas(_named(series_list, metric))
+    if not intervals:
+        return []
+    baseline = statistics.median(delta for _t1, _t0, delta in intervals)
+    threshold = max(min_delta, factor * baseline)
+    anomalies = []
+    for start, end, run in _flag_runs(
+            intervals, lambda iv: iv[2] >= threshold, min_samples):
+        total = sum(delta for _t1, _t0, delta in run)
+        peak = max(delta for _t1, _t0, delta in run)
+        anomalies.append(Anomaly(
+            rule="invalidation_storm", metric=metric, labels=(),
+            start_ms=start, end_ms=end,
+            detail=(f"{total:.0f} invalidations in {end - start:.0f}ms "
+                    f"(peak {peak:.0f}/interval, threshold "
+                    f"{threshold:.1f}, baseline median {baseline:.1f})")))
+    return anomalies
+
+
+def detect_cpu_queue_buildup(series_list: list,
+                             metric: str = "node_cpu_queue_length",
+                             min_depth: float = 4.0,
+                             min_duration_ms: float = 500.0) -> list:
+    """Flag nodes whose CPU run queue stays deep for a sustained window."""
+    anomalies = []
+    for series in sorted(_named(series_list, metric), key=_label_key):
+        points = series["points"]
+        runs = []
+        current = []
+        for t_ms, value in points:
+            if value >= min_depth:
+                current.append((t_ms, value))
+            else:
+                if current:
+                    runs.append(current)
+                current = []
+        if current:
+            runs.append(current)
+        for run in runs:
+            start, end = run[0][0], run[-1][0]
+            if end - start < min_duration_ms:
+                continue
+            peak = max(value for _t, value in run)
+            anomalies.append(Anomaly(
+                rule="cpu_queue_buildup", metric=metric,
+                labels=_label_key(series), start_ms=start, end_ms=end,
+                detail=(f"run queue >= {min_depth:.0f} for "
+                        f"{end - start:.0f}ms (peak depth {peak:.0f})")))
+    return anomalies
+
+
+def detect_hit_ratio_collapse(series_list: list,
+                              reads_metric: str = "cache_reads_total",
+                              hits_metric: str = "cache_read_hits_total",
+                              collapse_factor: float = 0.5,
+                              min_reads: float = 10.0,
+                              min_samples: int = 2) -> list:
+    """Flag windows where a scheme's windowed hit ratio collapses.
+
+    The ratio is computed from per-interval *deltas* of the read/hit
+    counters (never the instantaneous cumulative ratio, which a long
+    healthy prefix would pin near its historical value).  Intervals with
+    fewer than ``min_reads`` reads are ignored as noise.
+    """
+    reads_by_labels = {_label_key(s): s for s in
+                       _named(series_list, reads_metric)}
+    hits_by_labels = {_label_key(s): s for s in
+                      _named(series_list, hits_metric)}
+    anomalies = []
+    for labels in sorted(reads_by_labels):
+        hits_series = hits_by_labels.get(labels)
+        if hits_series is None:
+            continue
+        read_deltas = _interval_deltas([reads_by_labels[labels]])
+        hit_deltas = {t1: delta for t1, _t0, delta in
+                      _interval_deltas([hits_series])}
+        ratios = []
+        for t1, t0, read_delta in read_deltas:
+            if read_delta < min_reads:
+                continue
+            hit_delta = hit_deltas.get(t1, 0.0)
+            ratios.append((t1, t0, hit_delta / read_delta))
+        if len(ratios) < 2 * min_samples:
+            continue
+        baseline = statistics.median(ratio for _t1, _t0, ratio in ratios)
+        if baseline <= 0.0:
+            continue
+        threshold = collapse_factor * baseline
+        for start, end, run in _flag_runs(
+                ratios, lambda iv: iv[2] < threshold, min_samples):
+            low = min(ratio for _t1, _t0, ratio in run)
+            anomalies.append(Anomaly(
+                rule="hit_ratio_collapse", metric=reads_metric,
+                labels=labels, start_ms=start, end_ms=end,
+                detail=(f"windowed hit ratio fell to {low:.2f} "
+                        f"(baseline median {baseline:.2f}, threshold "
+                        f"{threshold:.2f})")))
+    return anomalies
+
+
+def detect_slo_latency(series_list: list, slo_ms: float,
+                       metric: str = "faas_request_latency_ms",
+                       min_requests: float = 5.0,
+                       min_samples: int = 2) -> list:
+    """Flag windows where the windowed mean request latency breaks SLO."""
+    counts = {_label_key(s): s for s in _named(series_list,
+                                               f"{metric}_count")}
+    sums = {_label_key(s): s for s in _named(series_list, f"{metric}_sum")}
+    anomalies = []
+    for labels in sorted(counts):
+        sum_series = sums.get(labels)
+        if sum_series is None:
+            continue
+        count_deltas = _interval_deltas([counts[labels]])
+        sum_deltas = {t1: delta for t1, _t0, delta in
+                      _interval_deltas([sum_series])}
+        means = []
+        for t1, t0, count_delta in count_deltas:
+            if count_delta < min_requests:
+                continue
+            means.append((t1, t0, sum_deltas.get(t1, 0.0) / count_delta))
+        for start, end, run in _flag_runs(
+                means, lambda iv: iv[2] > slo_ms, min_samples):
+            worst = max(mean for _t1, _t0, mean in run)
+            anomalies.append(Anomaly(
+                rule="slo_latency", metric=metric, labels=labels,
+                start_ms=start, end_ms=end,
+                detail=(f"windowed mean latency up to {worst:.1f}ms "
+                        f"exceeds SLO {slo_ms:.1f}ms")))
+    return anomalies
+
+
+def detect_anomalies(series_list: list, slo_latency_ms=None, **kwargs) -> list:
+    """Run every detector; return anomalies sorted by window start.
+
+    ``kwargs`` are routed to detectors by prefix, e.g.
+    ``storm_min_delta=2`` or ``queue_min_depth=8``.
+    """
+    def picked(prefix):
+        return {key[len(prefix):]: value for key, value in kwargs.items()
+                if key.startswith(prefix)}
+
+    anomalies = []
+    anomalies.extend(detect_invalidation_storm(series_list,
+                                               **picked("storm_")))
+    anomalies.extend(detect_cpu_queue_buildup(series_list,
+                                              **picked("queue_")))
+    anomalies.extend(detect_hit_ratio_collapse(series_list,
+                                               **picked("hit_")))
+    if slo_latency_ms is not None:
+        anomalies.extend(detect_slo_latency(series_list, slo_latency_ms,
+                                            **picked("slo_")))
+    return sorted(anomalies,
+                  key=lambda a: (a.start_ms, a.rule, a.metric, a.labels))

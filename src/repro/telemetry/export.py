@@ -1,0 +1,165 @@
+"""Serialize sampled time series: JSONL, CSV, Prometheus text format.
+
+All exporters are byte-deterministic: series are emitted in canonical
+``(name, labels)`` order, JSON objects use ``sort_keys``, and every
+timestamp is simulated milliseconds.  The writers are plain functions —
+not sim processes — so file I/O here does not violate SIM02.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+
+def _series_dicts(source) -> list:
+    """Normalize a registry, store, or iterable of dicts to sorted dicts."""
+    to_dicts = getattr(source, "to_dicts", None)
+    if to_dicts is not None:
+        return to_dicts()
+    return sorted(source, key=_dict_key)
+
+
+def _dict_key(series: dict) -> tuple:
+    return (series["name"], tuple(sorted(series.get("labels", {}).items())))
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+# -- JSONL -------------------------------------------------------------
+
+def jsonl_dumps(source) -> str:
+    """One canonical JSON object per series, one series per line."""
+    lines = [json.dumps(series, sort_keys=True, separators=(",", ":"))
+             for series in _series_dicts(source)]
+    return "".join(line + "\n" for line in lines)
+
+
+def export_jsonl(source, path: str) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(jsonl_dumps(source))
+    return path
+
+
+# -- CSV ---------------------------------------------------------------
+
+CSV_HEADER = ("name", "kind", "labels", "t_ms", "value")
+
+
+def csv_dumps(source) -> str:
+    """Long-form CSV: one row per sampled point."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(CSV_HEADER)
+    for series in _series_dicts(source):
+        labels = ";".join(f"{name}={value}"
+                          for name, value in sorted(series["labels"].items()))
+        for t_ms, value in series["points"]:
+            writer.writerow([series["name"], series["kind"], labels,
+                             _fmt_value(float(t_ms)), _fmt_value(value)])
+    return buffer.getvalue()
+
+
+def export_csv(source, path: str) -> str:
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(csv_dumps(source))
+    return path
+
+
+# -- Prometheus text format --------------------------------------------
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _prom_label_str(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{name}="{_escape_label_value(str(value))}"'
+                    for name, value in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def prometheus_dumps(source) -> str:
+    """Prometheus exposition text with explicit millisecond timestamps.
+
+    Each sampled point becomes one exposition line stamped with its
+    simulated-clock timestamp, so the full timeline round-trips through
+    any Prometheus-format tooling.
+    """
+    lines: list = []
+    seen_families: dict = {}
+    for series in _series_dicts(source):
+        name = series["name"]
+        if name not in seen_families:
+            seen_families[name] = None
+            if series.get("help"):
+                lines.append(f"# HELP {name} {series['help']}")
+            lines.append(f"# TYPE {name} {series['kind']}")
+        label_str = _prom_label_str(series["labels"])
+        for t_ms, value in series["points"]:
+            lines.append(f"{name}{label_str} {_fmt_value(value)} "
+                         f"{_fmt_value(float(t_ms))}")
+    return "".join(line + "\n" for line in lines)
+
+
+def export_prometheus(source, path: str) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_dumps(source))
+    return path
+
+
+# -- loading (for the CLI) ---------------------------------------------
+
+def _load_jsonl(text: str) -> list:
+    series = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            series.append(json.loads(line))
+    return series
+
+
+def _load_csv(text: str) -> list:
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader, None)
+    if header is None or tuple(header) != CSV_HEADER:
+        raise ValueError(f"not a telemetry CSV (header {header!r})")
+    by_key: dict = {}
+    for name, kind, label_str, t_ms, value in reader:
+        labels = {}
+        if label_str:
+            for pair in label_str.split(";"):
+                label_name, _, label_value = pair.partition("=")
+                labels[label_name] = label_value
+        key = (name, tuple(sorted(labels.items())))
+        series = by_key.get(key)
+        if series is None:
+            series = {"name": name, "kind": kind, "labels": labels,
+                      "help": "", "points": []}
+            by_key[key] = series
+        series["points"].append([float(t_ms), float(value)])
+    return list(by_key.values())
+
+
+def load_series(path: str) -> list:
+    """Load an exported timeline (JSONL or CSV, auto-detected)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if not stripped:
+        return []
+    if stripped.startswith("{"):
+        return _load_jsonl(text)
+    if stripped.startswith("name,"):
+        return _load_csv(text)
+    raise ValueError(
+        f"{path}: unrecognized timeline format (expected JSONL or CSV; "
+        f"the Prometheus text format is export-only)")

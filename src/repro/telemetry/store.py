@@ -1,0 +1,84 @@
+"""In-memory time-series storage for sampled telemetry.
+
+A :class:`Series` is one labeled stream of ``(sim_time_ms, value)``
+points; the :class:`TimeSeriesStore` keys series by ``(name, labels)``
+in an insertion-ordered dict, so the set of series — and every export
+derived from it — is fully determined by program order, never by hash
+order.  Timestamps are simulated milliseconds stamped by the
+:class:`~repro.telemetry.sampler.Sampler`; nothing here reads a wall
+clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Series kinds (mirrors the Prometheus metric taxonomy we export).
+COUNTER = "counter"
+GAUGE = "gauge"
+
+
+@dataclass
+class Series:
+    """One labeled time series of sampled values."""
+
+    name: str
+    kind: str                       # COUNTER or GAUGE
+    #: Label pairs in labelnames order, e.g. (("node", "node0"),).
+    labels: tuple = ()
+    help: str = ""
+    #: Sampled (sim_time_ms, value) points in sampling order.
+    points: list = field(default_factory=list)
+
+    @property
+    def key(self) -> tuple:
+        return (self.name, self.labels)
+
+    def label_dict(self) -> dict:
+        return dict(self.labels)
+
+    def label_str(self) -> str:
+        """Render labels as ``k=v;k2=v2`` (CSV / display form)."""
+        return ";".join(f"{name}={value}" for name, value in self.labels)
+
+    def last(self):
+        """The most recent sampled value (None when never sampled)."""
+        return self.points[-1][1] if self.points else None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": self.label_dict(),
+            "help": self.help,
+            "points": [[t, v] for t, v in self.points],
+        }
+
+
+class TimeSeriesStore:
+    """Insertion-ordered collection of :class:`Series`."""
+
+    def __init__(self):
+        self._series: dict[tuple, Series] = {}
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def series(self, name: str, kind: str, labels: tuple = (),
+               help: str = "") -> Series:
+        """Get or create the series for ``(name, labels)``."""
+        key = (name, labels)
+        existing = self._series.get(key)
+        if existing is None:
+            existing = Series(name=name, kind=kind, labels=labels, help=help)
+            self._series[key] = existing
+        return existing
+
+    def all_series(self) -> list:
+        """Every series, in creation order."""
+        return list(self._series.values())
+
+    def to_dicts(self) -> list:
+        """JSON-ready dicts, sorted by (name, labels) for canonical output."""
+        return [series.to_dict()
+                for series in sorted(self._series.values(), key=lambda s: s.key)]

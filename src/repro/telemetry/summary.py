@@ -1,0 +1,94 @@
+"""Timeline summarisation for the ``repro-metrics`` CLI.
+
+Works on the exported dict form of series (see
+:func:`repro.telemetry.export.load_series`), so the CLI can summarise a
+file without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.stats import Histogram
+
+#: Eight-level block characters for terminal sparklines.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def series_stats(series: dict) -> dict:
+    """Distribution statistics of one series' sampled values."""
+    values = [value for _t, value in series["points"]]
+    histogram = Histogram()
+    for value in values:
+        histogram.record(float(value))
+    times = [t for t, _value in series["points"]]
+    return {
+        "name": series["name"],
+        "kind": series["kind"],
+        "labels": dict(series.get("labels", {})),
+        "samples": histogram.count,
+        "t_first_ms": times[0] if times else None,
+        "t_last_ms": times[-1] if times else None,
+        "min": histogram.min,
+        "max": histogram.max,
+        "mean": histogram.mean,
+        "p50": histogram.p50,
+        "stddev": histogram.stddev,
+        "last": values[-1] if values else None,
+    }
+
+
+def render_sparkline(series: dict, width: int = 60) -> str:
+    """Resample a series into ``width`` buckets of block characters."""
+    values = [float(value) for _t, value in series["points"]]
+    if not values:
+        return ""
+    if len(values) > width:
+        # Mean per bucket keeps bursts visible without aliasing on width.
+        bucketed = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            chunk = values[lo:hi]
+            bucketed.append(sum(chunk) / len(chunk))
+        values = bucketed
+    low = min(values)
+    span = max(values) - low
+    if span <= 0.0:
+        return SPARK_CHARS[0] * len(values)
+    return "".join(
+        SPARK_CHARS[min(len(SPARK_CHARS) - 1,
+                        int((value - low) / span * len(SPARK_CHARS)))]
+        for value in values)
+
+
+def _by_node(series_list: list, name: str) -> dict:
+    """node label -> series, sorted by node, for single-node-label series."""
+    picked = [series for series in series_list if series["name"] == name]
+    return {series["labels"].get("node", ""): series
+            for series in sorted(picked,
+                                 key=lambda s: s["labels"].get("node", ""))}
+
+
+def utilization_summary(series_list: list) -> list:
+    """Per-node utilization/queue/memory rows from the node gauges."""
+    cpu = _by_node(series_list, "node_cpu_utilization")
+    queue = _by_node(series_list, "node_cpu_queue_length")
+    memory = _by_node(series_list, "node_memory_in_use_bytes")
+    containers = _by_node(series_list, "node_warm_containers")
+    rows = []
+    for node in sorted(set(cpu) | set(queue) | set(memory)):
+        row = {"node": node}
+        if node in cpu:
+            stats = series_stats(cpu[node])
+            row["cpu_mean"] = stats["mean"]
+            row["cpu_peak"] = stats["max"]
+        if node in queue:
+            stats = series_stats(queue[node])
+            row["queue_mean"] = stats["mean"]
+            row["queue_peak"] = stats["max"]
+        if node in memory:
+            row["memory_peak_bytes"] = series_stats(memory[node])["max"]
+        if node in containers:
+            row["warm_containers_last"] = containers[node]["points"][-1][1] \
+                if containers[node]["points"] else None
+        rows.append(row)
+    return rows

@@ -1,0 +1,43 @@
+"""Known-bad telemetry idioms; MET01 must fire at the marked lines."""
+
+
+class Instrumented:
+    def __init__(self, metrics):
+        self.sharers = {"node0", "node1"}
+        self.metrics = metrics
+
+    def unlabeled_counter(self):
+        self.metrics.counter("ops_total", "Total ops.")        # line 10
+
+    def unlabeled_gauge(self, registry):
+        registry.gauge("depth", "Queue depth.")                # line 13
+
+    def labeled_ok(self):
+        self.metrics.counter(
+            "ops_total", "Total ops.", labelnames=("node",))
+
+    def unlabeled_histogram(self, registry):
+        registry.histogram("latency_ms", "Latency.")           # line 20
+
+    def bad_lambda_callback(self, gauge):
+        gauge.set_callback(lambda: list(self.sharers)[0])      # line 23
+
+    def bad_comprehension_callback(self, gauge):
+        gauge.set_callback(
+            lambda: [n for n in self.sharers][0])              # line 27
+
+    def good_reduction_callback(self, gauge):
+        gauge.set_callback(lambda: len(self.sharers))
+
+    def good_sorted_callback(self, gauge):
+        gauge.set_callback(lambda: sorted(self.sharers)[0])
+
+    def bad_local_def_callback(self, gauge):
+        def sample():
+            return tuple(self.sharers)                         # line 37
+
+        gauge.set_callback(sample)
+
+    def unrelated_builder_not_flagged(self, widgets):
+        # .counter() on a non-registry receiver is not MET01's business.
+        widgets.counter("clicks")

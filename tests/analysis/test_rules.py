@@ -142,6 +142,48 @@ class TestTracingRules:
         assert not report.findings
 
 
+class TestTelemetryRules:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return Analyzer().run([FIXTURES / "bad_telemetry.py"])
+
+    def test_unlabeled_instruments_flagged(self, report):
+        assert ("MET01", 10) in keys(report)   # counter without labelnames
+        assert ("MET01", 13) in keys(report)   # gauge without labelnames
+        assert ("MET01", 20) in keys(report)   # histogram without labelnames
+
+    def test_explicit_labelnames_clean(self, report):
+        assert not any(f.rule == "MET01"
+                       and f.symbol == "Instrumented.labeled_ok"
+                       for f in report.findings)
+
+    def test_set_materializing_lambda_flagged(self, report):
+        assert any(f.rule == "MET01"
+                   and f.symbol == "Instrumented.bad_lambda_callback"
+                   for f in report.findings)
+
+    def test_set_comprehension_callback_flagged(self, report):
+        assert any(f.rule == "MET01"
+                   and f.symbol == "Instrumented.bad_comprehension_callback"
+                   for f in report.findings)
+
+    def test_order_insensitive_callbacks_clean(self, report):
+        for symbol in ("Instrumented.good_reduction_callback",
+                       "Instrumented.good_sorted_callback"):
+            assert not any(f.rule == "MET01" and f.symbol == symbol
+                           for f in report.findings)
+
+    def test_local_def_callback_flagged(self, report):
+        assert any(f.rule == "MET01" and f.line == 37
+                   for f in report.findings)
+
+    def test_non_registry_receiver_clean(self, report):
+        assert not any(
+            f.rule == "MET01"
+            and f.symbol == "Instrumented.unrelated_builder_not_flagged"
+            for f in report.findings)
+
+
 def test_select_restricts_rules():
     report = run_on("bad_determinism.py", select=["DET02"])
     assert {f.rule for f in report.findings} == {"DET02"}

@@ -1,0 +1,116 @@
+"""Property-based tests for Histogram (record/extend/percentile).
+
+Hypothesis explores sample streams and merge shapes the unit tests
+don't: the invariants are (a) percentiles depend only on the multiset of
+samples, never on arrival or merge order; (b) ``percentile`` is
+monotone in ``p``; (c) lazy sorting costs at most one sort per
+dirty period, however many queries follow.
+"""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.metrics.stats import Histogram
+
+# Finite floats; allow_nan/inf off because NaN breaks ordering.
+values = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    max_size=80,
+)
+percentiles = st.floats(min_value=0.0, max_value=100.0,
+                        allow_nan=False)
+
+
+def histogram_of(samples) -> Histogram:
+    histogram = Histogram()
+    for value in samples:
+        histogram.record(value)
+    return histogram
+
+
+@given(values, percentiles)
+def test_percentile_is_order_independent(samples, p):
+    forward = histogram_of(samples)
+    backward = histogram_of(list(reversed(samples)))
+    if not samples:
+        assert math.isnan(forward.percentile(p))
+        assert math.isnan(backward.percentile(p))
+    else:
+        assert forward.percentile(p) == backward.percentile(p)
+
+
+@given(values, values, percentiles)
+def test_extend_commutes_on_percentiles(left, right, p):
+    a = histogram_of(left)
+    a.extend(histogram_of(right))
+    b = histogram_of(right)
+    b.extend(histogram_of(left))
+    assert a.count == b.count == len(left) + len(right)
+    if a.count:
+        assert a.percentile(p) == b.percentile(p)
+        assert a.mean == b.mean
+
+
+@given(values, values)
+def test_extend_equals_recording_concatenation(left, right):
+    merged = histogram_of(left)
+    merged.extend(histogram_of(right))
+    flat = histogram_of(left + right)
+    assert merged.count == flat.count
+    if merged.count:
+        for p in (0.0, 25.0, 50.0, 75.0, 99.0, 100.0):
+            assert merged.percentile(p) == flat.percentile(p)
+        assert merged.min == flat.min
+        assert merged.max == flat.max
+
+
+@given(values, st.lists(percentiles, min_size=2, max_size=8))
+def test_percentile_monotone_in_p(samples, ps):
+    histogram = histogram_of(samples)
+    if not samples:
+        return
+    ps = sorted(ps)
+    results = [histogram.percentile(p) for p in ps]
+    assert results == sorted(results)
+
+
+@given(values, st.lists(percentiles, min_size=1, max_size=10))
+def test_at_most_one_sort_per_dirty_period(samples, ps):
+    histogram = histogram_of(samples)
+    for p in ps:
+        histogram.percentile(p)
+    # However many queries ran, one dirty period costs at most one sort.
+    assert histogram._sorts <= 1
+    # A second dirty period (an out-of-order record) costs at most one more.
+    histogram.record(-1e12)
+    histogram.record(1e12)
+    for p in ps:
+        histogram.percentile(p)
+    assert histogram._sorts <= 2
+
+
+@given(values)
+def test_stddev_matches_variance(samples):
+    histogram = histogram_of(samples)
+    if not samples:
+        assert math.isnan(histogram.variance)
+        assert math.isnan(histogram.stddev)
+    else:
+        assert histogram.variance >= 0.0
+        assert math.isclose(histogram.stddev,
+                            math.sqrt(histogram.variance))
+
+
+@given(values)
+def test_trimmed_mean_drops_largest(samples):
+    histogram = histogram_of(samples)
+    if not samples:
+        assert math.isnan(histogram.trimmed_mean())
+        return
+    trimmed = histogram.trimmed_mean(0.25)
+    cut = int(len(samples) * 0.25)
+    kept = sorted(samples)[:len(samples) - cut] if cut else sorted(samples)
+    assert math.isclose(trimmed, sum(kept) / len(kept))
+    assert trimmed <= histogram.mean or math.isclose(trimmed, histogram.mean)

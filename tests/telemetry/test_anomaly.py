@@ -1,0 +1,192 @@
+"""Anomaly detectors over synthetic timelines.
+
+Each detector gets a hand-built series with a known-bad window and must
+report that window (in simulated milliseconds) — plus a healthy series
+it must stay silent on.
+"""
+
+from repro.telemetry import (
+    detect_anomalies,
+    detect_cpu_queue_buildup,
+    detect_hit_ratio_collapse,
+    detect_invalidation_storm,
+    detect_slo_latency,
+)
+
+INTERVAL = 100.0
+
+
+def series(name, values, kind="counter", labels=None, start=0.0):
+    return {
+        "name": name, "kind": kind, "labels": labels or {}, "help": "",
+        "points": [[start + i * INTERVAL, v] for i, v in enumerate(values)],
+    }
+
+
+def cumulative(deltas, initial=0.0):
+    total = initial
+    out = [total]
+    for delta in deltas:
+        total += delta
+        out.append(total)
+    return out
+
+
+class TestInvalidationStorm:
+    def test_flags_the_burst_window(self):
+        # 1/interval baseline, then a 40/interval burst over 3 intervals.
+        deltas = [1, 1, 1, 1, 40, 45, 40, 1, 1, 1]
+        timeline = [series("cache_invalidations_sent_total",
+                           cumulative(deltas), labels={"node": "n0"})]
+        (storm,) = detect_invalidation_storm(timeline)
+        assert storm.rule == "invalidation_storm"
+        assert storm.start_ms == 4 * INTERVAL
+        assert storm.end_ms == 7 * INTERVAL
+        assert "125 invalidations" in storm.detail
+
+    def test_sums_across_nodes(self):
+        # Each node individually modest; the cluster-wide sum spikes.
+        quiet = [1] * 10
+        spike = [1, 1, 1, 1, 20, 20, 1, 1, 1, 1]
+        timeline = [
+            series("cache_invalidations_sent_total", cumulative(spike),
+                   labels={"node": f"n{i}"})
+            for i in range(3)
+        ] + [series("cache_invalidations_sent_total", cumulative(quiet),
+                    labels={"node": "n9"})]
+        storms = detect_invalidation_storm(timeline)
+        assert len(storms) == 1
+        assert storms[0].start_ms == 4 * INTERVAL
+
+    def test_quiet_timeline_is_clean(self):
+        timeline = [series("cache_invalidations_sent_total",
+                           cumulative([1] * 20))]
+        assert detect_invalidation_storm(timeline) == []
+
+    def test_single_hot_interval_below_min_samples(self):
+        deltas = [1, 1, 1, 40, 1, 1, 1]
+        timeline = [series("cache_invalidations_sent_total",
+                           cumulative(deltas))]
+        assert detect_invalidation_storm(timeline) == []
+
+
+class TestCpuQueueBuildup:
+    def test_flags_sustained_deep_queue(self):
+        values = [0, 1, 6, 7, 8, 6, 5, 5, 1, 0]
+        timeline = [series("node_cpu_queue_length", values, kind="gauge",
+                           labels={"node": "node2"})]
+        (buildup,) = detect_cpu_queue_buildup(timeline)
+        assert buildup.start_ms == 2 * INTERVAL
+        assert buildup.end_ms == 7 * INTERVAL
+        assert buildup.labels == (("node", "node2"),)
+        assert "peak depth 8" in buildup.detail
+
+    def test_brief_spike_not_flagged(self):
+        # Deep for only 2 samples (100 ms) — under min_duration_ms.
+        values = [0, 0, 9, 9, 0, 0]
+        timeline = [series("node_cpu_queue_length", values, kind="gauge",
+                           labels={"node": "node0"})]
+        assert detect_cpu_queue_buildup(timeline) == []
+
+    def test_per_node_windows(self):
+        deep = [6] * 10
+        shallow = [1] * 10
+        timeline = [
+            series("node_cpu_queue_length", deep, kind="gauge",
+                   labels={"node": "node1"}),
+            series("node_cpu_queue_length", shallow, kind="gauge",
+                   labels={"node": "node0"}),
+        ]
+        found = detect_cpu_queue_buildup(timeline)
+        assert [dict(a.labels)["node"] for a in found] == ["node1"]
+
+
+class TestHitRatioCollapse:
+    def test_flags_collapse_window(self):
+        reads = [20] * 12
+        hits = [18, 18, 18, 18, 2, 1, 2, 18, 18, 18, 18, 18]
+        labels = {"app": "SocNet", "scheme": "concord"}
+        timeline = [
+            series("cache_reads_total", cumulative(reads), labels=labels),
+            series("cache_read_hits_total", cumulative(hits), labels=labels),
+        ]
+        (collapse,) = detect_hit_ratio_collapse(timeline)
+        assert collapse.start_ms == 4 * INTERVAL
+        assert collapse.end_ms == 7 * INTERVAL
+        assert dict(collapse.labels) == labels
+
+    def test_steady_ratio_is_clean(self):
+        reads = [20] * 10
+        hits = [15] * 10
+        timeline = [
+            series("cache_reads_total", cumulative(reads)),
+            series("cache_read_hits_total", cumulative(hits)),
+        ]
+        assert detect_hit_ratio_collapse(timeline) == []
+
+    def test_idle_intervals_ignored(self):
+        # Low-traffic intervals (< min_reads) carry no ratio signal.
+        reads = [20, 20, 2, 2, 20, 20, 20, 20, 20, 20]
+        hits = [18, 18, 0, 0, 18, 18, 18, 18, 18, 18]
+        timeline = [
+            series("cache_reads_total", cumulative(reads)),
+            series("cache_read_hits_total", cumulative(hits)),
+        ]
+        assert detect_hit_ratio_collapse(timeline) == []
+
+
+class TestSloLatency:
+    def test_flags_slo_violation_window(self):
+        counts = [10] * 10
+        # Windowed mean = sum_delta / count_delta; SLO 50 ms.
+        sums = [200, 200, 900, 950, 900, 200, 200, 200, 200, 200]
+        timeline = [
+            series("faas_request_latency_ms_count", cumulative(counts),
+                   labels={"app": "Chat"}),
+            series("faas_request_latency_ms_sum", cumulative(sums),
+                   labels={"app": "Chat"}),
+        ]
+        (violation,) = detect_slo_latency(timeline, slo_ms=50.0)
+        assert violation.rule == "slo_latency"
+        assert violation.start_ms == 2 * INTERVAL
+        assert violation.end_ms == 5 * INTERVAL
+        assert dict(violation.labels) == {"app": "Chat"}
+
+    def test_within_slo_is_clean(self):
+        counts = [10] * 10
+        sums = [200] * 10
+        timeline = [
+            series("faas_request_latency_ms_count", cumulative(counts)),
+            series("faas_request_latency_ms_sum", cumulative(sums)),
+        ]
+        assert detect_slo_latency(timeline, slo_ms=50.0) == []
+
+
+class TestDetectAnomalies:
+    def test_routes_kwargs_and_sorts_by_start(self):
+        inv = [1, 1, 1, 1, 30, 30, 1, 1, 1, 1]
+        queue = [6] * 10
+        timeline = [
+            series("cache_invalidations_sent_total", cumulative(inv)),
+            series("node_cpu_queue_length", queue, kind="gauge",
+                   labels={"node": "node0"}),
+        ]
+        found = detect_anomalies(timeline)
+        assert [a.rule for a in found] == [
+            "cpu_queue_buildup", "invalidation_storm"]
+        assert found[0].start_ms <= found[1].start_ms
+        # queue_min_depth routed to the queue detector only.
+        relaxed = detect_anomalies(timeline, queue_min_depth=50.0)
+        assert [a.rule for a in relaxed] == ["invalidation_storm"]
+
+    def test_slo_detector_gated_on_threshold(self):
+        counts = [10] * 10
+        sums = [900] * 10
+        timeline = [
+            series("faas_request_latency_ms_count", cumulative(counts)),
+            series("faas_request_latency_ms_sum", cumulative(sums)),
+        ]
+        assert detect_anomalies(timeline) == []
+        assert [a.rule for a in
+                detect_anomalies(timeline, slo_latency_ms=50.0)] == [
+            "slo_latency"]

@@ -1,0 +1,111 @@
+"""End-to-end CLI smoke tests, byte-identical across PYTHONHASHSEEDs.
+
+A tiny simulation exports a trace and a metrics timeline in a subprocess
+pinned to one ``PYTHONHASHSEED``; then ``repro-metrics``, ``repro-trace``
+and ``repro-analyze`` run (also as subprocesses) over the artifacts.
+Every byte — exported files and CLI stdout — must match between hash
+seeds 0 and 1, which is the strongest end-to-end statement of the
+telemetry determinism contract.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+GENERATE = """\
+from repro.session import Session
+from repro.storage import DataItem
+
+with Session(nodes=2, seed=7, scheme="concord",
+             trace="trace.json", metrics="metrics.jsonl") as s:
+    s.preload({f"k{i}": DataItem(f"v{i}", 128) for i in range(4)})
+    for i in range(4):
+        s.read("node0", f"k{i}")
+        s.write("node1", f"k{i}", DataItem(f"w{i}", 128))
+    s.advance(500.0)
+    s.export_metrics("metrics.csv", fmt="csv")
+    s.export_metrics("metrics.prom", fmt="prometheus")
+"""
+
+
+def run_cmd(args, cwd, hashseed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, *args], cwd=cwd, env=env,
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+def generate_and_inspect(workdir: Path, hashseed: str) -> dict:
+    """One full pipeline under ``hashseed``; returns every observed byte."""
+    workdir.mkdir(parents=True, exist_ok=True)
+    script = workdir / "generate.py"
+    script.write_text(GENERATE)
+    generated = run_cmd(["generate.py"], workdir, hashseed)
+    assert generated.returncode == 0, generated.stderr
+
+    outputs = {
+        "metrics.jsonl": (workdir / "metrics.jsonl").read_text(),
+        "metrics.csv": (workdir / "metrics.csv").read_text(),
+        "metrics.prom": (workdir / "metrics.prom").read_text(),
+        "trace.json": (workdir / "trace.json").read_text(),
+    }
+    clis = {
+        "metrics-overview": ["-m", "repro.telemetry", "metrics.jsonl"],
+        "metrics-anomalies": ["-m", "repro.telemetry", "metrics.jsonl",
+                              "--anomalies", "--slo-latency-ms", "500"],
+        "metrics-one": ["-m", "repro.telemetry", "metrics.jsonl",
+                        "--metric", "cache_reads_total"],
+        "metrics-json-from-csv": ["-m", "repro.telemetry", "metrics.csv",
+                                  "--format", "json"],
+        "trace-summary": ["-m", "repro.trace", "trace.json"],
+    }
+    for label, args in clis.items():
+        completed = run_cmd(args, workdir, hashseed)
+        assert completed.returncode == 0, (label, completed.stderr)
+        assert completed.stdout, label
+        outputs[label] = completed.stdout
+    analyze = run_cmd(
+        ["-m", "repro.analysis", "src/repro/telemetry", "--no-baseline"],
+        REPO_ROOT, hashseed)
+    assert analyze.returncode == 0, analyze.stdout + analyze.stderr
+    outputs["analyze"] = analyze.stdout
+    return outputs
+
+
+@pytest.mark.slow
+def test_cli_pipeline_byte_identical_across_hashseeds(tmp_path):
+    seed0 = generate_and_inspect(tmp_path / "seed0", "0")
+    seed1 = generate_and_inspect(tmp_path / "seed1", "1")
+    assert set(seed0) == set(seed1)
+    for label in seed0:
+        assert seed0[label] == seed1[label], (
+            f"{label} differs between PYTHONHASHSEED=0 and 1")
+    # Sanity: the artifacts are non-trivial.
+    assert seed0["metrics.jsonl"].count("\n") > 10
+    assert "cache_reads_total" in seed0["metrics-overview"]
+    assert "anomalies" in seed0["metrics-anomalies"]
+    assert "0 error(s)" in seed0["analyze"]
+
+
+@pytest.mark.slow
+def test_metrics_cli_error_paths(tmp_path):
+    missing = run_cmd(["-m", "repro.telemetry", "nope.jsonl"], tmp_path, "0")
+    assert missing.returncode == 2
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("this is not a timeline\n")
+    garbled = run_cmd(["-m", "repro.telemetry", "bad.jsonl"], tmp_path, "0")
+    assert garbled.returncode == 2
+    (tmp_path / "generate.py").write_text(GENERATE)
+    generated = run_cmd(["generate.py"], tmp_path, "0")
+    assert generated.returncode == 0, generated.stderr
+    unknown = run_cmd(["-m", "repro.telemetry", "metrics.jsonl",
+                       "--metric", "no_such_metric"], tmp_path, "0")
+    assert unknown.returncode == 1

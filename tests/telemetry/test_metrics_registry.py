@@ -1,0 +1,136 @@
+"""Registry semantics: labeling, kind discipline, null mode."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.telemetry import (
+    MetricError,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+
+
+class TestLabeling:
+    def test_label_values_keyed_in_declared_order(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops", labelnames=("node", "app"))
+        counter.labels(app="a", node="n0").inc(3.0)
+        # Same child regardless of kwarg order.
+        assert counter.labels(node="n0", app="a").current() == 3.0
+
+    def test_label_values_coerced_to_str(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", labelnames=("shard",))
+        gauge.labels(shard=3).set(7.0)
+        assert gauge.labels(shard="3").current() == 7.0
+
+    def test_mismatched_label_set_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops", labelnames=("node",))
+        with pytest.raises(MetricError):
+            counter.labels(app="a")
+        with pytest.raises(MetricError):
+            counter.labels()
+
+    def test_unlabeled_shorthands(self):
+        registry = MetricsRegistry()
+        registry.counter("total", labelnames=()).inc(2.0)
+        registry.gauge("level", labelnames=()).set(5.0)
+        registry.histogram("lat", labelnames=()).observe(4.0)
+        registry.sample(0.0)
+        values = {s.name: s.last() for s in registry.store.all_series()}
+        assert values["total"] == 2.0
+        assert values["level"] == 5.0
+        assert values["lat_count"] == 1
+        assert values["lat_sum"] == 4.0
+
+
+class TestRegistration:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("ops", "help", labelnames=("node",))
+        second = registry.counter("ops", "other help", labelnames=("node",))
+        assert first is second
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", labelnames=())
+        with pytest.raises(MetricError):
+            registry.gauge("ops", labelnames=())
+
+    def test_labelnames_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("ops", labelnames=("node",))
+        with pytest.raises(MetricError):
+            registry.counter("ops", labelnames=("node", "app"))
+
+    def test_histogram_is_push_only(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", labelnames=())
+        with pytest.raises(MetricError):
+            histogram.set_callback(lambda: 1.0)
+
+    def test_negative_counter_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("ops", labelnames=()).labels().inc(-1.0)
+
+
+class TestSampling:
+    def test_callback_overrides_pushed_value(self):
+        registry = MetricsRegistry()
+        state = {"v": 10.0}
+        gauge = registry.gauge("level", labelnames=())
+        child = gauge.labels()
+        child.set(1.0)
+        gauge.set_callback(lambda: state["v"])
+        registry.sample(0.0)
+        state["v"] = 20.0
+        registry.sample(100.0)
+        (series,) = registry.store.all_series()
+        assert series.points == [(0.0, 10.0), (100.0, 20.0)]
+
+    def test_sample_counts_and_series_identity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops", labelnames=("node",))
+        counter.labels(node="n1").inc()
+        counter.labels(node="n0").inc(2.0)
+        registry.sample(0.0)
+        registry.sample(50.0)
+        assert registry.samples == 2
+        series = registry.store.all_series()
+        # First-touch order within the instrument, two points each.
+        assert [s.labels for s in series] == [
+            (("node", "n1"),), (("node", "n0"),)]
+        assert all(len(s.points) == 2 for s in series)
+
+    def test_bind_rejects_second_simulator(self):
+        registry = MetricsRegistry()
+        sim = Simulator(seed=1, metrics=registry)
+        assert registry.sim is sim
+        with pytest.raises(ValueError):
+            Simulator(seed=2, metrics=registry)
+
+
+class TestNullRegistry:
+    def test_shared_null_registry_is_inert(self):
+        assert NULL_REGISTRY.active is False
+        counter = NULL_REGISTRY.counter("ops")
+        counter.inc()
+        counter.labels(node="n0").inc(5.0)
+        child = NULL_REGISTRY.gauge("g").set_callback(lambda: 1.0)
+        assert child.current() == 0.0
+        NULL_REGISTRY.sample(0.0)
+        assert NULL_REGISTRY.samples == 0
+        assert NULL_REGISTRY.instruments() == []
+        assert NULL_REGISTRY.to_dicts() == []
+
+    def test_null_registry_rebinds_freely(self):
+        registry = NullRegistry()
+        assert registry.bind(object()) is registry
+        assert registry.bind(object()) is registry
+
+    def test_simulator_defaults_to_null(self):
+        sim = Simulator(seed=3)
+        assert sim.metrics.active is False

@@ -1,0 +1,86 @@
+"""Session metrics= knob: wiring, export, zero-cost default."""
+
+import pytest
+
+from repro.session import Session
+from repro.storage import DataItem
+from repro.telemetry import MetricsRegistry, jsonl_dumps, load_series
+
+
+def drive(session: Session) -> None:
+    session.preload({f"k{i}": DataItem(f"v{i}", 128) for i in range(4)})
+    for i in range(4):
+        session.read("node0", f"k{i}")
+        session.write("node1", f"k{i}", DataItem(f"w{i}", 128))
+    session.advance(500.0)
+
+
+def test_metrics_true_attaches_sampled_registry():
+    with Session(nodes=2, seed=7, metrics=True) as session:
+        drive(session)
+        assert session.metrics is session.sim.metrics
+        assert session.metrics.samples > 0
+        names = {s.name for s in session.metrics.store.all_series()}
+        # Every instrumented layer shows up on a plain concord session.
+        for expected in ("node_cpu_utilization", "net_messages_total",
+                         "cache_reads_total", "cache_occupancy_bytes",
+                         "directory_entries", "storage_reads_total"):
+            assert expected in names, expected
+
+
+def test_metrics_path_exports_on_close(tmp_path):
+    path = tmp_path / "timeline.jsonl"
+    with Session(nodes=2, seed=7, metrics=str(path)) as session:
+        drive(session)
+    loaded = load_series(str(path))
+    assert loaded and any(s["name"] == "cache_reads_total" for s in loaded)
+
+
+def test_explicit_registry_instance_used_as_is():
+    registry = MetricsRegistry()
+    with Session(nodes=2, seed=7, metrics=registry) as session:
+        drive(session)
+        assert session.metrics is registry
+
+
+def test_export_metrics_formats(tmp_path):
+    with Session(nodes=2, seed=7, metrics=True) as session:
+        drive(session)
+        session.export_metrics(str(tmp_path / "m.jsonl"), fmt="jsonl")
+        session.export_metrics(str(tmp_path / "m.csv"), fmt="csv")
+        session.export_metrics(str(tmp_path / "m.prom"), fmt="prometheus")
+        with pytest.raises(ValueError):
+            session.export_metrics(str(tmp_path / "m.x"), fmt="xml")
+    assert load_series(str(tmp_path / "m.jsonl"))
+    assert load_series(str(tmp_path / "m.csv"))
+
+
+def test_metrics_off_by_default():
+    with Session(nodes=2, seed=7) as session:
+        drive(session)
+        assert session.metrics is None
+        assert session.sim.metrics.active is False
+        assert session.sampler.running is False
+        with pytest.raises(RuntimeError):
+            session.export_metrics("nowhere.jsonl")
+
+
+def test_disabled_run_matches_enabled_run_results():
+    # Telemetry must be observation-only: same seed, same simulated
+    # outcome with metrics on and off.
+    def final_state(**kwargs):
+        with Session(nodes=2, seed=11, **kwargs) as session:
+            drive(session)
+            value = session.read("node0", "k2")
+            return (session.sim.now, value)
+
+    assert final_state() == final_state(metrics=True)
+
+
+def test_repeated_sessions_export_identical_bytes():
+    def dump():
+        with Session(nodes=2, seed=7, metrics=True) as session:
+            drive(session)
+            return jsonl_dumps(session.metrics)
+
+    assert dump() == dump()
