@@ -1,0 +1,20 @@
+"""Benchmark: availability under a crash + restart (fig18 extension)."""
+
+from repro.experiments import fig18_availability
+
+
+def test_fig18(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig18_availability.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = {r["recovery"]: r for r in result.rows()}
+    assert set(rows) == {"concord", "lease"}
+    for row in rows.values():
+        # The crash must not corrupt the cache: zero stale copies and no
+        # directory entry pointing at the dead node after recovery.
+        assert row["violations"] == 0
+        assert row["recoveries"] >= 1
+        assert row["completion_ratio"] > 0.95
+    # The failure detector declares the crash and the domain recovers
+    # while the platform keeps serving: no hard request failures.
+    assert rows["concord"]["failed"] == 0

@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Fault matrix: randomized fault plans must replay deterministically.
+
+For the given seed this script:
+
+1. builds a randomized :class:`FaultPlan` (crash + restart + message
+   drop/delay + storage brownout) over a 6-node cluster,
+2. runs the canonical fault scenario twice in-process and compares the
+   full outcome fingerprint (request counts, failure declarations,
+   recovery count, injector log, coherence verdict, telemetry bytes),
+3. re-runs the scenario in subprocesses under PYTHONHASHSEED=0 and =1
+   and byte-compares the telemetry exports,
+4. asserts the run ends coherent (zero invariant violations) with every
+   injected crash detected.
+
+On any failure the plan and a report land in ``--artifacts`` (CI uploads
+them), so the exact failing schedule replays locally with::
+
+    PYTHONPATH=src python scripts/fault_matrix.py --seed N
+
+Usage::
+
+    PYTHONPATH=src python scripts/fault_matrix.py [--seed N]
+        [--artifacts DIR] [--skip-subprocess]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.faults.plan import FaultPlan  # noqa: E402
+from repro.faults.scenario import run_fault_scenario  # noqa: E402
+
+NUM_NODES = 6
+DURATION_MS = 8000.0
+RPS = 30.0
+
+#: Emitted by the subprocess replay so the parent can extract the
+#: telemetry bytes from stdout regardless of warnings/log noise.
+MARKER = "===TELEMETRY==="
+
+REPLAY_SNIPPET = """\
+import json, sys
+from repro.faults.plan import FaultPlan
+from repro.faults.scenario import run_fault_scenario
+
+plan = FaultPlan.from_json(sys.argv[1])
+out = run_fault_scenario(plan, seed=plan.seed, num_nodes={num_nodes},
+                         duration_ms={duration}, rps={rps})
+print({marker!r})
+sys.stdout.write(out.telemetry_jsonl)
+"""
+
+
+def build_plan(seed: int) -> FaultPlan:
+    node_ids = [f"node{i}" for i in range(NUM_NODES)]
+    return FaultPlan.random(
+        seed=seed, node_ids=node_ids, horizon_ms=DURATION_MS,
+        crashes=1, restart=True, drops=1, delays=1, brownouts=1,
+    )
+
+
+def subprocess_telemetry(plan: FaultPlan, hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    snippet = REPLAY_SNIPPET.format(
+        num_nodes=NUM_NODES, duration=DURATION_MS, rps=RPS, marker=MARKER)
+    proc = subprocess.run(
+        [sys.executable, "-c", snippet, plan.to_json()],
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"replay under PYTHONHASHSEED={hashseed} failed:\n{proc.stderr}")
+    return proc.stdout.split(MARKER + "\n", 1)[1]
+
+
+def check_seed(seed: int, skip_subprocess: bool) -> list:
+    """Run the matrix cell for one seed; returns a list of problems."""
+    problems = []
+    plan = build_plan(seed)
+    print(f"[seed {seed}] plan: {', '.join(plan.kinds())}")
+
+    first = run_fault_scenario(plan, seed=seed, num_nodes=NUM_NODES,
+                               duration_ms=DURATION_MS, rps=RPS)
+    second = run_fault_scenario(plan, seed=seed, num_nodes=NUM_NODES,
+                                duration_ms=DURATION_MS, rps=RPS)
+    if first.fingerprint() != second.fingerprint():
+        problems.append("in-process replay diverged (same seed, same plan)")
+
+    crashes = sum(1 for e in plan.events if e.kind == "NodeCrash")
+    detected = {node for _t, _app, node in first.failures_detected}
+    if len(detected) < crashes:
+        problems.append(
+            f"{crashes} crash(es) injected but only {sorted(detected)} "
+            "declared failed")
+    if first.violations:
+        problems.append(
+            "coherence violations after recovery: "
+            + "; ".join(first.violations))
+    if first.completed == 0:
+        problems.append("no requests completed")
+
+    if not skip_subprocess:
+        tele0 = subprocess_telemetry(plan, "0")
+        tele1 = subprocess_telemetry(plan, "1")
+        if tele0 != tele1:
+            problems.append("telemetry differs between PYTHONHASHSEED 0 and 1")
+        if tele0 != first.telemetry_jsonl:
+            problems.append("subprocess telemetry differs from in-process run")
+
+    status = "ok" if not problems else "FAIL"
+    print(f"[seed {seed}] completed={first.completed} "
+          f"failures_detected={len(first.failures_detected)} "
+          f"recoveries={first.recoveries_completed} "
+          f"violations={len(first.violations)} -> {status}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault-plan seed (default 0)")
+    parser.add_argument("--artifacts", default="fault-artifacts",
+                        help="directory for failing plans/reports")
+    parser.add_argument("--skip-subprocess", action="store_true",
+                        help="skip the PYTHONHASHSEED subprocess replays")
+    args = parser.parse_args(argv)
+
+    problems = check_seed(args.seed, args.skip_subprocess)
+    if not problems:
+        return 0
+
+    artifacts = Path(args.artifacts)
+    artifacts.mkdir(parents=True, exist_ok=True)
+    plan = build_plan(args.seed)
+    plan.save(artifacts / f"failing_plan_seed{args.seed}.json")
+    report = {
+        "seed": args.seed,
+        "num_nodes": NUM_NODES,
+        "duration_ms": DURATION_MS,
+        "rps": RPS,
+        "problems": problems,
+    }
+    report_path = artifacts / f"report_seed{args.seed}.json"
+    with open(report_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    print(f"artifacts written to {artifacts}/", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

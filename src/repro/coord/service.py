@@ -56,6 +56,13 @@ class CoordinationService:
         #: (app, node_id) -> consecutive missed heartbeats
         self._misses: dict[tuple[str, str], int] = {}
         self.failures_detected: list[tuple[float, str, str]] = []
+        metrics = self.sim.metrics
+        if metrics.active:
+            metrics.counter(
+                "coord_failures_declared_total",
+                "Members declared failed (per (app, member) declaration).",
+                labelnames=(),
+            ).set_callback(lambda: len(self.failures_detected))
         if run_heartbeats:
             self.sim.spawn(self._heartbeat_loop(), name="coord:heartbeats", daemon=True)
 
@@ -89,10 +96,13 @@ class CoordinationService:
 
         Paper Section III-H: a node waiting on an unreachable peer informs
         the controller, which removes the peer's cache instance without
-        waiting for heartbeat misses to accumulate.
+        waiting for heartbeat misses to accumulate.  The crash is a
+        *node*-level fact, so the member is declared failed in every group
+        it belongs to — exactly as when heartbeat misses accumulate — not
+        just in the reporting application's group.
         """
         if node_id in self._groups.get(app, {}):
-            self._declare_failed(node_id, apps=[app])
+            self._declare_failed(node_id)
 
     # -- failure detection -------------------------------------------------
     def _heartbeat_loop(self):
@@ -139,6 +149,10 @@ class CoordinationService:
                 continue
             self._misses.pop((app, node_id), None)
             self.failures_detected.append((self.sim.now, app, node_id))
+            tracer = self.sim.tracer
+            if tracer.active:
+                tracer.instant("coord:declare_failed", "failure",
+                               app=app, member=node_id)
             event = MembershipEvent("failed", app, node_id, address)
             self._notify_group(app, event)
             # Best-effort notification to the ejected member itself: if it

@@ -165,7 +165,11 @@ class CacheAgent:
             entry = self.cache.get(key)
 
         value, state, dir_hit, cacheable = yield from self._read_via_home(key, ctx)
-        if value is not None and cacheable:
+        if value is not None and cacheable and not self._key_barred(key):
+            # The barred check covers a home that failed (or a domain
+            # change that re-homed the key) while the reply was in
+            # flight: the recovery eviction sweep already ran here, so
+            # installing now would plant a copy nobody tracks.
             self._install(key, value, state, ctx)
         kind = OpKind.REMOTE_READ_HIT if dir_hit else OpKind.READ_MISS
         return value, kind
@@ -192,18 +196,33 @@ class CacheAgent:
             lock = self._lock(self._owner_locks, key)
             yield lock.acquire()
             try:
-                entry.value = value
-                entry.size_bytes = sizeof(value)
-                yield from self.system.storage.write(key, value, writer=self.node_id)
+                version = yield from self.system.storage.write(
+                    key, value, writer=self.node_id)
+                # Update the cached copy only after the write is durable,
+                # and only if no later storage version landed locally in
+                # the meantime (a racing write's reply may have replaced
+                # the entry, or an invalidation may have removed it).
+                current = self.cache.get(key)
+                if current is not None and current.version <= version:
+                    current.value = value
+                    current.size_bytes = sizeof(value)
+                    current.version = version
                 self.system.stats.invalidations_per_write.record(0)
             finally:
                 lock.release()
             return OpKind.LOCAL_WRITE_HIT
 
         had_local_copy = entry is not None  # S state: still a local hit
-        kind, cacheable = yield from self._write_via_home(key, value, ctx)
-        if cacheable:
-            self._install(key, value, EXCLUSIVE, ctx)
+        kind, cacheable, version = yield from self._write_via_home(key, value, ctx)
+        current = self.cache.peek(key)
+        if current is not None and current.version > version:
+            # A concurrent local write (direct-to-storage in E state)
+            # committed a later storage version while this write's reply
+            # was in flight; installing our value now would resurrect a
+            # stale copy over it.  Storage order wins: keep the entry.
+            pass
+        elif cacheable and not self._key_barred(key):
+            self._install(key, value, EXCLUSIVE, ctx, version=version)
         else:
             # The value is durably in storage but the coherence state for
             # it was disturbed (membership changed mid-write): hold no copy.
@@ -252,14 +271,14 @@ class CacheAgent:
                     yield self.sim.timeout(RETRY_DELAY_MS)
                     continue
             try:
-                kind_name, cacheable = yield from self.endpoint.call(
+                kind_name, cacheable, version = yield from self.endpoint.call(
                     f"{home}/concord-{self.app}", "write",
                     (key, value, self.node_id, fn),
                     size_bytes=sizeof(value) + len(key),
                     timeout=self.system.config.rpc_timeout_ms,
                     trace=INHERIT,
                 )
-                return OpKind(kind_name), cacheable
+                return OpKind(kind_name), cacheable, version
             except RpcTimeout:
                 yield from self._peer_unreachable(home)
             except NotHome:
@@ -310,6 +329,11 @@ class CacheAgent:
                 continue
             except RpcTimeout:
                 yield from self._peer_unreachable(home)
+                continue
+            if self._key_barred(key):
+                # The home failed (or the key re-homed) while the grant
+                # was in flight; the ownership it conferred is void.
+                # Re-acquire once the barrier lifts.
                 continue
             if cacheable:
                 self._install(key, value, EXCLUSIVE, ctx)
@@ -394,12 +418,23 @@ class CacheAgent:
         Long home operations yield (storage, invalidations); if membership
         changed underneath them the entry may have been transferred, lost
         or recreated elsewhere — mutating it here would fork the directory.
+        A raised barrier covering ``key`` means a domain change has already
+        popped (or will not see) this key's entry: creating one now would
+        park it at a home the committed ring no longer agrees on.
         """
         return (
             not self.ejected
             and self.epoch == epoch
             and self.ring.home(key) == self.node_id
+            and not self._key_barred(key)
         )
+
+    def _key_barred(self, key: str) -> bool:
+        """Whether any raised barrier's snapshot re-homes ``key``."""
+        for member, (ring_snapshot, _event) in self._barriers.items():
+            if ring_snapshot.home(key) == member:
+                return True
+        return False
 
     def _home_read(self, key: str, requester: str, fn: str = ""):
         """Serve a read at the home; returns (value, state, dir_hit, cacheable)."""
@@ -468,7 +503,12 @@ class CacheAgent:
             lock.release()
 
     def _home_write(self, key: str, value: object, requester: str, fn: str = ""):
-        """Serialize a write at the home; returns (OpKind, cacheable)."""
+        """Serialize a write at the home.
+
+        Returns ``(OpKind, cacheable, storage_version)`` — the version the
+        write committed at, so the requester can order its cache install
+        against concurrent direct-to-storage writes.
+        """
         tracer = self.sim.tracer
         if not tracer.active:
             return (yield from self._home_write_impl(key, value, requester, fn))
@@ -488,18 +528,20 @@ class CacheAgent:
             entry = self.directory.get(key)
             if entry is None:
                 # Write miss: update storage, requester becomes E owner.
-                yield from self.system.storage.write(key, value, writer=requester)
+                version = yield from self.system.storage.write(
+                    key, value, writer=requester)
                 self.system.stats.invalidations_per_write.record(0)
                 if not self._still_home(key, epoch):
-                    return OpKind.WRITE_MISS, False
+                    return OpKind.WRITE_MISS, False, version
                 self.directory.set_exclusive(key, requester)
-                return OpKind.WRITE_MISS, True
+                return OpKind.WRITE_MISS, True, version
 
             if entry.state == EXCLUSIVE and entry.owner != requester:
                 # Single owner: invalidate it *before* updating storage
                 # (the owner may have a direct-to-storage write in flight).
                 yield from self._invalidate_sharers(key, [entry.owner])
-                yield from self.system.storage.write(key, value, writer=requester)
+                version = yield from self.system.storage.write(
+                    key, value, writer=requester)
                 self.system.stats.invalidations_per_write.record(1)
             else:
                 # Shared (or stale self-ownership): invalidations travel in
@@ -517,18 +559,19 @@ class CacheAgent:
                         name=f"wt:{key}",
                     )
                     yield self.sim.all_of(pending + [storage_done])
+                    version = storage_done.value
                 else:
                     # Ablation: serialize invalidations before the update.
                     yield from self._invalidate_sharers(key, victims)
-                    yield from self.system.storage.write(
+                    version = yield from self.system.storage.write(
                         key, value, writer=requester)
                 self.system.stats.invalidations_per_write.record(len(victims))
             if not self._still_home(key, epoch):
-                return OpKind.REMOTE_WRITE_HIT, False
+                return OpKind.REMOTE_WRITE_HIT, False, version
             self.directory.set_exclusive(key, requester)
             # If the home itself is the writer its cache copy stays E; any
             # other local copy was invalidated above.
-            return OpKind.REMOTE_WRITE_HIT, True
+            return OpKind.REMOTE_WRITE_HIT, True, version
         finally:
             lock.release()
 
@@ -662,8 +705,9 @@ class CacheAgent:
     def _handle_write(self, endpoint, src, args):
         key, value, requester, fn = args
         yield from self._check_home(key)
-        kind, cacheable = yield from self._home_write(key, value, requester, fn)
-        return Reply((kind.value, cacheable), size_bytes=8)
+        kind, cacheable, version = yield from self._home_write(
+            key, value, requester, fn)
+        return Reply((kind.value, cacheable, version), size_bytes=8)
 
     def _handle_fetch_downgrade(self, endpoint, src, key):
         yield from self._wait_protection(key)
@@ -753,7 +797,8 @@ class CacheAgent:
     # ------------------------------------------------------------------
     # Cache management
     # ------------------------------------------------------------------
-    def _install(self, key: str, value: object, state: str, ctx=None) -> None:
+    def _install(self, key: str, value: object, state: str, ctx=None, *,
+                 version: int = 0) -> None:
         """Cache a fetched/written value, respecting the capacity budget."""
         self.refresh_capacity()
         size = sizeof(value)
@@ -765,7 +810,8 @@ class CacheAgent:
             # Replacing a speculative entry is a conflict with whoever
             # speculated on it (unless that is the installing transaction).
             self.txn_manager.on_replace(key, existing, ctx)
-        entry = CacheEntry(key=key, value=value, state=state, size_bytes=size)
+        entry = CacheEntry(key=key, value=value, state=state, size_bytes=size,
+                           version=version)
         if self.txn_manager is not None and ctx is not None and ctx.txn_id:
             self.txn_manager.on_install(key, entry, ctx)
         self.cache.put(entry)

@@ -33,6 +33,10 @@ DEFAULT_CAPACITY = 64 * MB
 #: Approximate wire size of one marshalled directory entry.
 DIR_ENTRY_WIRE_BYTES = 48
 
+#: Restart re-admission polling cadence and bound (~60 s simulated).
+RESTART_POLL_MS = 25.0
+RESTART_POLL_LIMIT = 2400
+
 
 class AppController:
     """Per-application control plane.
@@ -56,9 +60,18 @@ class AppController:
         self._recoveries: dict[str, RecoveryTracker] = {}
         #: Serializes voluntary domain changes.
         self._domain_busy = False
+        #: Failure recoveries driven to completion (barriers lifted).
+        self.recoveries_completed = 0
         self.endpoint.register_handler("ping", ping_handler)
         self.endpoint.register_handler("membership", self._handle_membership)
         self.endpoint.register_handler("recovery_ack", self._handle_recovery_ack)
+        metrics = self.sim.metrics
+        if metrics.active:
+            metrics.counter(
+                "concord_recoveries_completed_total",
+                "Failure recoveries completed (read barriers lifted).",
+                labelnames=("app",),
+            ).set_callback(lambda: self.recoveries_completed, app=self.app)
 
     @property
     def members(self) -> set:
@@ -81,11 +94,29 @@ class AppController:
         for pending in self._recoveries.values():
             if not pending.complete and pending.failed_member != member:
                 pending.survivor_lost(member)
+        lease = self.system.recovery_lease_ms
+        if lease is not None:
+            # Lease-based baseline (ZooKeeper-style session expiry): the
+            # barrier stays up for the full lease TTL regardless of how
+            # quickly survivors actually recover — the conservatism
+            # Concord's ack counting avoids (Section III-F).
+            tracker.arm(survivors)
+            self.sim.spawn(
+                self._lease_expiry(member, lease),
+                name=f"lease:{self.app}:{member}", daemon=True,
+            )
+            return
         if tracker.arm(survivors):
             self._finish_recovery(member)
 
+    def _lease_expiry(self, member: str, lease_ms: float):
+        yield self.sim.timeout(lease_ms)
+        self._finish_recovery(member)
+
     def _handle_recovery_ack(self, endpoint, src, args):
         failed_member, acking_member = args
+        if self.system.recovery_lease_ms is not None:
+            return None  # lease mode: completion is time-, not ack-, driven
         tracker = self._recoveries.setdefault(
             failed_member, RecoveryTracker(failed_member)
         )
@@ -96,6 +127,11 @@ class AppController:
 
     def _finish_recovery(self, failed_member: str) -> None:
         """All survivors recovered: lift the read barrier everywhere."""
+        self.recoveries_completed += 1
+        tracer = self.sim.tracer
+        if tracer.active:
+            tracer.instant("recovery:complete", "recovery",
+                           app=self.app, member=failed_member)
         for node_id in sorted(self.ring.members):
             self.endpoint.notify(
                 f"{node_id}/concord-{self.app}", "recovery_complete", failed_member,
@@ -207,6 +243,7 @@ class ConcordSystem(StorageAPI):
         virtual_nodes: int = 64,
         estate_writes: bool = True,
         parallel_invalidations: bool = True,
+        recovery_lease_ms: Optional[float] = None,
     ):
         self.cluster = cluster
         self.sim = cluster.sim
@@ -222,6 +259,10 @@ class ConcordSystem(StorageAPI):
         #: update.  Both on in the paper's design.
         self.estate_writes = estate_writes
         self.parallel_invalidations = parallel_invalidations
+        #: When set, failure recovery is the lease-based baseline: read
+        #: barriers stay up for this TTL instead of lifting when every
+        #: survivor has acked (the fig18 availability comparison).
+        self.recovery_lease_ms = recovery_lease_ms
         members = list(node_ids) if node_ids is not None else cluster.node_ids
         self.ring_template = ConsistentHashRing(members, virtual_nodes)
         self._stats = AccessStats()
@@ -301,6 +342,46 @@ class ConcordSystem(StorageAPI):
             self.coord.join(self.app, node_id, agent.endpoint.address)
         return agent
 
+    def restart_instance(self, node_id: str):
+        """Re-admit the cache instance on a restarted node (generator).
+
+        Models a process restart after :meth:`Cluster.restart_node`:
+        whatever the pre-crash instance held in memory is gone, so the
+        agent must flush and re-enter through the two-phase join — it can
+        never silently resume serving its stale cache or directory.
+
+        Two situations arise.  Usually the crash was already declared
+        while the node was down (heartbeat misses), the survivors purged
+        it, and the "you failed" notification to the dead process was
+        dropped — so the stale agent is ejected and re-admitted here.  If
+        the restart beat the failure detector, the crash is declared
+        explicitly first; the membership notification then reaches the
+        now-live agent, which ejects and re-admits itself through the
+        false-positive path, and this method just awaits that rejoin.
+        """
+        agent = self.agents.get(node_id)
+        if agent is None:
+            return (yield from self.create_instance(node_id))
+        if node_id in self.ring_template.members:
+            self.report_unreachable(node_id)
+            for _attempt in range(RESTART_POLL_LIMIT):
+                if agent.ejected or node_id not in self.ring_template.members:
+                    break
+                yield self.sim.timeout(RESTART_POLL_MS)
+        if agent.ejected:
+            # The false-positive path is already re-admitting the agent;
+            # wait for its domain join to commit.
+            for _attempt in range(RESTART_POLL_LIMIT):
+                if not agent.ejected and node_id in self.ring_template.members:
+                    break
+                yield self.sim.timeout(RESTART_POLL_MS)
+            return agent
+        # Declared while the node was down: flush the lost process's
+        # in-memory state and re-admit through the join protocol.
+        agent.eject()
+        yield from self._rejoin(agent)
+        return agent
+
     def remove_instance(self, node_id: str):
         """Gracefully remove the cache instance on ``node_id`` (generator)."""
         agent = self.agents.get(node_id)
@@ -353,6 +434,11 @@ class ConcordSystem(StorageAPI):
     def _agent_recover(self, agent: CacheAgent, failed_member: str) -> None:
         """Local recovery steps at one surviving agent (Section III-F)."""
         if failed_member in agent.ring.members:
+            tracer = self.sim.tracer
+            if tracer.active:
+                tracer.instant("recovery:survivor", "recovery",
+                               app=self.app, node=agent.node_id,
+                               member=failed_member)
             snapshot = agent.ring.copy()
             agent.raise_barrier(failed_member, snapshot)
             agent.evict_keys_homed_at(failed_member, snapshot)

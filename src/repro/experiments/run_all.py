@@ -33,6 +33,7 @@ from repro.experiments import (
     fig15_transactions,
     fig16_placement,
     fig17_apta,
+    fig18_availability,
     tab1_sharers,
     tab3_read_mix,
     verify_protocol,
@@ -66,6 +67,7 @@ EXPERIMENTS = {
     "fig15": fig15_transactions.run,
     "fig16": fig16_placement.run,
     "fig17": fig17_apta.run,
+    "fig18": fig18_availability.run,
     "fig08": fig08_throughput.run,
 }
 

@@ -19,6 +19,7 @@ from repro.config import MB, LatencyModel, SimConfig
 from repro.coord import CoordinationService
 from repro.core import ConcordSystem
 from repro.faas import FaasPlatform
+from repro.faults import FaultInjector
 from repro.metrics import AccessStats, Histogram
 from repro.schemes import build_scheme_map, make_scheduler, scheme_spec
 from repro.sim import Simulator
@@ -77,6 +78,9 @@ class MixedRunConfig:
     metrics: object = None
     #: Simulated-clock sampling period of the telemetry Sampler.
     metrics_interval_ms: float = 100.0
+    #: Optional :class:`~repro.faults.FaultPlan` replayed during the run
+    #: (times are absolute simulated time, warmup included).
+    faults: object = None
 
     def cpu_ms_per_request(self) -> float:
         """Average CPU demand of one request across the app mix."""
@@ -128,6 +132,8 @@ class MixedRunResult:
     tracer: object = None
     #: The run's MetricsRegistry when ``config.metrics`` was set.
     metrics: object = None
+    #: (sim_time, kind, detail) fault events applied (config.faults only).
+    fault_log: list = field(default_factory=list)
 
     def mean_latency(self) -> float:
         values = [s.mean_latency_ms for s in self.per_app.values() if s.completed]
@@ -173,6 +179,17 @@ def run_mixed_workload(config: MixedRunConfig) -> MixedRunResult:
     schemes = _make_schemes(config, cluster, coord)
     platform = FaasPlatform(
         cluster, scheduler=make_scheduler(config.scheme, schemes))
+    injector = None
+    if config.faults is not None:
+        concord_systems: list = []
+        for scheme in schemes.values():
+            if (isinstance(scheme, ConcordSystem)
+                    and not any(scheme is seen for seen in concord_systems)):
+                concord_systems.append(scheme)
+        injector = FaultInjector(
+            cluster, config.faults, systems=concord_systems,
+            platform=platform)
+        injector.start()
 
     factories = {}
     deployed = {}
@@ -269,6 +286,8 @@ def run_mixed_workload(config: MixedRunConfig) -> MixedRunResult:
     result.metrics = registry
     if registry is not None and isinstance(config.metrics, str):
         export_metrics_jsonl(registry, config.metrics)
+    if injector is not None:
+        result.fault_log = list(injector.applied)
     return result
 
 

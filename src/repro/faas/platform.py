@@ -16,6 +16,7 @@ from repro.faas.app import AppSpec
 from repro.faas.context import InvocationContext
 from repro.faas.scheduler import RandomScheduler, Scheduler
 from repro.metrics import Histogram
+from repro.sim.errors import Interrupt
 from repro.telemetry.registry import NULL_CHILD
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -27,6 +28,8 @@ if TYPE_CHECKING:  # pragma: no cover
 FRONTEND_OVERHEAD_MS = 0.5
 #: Container cold-start penalty (optimized platform, paper Section V).
 COLD_START_MS = 500.0
+#: Pause before re-running a request whose node crashed mid-invocation.
+RESCHEDULE_BACKOFF_MS = 10.0
 
 
 @dataclass
@@ -57,6 +60,8 @@ class DeployedApp:
     compute_ms_total: float = 0.0
     requests_completed: int = 0
     requests_failed: int = 0
+    #: Requests re-run on another node after a mid-invocation crash.
+    requests_rescheduled: int = 0
     cold_starts: int = 0
     #: Requests admitted but not yet completed (queued + running).
     inflight: int = 0
@@ -111,6 +116,16 @@ class FaasPlatform:
         self.scheduler = scheduler or RandomScheduler(cluster.sim)
         self.placement = placement or PlacementPolicy()
         self.apps: dict[str, DeployedApp] = {}
+        #: Submitted requests interrupted by a node crash are re-run on
+        #: surviving nodes (scheduling already avoids dead nodes).
+        self.reschedule_on_crash = True
+        #: How many crash re-runs one request gets before failing.
+        self.max_reschedules = 2
+        #: node_id -> {request process: None} for invocations currently
+        #: executing there (dict as insertion-ordered set: interrupt
+        #: order must not depend on hash order).
+        self._invocations_on: dict[str, dict] = {}
+        cluster.on_crash(self._interrupt_node_invocations)
 
     # -- deployment ------------------------------------------------------------
     def deploy(
@@ -150,6 +165,11 @@ class FaasPlatform:
             "faas_requests_failed_total", "Submitted requests that raised.",
             labelnames=("app",),
         ).set_callback(lambda: app.requests_failed, app=name)
+        metrics.counter(
+            "faas_requests_rescheduled_total",
+            "Requests re-run after a mid-invocation node crash.",
+            labelnames=("app",),
+        ).set_callback(lambda: app.requests_rescheduled, app=name)
         metrics.counter(
             "faas_cold_starts_total", "Invocations that cold-started.",
             labelnames=("app",),
@@ -270,12 +290,24 @@ class FaasPlatform:
             self.sim, node, app.name, function_name, app.storage_api,
             inputs=inputs, invocation_id=next(self._invocation_ids),
         )
+        # Register the executing process with its node so a crash there
+        # interrupts the invocation (the process dies with the node).
+        process = self.sim.active_process
+        if process is not None:
+            self._invocations_on.setdefault(node.id, {})[process] = None
         try:
             result = yield from spec.handler(ctx)
         finally:
             container.active -= 1
             container.last_used = self.sim.now
+            if process is not None:
+                self._invocations_on.get(node.id, {}).pop(process, None)
         return ctx, result
+
+    def _interrupt_node_invocations(self, node_id: str) -> None:
+        """Crash listener: kill every invocation running on ``node_id``."""
+        for process in list(self._invocations_on.pop(node_id, {})):
+            process.interrupt("node crash")
 
     # -- load generation ----------------------------------------------------------
     def submit(self, app_name: str, inputs: Optional[dict] = None):
@@ -287,12 +319,27 @@ class FaasPlatform:
         return process
 
     def _guarded_request(self, app_name: str, inputs):
-        try:
-            result = yield from self.request(app_name, inputs)
-        except Exception:
-            self.apps[app_name].requests_failed += 1
-            raise
-        return result
+        app = self.apps[app_name]
+        reschedules = 0
+        while True:
+            try:
+                result = yield from self.request(app_name, inputs)
+            except Interrupt:
+                # The node running one of this request's invocations
+                # crashed.  Re-run the whole request; scheduling and
+                # placement already steer around dead nodes.
+                if (self.reschedule_on_crash
+                        and reschedules < self.max_reschedules):
+                    reschedules += 1
+                    app.requests_rescheduled += 1
+                    yield self.sim.timeout(RESCHEDULE_BACKOFF_MS)
+                    continue
+                app.requests_failed += 1
+                return None
+            except Exception:
+                app.requests_failed += 1
+                raise
+            return result
 
     def open_loop(
         self,

@@ -1,0 +1,37 @@
+"""Deterministic fault injection (crashes, partitions, brownouts).
+
+A seeded :class:`FaultPlan` schedules fault events; the
+:class:`FaultInjector` replays it against a cluster as a simulator
+daemon.  Same plan + same simulator seed = byte-identical run, under any
+``PYTHONHASHSEED`` — failing CI plans upload as JSON artifacts and
+replay exactly (``scripts/fault_matrix.py``).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.scenario import ScenarioOutcome, run_fault_scenario
+from repro.faults.plan import (
+    EVENT_TYPES,
+    FaultEvent,
+    FaultPlan,
+    MessageDelay,
+    MessageDrop,
+    NetworkPartition,
+    NodeCrash,
+    NodeRestart,
+    StorageBrownout,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "MessageDelay",
+    "MessageDrop",
+    "NetworkPartition",
+    "NodeCrash",
+    "NodeRestart",
+    "ScenarioOutcome",
+    "StorageBrownout",
+    "run_fault_scenario",
+]

@@ -1,0 +1,109 @@
+"""A canonical fault scenario: one app under load with faults injected.
+
+Shared by the replay-determinism tests and the CI fault matrix
+(``scripts/fault_matrix.py``): build a small Concord deployment, drive
+Poisson load through the FaaS platform, replay a :class:`FaultPlan`, let
+recovery settle, then capture everything a byte-level replay comparison
+needs — the canonical telemetry export, the coherence-invariant
+verdict, and the failure/recovery counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster import Cluster
+from repro.config import SimConfig
+from repro.coord import CoordinationService
+from repro.core import ConcordSystem
+from repro.faas import CasScheduler, FaasPlatform
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.sim import Simulator
+from repro.telemetry import MetricsRegistry, Sampler, jsonl_dumps
+from repro.verify import check_coherence
+from repro.workloads import ALL_PROFILES, build_app, entity_inputs_factory
+from repro.workloads.profiles import preload_storage
+
+#: Post-load settle window: failure detection + recovery + drain.
+SETTLE_MS = 4000.0
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything a replay comparison or invariant check needs."""
+
+    plan: FaultPlan
+    seed: int
+    completed: int = 0
+    failed: int = 0
+    rescheduled: int = 0
+    #: (sim_time, app, node_id) failure declarations by the coordinator.
+    failures_detected: list = field(default_factory=list)
+    recoveries_completed: int = 0
+    #: (sim_time, kind, detail) events the injector applied.
+    applied: list = field(default_factory=list)
+    #: Coherence-invariant violations at the quiescent end state.
+    violations: list = field(default_factory=list)
+    #: Canonical telemetry export (byte-compared across replays).
+    telemetry_jsonl: str = ""
+
+    def fingerprint(self) -> tuple:
+        """Order-stable digest for replay equality assertions."""
+        return (
+            self.completed, self.failed, self.rescheduled,
+            tuple(self.failures_detected), self.recoveries_completed,
+            tuple(self.applied), tuple(self.violations),
+            self.telemetry_jsonl,
+        )
+
+
+def run_fault_scenario(
+    plan: FaultPlan,
+    seed: int,
+    num_nodes: int = 6,
+    duration_ms: float = 8000.0,
+    rps: float = 30.0,
+    app_name: str = "SocNet",
+    recovery_lease_ms=None,
+) -> ScenarioOutcome:
+    """Run the canonical scenario once and capture its outcome."""
+    registry = MetricsRegistry()
+    sim = Simulator(seed=seed, metrics=registry)
+    config = SimConfig(
+        num_nodes=num_nodes, cores_per_node=2,
+        # Fast detection keeps recovery inside the settle window.
+        heartbeat_interval_ms=200.0, heartbeat_misses=3,
+    )
+    cluster = Cluster(sim, config)
+    coord = CoordinationService(cluster.network, config)
+    profile = ALL_PROFILES[app_name]
+    concord = ConcordSystem(cluster, app=app_name, coord=coord,
+                            recovery_lease_ms=recovery_lease_ms)
+    preload_storage(cluster.storage, profile)
+    platform = FaasPlatform(cluster, scheduler=CasScheduler())
+    app = platform.deploy(build_app(profile), concord)
+    factory = entity_inputs_factory(profile, sim)
+
+    injector = FaultInjector(
+        cluster, plan, systems=(concord,), platform=platform)
+    injector.start()
+    sampler = Sampler(sim, interval_ms=100.0)
+    sampler.start()
+    sim.spawn(platform.open_loop(app_name, rps, duration_ms, factory),
+              name="load")
+    sim.run(until=duration_ms + SETTLE_MS)
+    sampler.stop()
+
+    return ScenarioOutcome(
+        plan=plan,
+        seed=seed,
+        completed=app.requests_completed,
+        failed=app.requests_failed,
+        rescheduled=app.requests_rescheduled,
+        failures_detected=list(coord.failures_detected),
+        recoveries_completed=concord.controller.recoveries_completed,
+        applied=list(injector.applied),
+        violations=check_coherence(concord, cluster),
+        telemetry_jsonl=jsonl_dumps(registry),
+    )

@@ -52,6 +52,106 @@ class NetworkStats:
         self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
 
 
+@dataclass(frozen=True)
+class _Window:
+    """A half-open activity window in simulated time."""
+
+    start: float
+    end: float
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+class FaultRules:
+    """Time-windowed partition/drop/delay rules applied by the fabric.
+
+    Installed by :class:`repro.faults.injector.FaultInjector`; the fabric
+    consults the rules on every ``send`` (and again at delivery, so a
+    partition that begins while a message is in flight cuts it).  Drop
+    decisions and delay jitter draw from the simulator's ``faults:net``
+    substream — seeded, hash-order-free, replayable.
+    """
+
+    def __init__(self, network: "Network"):
+        self.network = network
+        self.sim = network.sim
+        self._rng = network.sim.rng.stream("faults:net")
+        #: (window, groups) — groups is a tuple of node-id tuples.
+        self._partitions: list = []
+        #: (window, probability, src_node | None, dst_node | None)
+        self._drops: list = []
+        #: (window, extra_ms, jitter_ms, src_node | None, dst_node | None)
+        self._delays: list = []
+        #: Messages dropped by injected rules (partitions + drops).
+        self.dropped_injected = 0
+        #: Messages given injected extra delay.
+        self.delayed_injected = 0
+
+    # -- rule installation ------------------------------------------------
+    def add_partition(self, groups, start_ms: float, end_ms: float) -> None:
+        frozen = tuple(tuple(group) for group in groups)
+        self._partitions.append((_Window(start_ms, end_ms), frozen))
+
+    def add_drop(self, start_ms: float, end_ms: float, probability: float,
+                 src: Optional[str] = None, dst: Optional[str] = None) -> None:
+        self._drops.append((_Window(start_ms, end_ms), probability, src, dst))
+
+    def add_delay(self, start_ms: float, end_ms: float, extra_ms: float,
+                  jitter_ms: float = 0.0, src: Optional[str] = None,
+                  dst: Optional[str] = None) -> None:
+        self._delays.append(
+            (_Window(start_ms, end_ms), extra_ms, jitter_ms, src, dst))
+
+    # -- fabric queries ---------------------------------------------------
+    def blocked(self, src_node: str, dst_node: str) -> bool:
+        """Whether an active partition severs ``src_node`` -> ``dst_node``."""
+        now = self.sim.now
+        for window, groups in self._partitions:
+            if not window.active(now):
+                continue
+            src_group = dst_group = None
+            for index, group in enumerate(groups):
+                if src_node in group:
+                    src_group = index
+                if dst_node in group:
+                    dst_group = index
+            if (src_group is not None and dst_group is not None
+                    and src_group != dst_group):
+                return True
+        return False
+
+    def should_drop(self, src_node: str, dst_node: str) -> bool:
+        """Whether an active drop rule claims this message (draws the RNG)."""
+        now = self.sim.now
+        for window, probability, src, dst in self._drops:
+            if not window.active(now):
+                continue
+            if src is not None and src != src_node:
+                continue
+            if dst is not None and dst != dst_node:
+                continue
+            if probability >= 1.0 or self._rng.random() < probability:
+                return True
+        return False
+
+    def extra_delay(self, src_node: str, dst_node: str) -> float:
+        """Sum of injected delays from active delay rules (draws the RNG)."""
+        now = self.sim.now
+        total = 0.0
+        for window, extra_ms, jitter_ms, src, dst in self._delays:
+            if not window.active(now):
+                continue
+            if src is not None and src != src_node:
+                continue
+            if dst is not None and dst != dst_node:
+                continue
+            total += extra_ms
+            if jitter_ms > 0.0:
+                total += jitter_ms * self._rng.random()
+        return total
+
+
 class Network:
     """Latency-modelled fabric between named endpoints.
 
@@ -70,6 +170,15 @@ class Network:
         #: handed out, enforcing FIFO delivery per connection as TCP does.
         self._pair_clock: dict[tuple[str, str], float] = {}
         self.stats = NetworkStats()
+        #: Injected partition/drop/delay rules (see :meth:`fault_rules`).
+        self.faults: Optional[FaultRules] = None
+        #: When True, requests addressed to a down node fail fast with a
+        #: retriable :class:`~repro.net.rpc.PeerDown` instead of silently
+        #: timing out, and crashing a node fails its callers' in-flight
+        #: requests immediately (connection-reset semantics).  Off by
+        #: default so the base protocol keeps the paper's timeout-driven
+        #: detection; the fault injector arms it.
+        self.fail_fast = False
         metrics = sim.metrics
         if metrics.active:
             stats = self.stats
@@ -107,6 +216,13 @@ class Network:
         """The node id component of an endpoint address."""
         return address.split("/", 1)[0]
 
+    # -- fault-injection hooks ------------------------------------------------
+    def fault_rules(self) -> FaultRules:
+        """The installed :class:`FaultRules`, created on first use."""
+        if self.faults is None:
+            self.faults = FaultRules(self)
+        return self.faults
+
     # -- failures ------------------------------------------------------------
     def fail_node(self, node_id: str) -> None:
         """Mark a node crashed: drop its traffic and kill its handlers."""
@@ -114,6 +230,12 @@ class Network:
         for address, endpoint in self._endpoints.items():
             if self.node_of(address) == node_id:
                 endpoint.kill_inflight_handlers()
+        if self.fail_fast:
+            # Connection-reset semantics: every survivor's in-flight call
+            # to the dead node fails now rather than at its timeout.
+            for address, endpoint in list(self._endpoints.items()):
+                if self.node_of(address) != node_id:
+                    endpoint.fail_calls_to(node_id)
 
     def restore_node(self, node_id: str) -> None:
         """Bring a crashed node back (new messages flow again)."""
@@ -131,11 +253,31 @@ class Network:
 
     def send(self, message: Message) -> None:
         """Put ``message`` on the wire (delivery is asynchronous)."""
-        if self.is_down(self.node_of(message.src)):
+        src_node = self.node_of(message.src)
+        dst_node = self.node_of(message.dst)
+        if self.is_down(src_node):
             self.stats.dropped += 1
             return
+        extra = 0.0
+        if self.faults is not None:
+            if (self.faults.blocked(src_node, dst_node)
+                    or self.faults.should_drop(src_node, dst_node)):
+                self.stats.dropped += 1
+                self.faults.dropped_injected += 1
+                return
+            extra = self.faults.extra_delay(src_node, dst_node)
+            if extra > 0.0:
+                self.faults.delayed_injected += 1
+        if self.fail_fast and self.is_down(dst_node):
+            # The destination's TCP stack is gone: a request gets an RST
+            # back after one propagation delay instead of a silent drop.
+            self.stats.dropped += 1
+            if message.request_id is not None and not message.is_response:
+                self._reject_fast(message)
+            return
         self.stats.record(message)
-        delay = self.transit_time(message.src, message.dst, message.size_bytes)
+        delay = (self.transit_time(message.src, message.dst,
+                                   message.size_bytes) + extra)
         # Messages between the same pair of nodes never overtake each
         # other (gRPC over one TCP connection): a later send is delivered
         # no earlier than every previous one.
@@ -145,9 +287,30 @@ class Network:
         delay = deliver_at - self.sim.now
         self.sim.timeout(delay).callbacks.append(lambda _ev: self._deliver(message))
 
+    def _reject_fast(self, message: Message) -> None:
+        """Fail the caller's pending request with a retriable PeerDown."""
+        from repro.net.rpc import PeerDown  # circular at module load
+
+        source = self._endpoints.get(message.src)
+        if source is None:
+            return
+        delay = self.latency.one_way(0)
+        error = PeerDown(message.dst, message.kind, delay)
+        self.sim.timeout(delay).callbacks.append(
+            lambda _ev: source.reject_call(message.request_id, error))
+
     def _deliver(self, message: Message) -> None:
         if self.is_down(self.node_of(message.dst)):
             self.stats.dropped += 1
+            if (self.fail_fast and message.request_id is not None
+                    and not message.is_response):
+                self._reject_fast(message)
+            return
+        if self.faults is not None and self.faults.blocked(
+                self.node_of(message.src), self.node_of(message.dst)):
+            # The partition began while this message was in flight.
+            self.stats.dropped += 1
+            self.faults.dropped_injected += 1
             return
         endpoint = self._endpoints.get(message.dst)
         if endpoint is None:

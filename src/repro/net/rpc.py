@@ -50,6 +50,20 @@ class RpcTimeout(RpcError):
         self.timeout = timeout
 
 
+class PeerDown(RpcTimeout):
+    """The peer's node is down; the transport failed the call fast.
+
+    Raised instead of waiting out the full RPC timeout when the fabric
+    runs with ``fail_fast`` (armed by the fault injector): the caller
+    gets connection-reset semantics after one propagation delay.
+    Subclassing :class:`RpcTimeout` makes the error retriable everywhere
+    the protocol already handles unanswered calls.
+    """
+
+    def __init__(self, dst: str, method: str, after_ms: float = 0.0):
+        super().__init__(dst, method, after_ms)
+
+
 class UnreachableError(RpcError):
     """Raised by a handler to signal the destination rejected the call."""
 
@@ -101,6 +115,10 @@ class Endpoint:
         self.address = f"{node_id}/{service}"
         self._handlers: dict[str, Handler] = {}
         self._pending: dict[int, Event] = {}
+        #: request_id -> (dst_node, dst_address, method) for in-flight
+        #: calls, so a declared node crash can fail them fast
+        #: (insertion-ordered: rejection order must not depend on hashes).
+        self._pending_dst: dict[int, tuple] = {}
         # Dict used as an insertion-ordered set: kill_inflight_handlers()
         # iterates it, and interrupt order must not depend on hash order.
         self._inflight_handlers: dict = {}
@@ -118,6 +136,9 @@ class Endpoint:
         #: Client-side calls that never got an answer (peer crashed or
         #: message dropped); sampled as rpc_timeouts_total.
         self.timeouts = 0
+        #: Client-side calls failed fast with :class:`PeerDown`
+        #: (fail-fast fabric only); sampled as rpc_peer_resets_total.
+        self.resets = 0
         if service_time_ms > 0.0:
             from repro.sim.resources import Resource
 
@@ -134,6 +155,12 @@ class Endpoint:
                 "rpc_timeouts_total", "Client calls that timed out.",
                 labelnames=("node", "service"),
             ).set_callback(lambda: self.timeouts,
+                           node=node_id, service=service)
+            metrics.counter(
+                "rpc_peer_resets_total",
+                "Client calls failed fast because the peer node was down.",
+                labelnames=("node", "service"),
+            ).set_callback(lambda: self.resets,
                            node=node_id, service=service)
 
     def close(self) -> None:
@@ -152,9 +179,29 @@ class Endpoint:
             process.interrupt("node failure")
         self._inflight_handlers.clear()
 
+    # -- fail-fast plumbing (fault injection) -------------------------------
+    def reject_call(self, request_id: int, error: RpcError) -> None:
+        """Fail the pending call ``request_id`` with ``error`` (idempotent)."""
+        waiter = self._pending.pop(request_id, None)
+        self._pending_dst.pop(request_id, None)
+        if waiter is not None and not waiter.triggered:
+            self.resets += 1
+            waiter.fail(error)
+
+    def fail_calls_to(self, node_id: str) -> None:
+        """Fail every in-flight call addressed to ``node_id`` fast."""
+        matching = [
+            (request_id, dst, method)
+            for request_id, (dst_node, dst, method) in self._pending_dst.items()
+            if dst_node == node_id
+        ]
+        for request_id, dst, method in matching:
+            self.reject_call(request_id, PeerDown(dst, method))
+
     def _receive(self, message: Message) -> None:
         if message.is_response:
             waiter = self._pending.pop(message.request_id, None)
+            self._pending_dst.pop(message.request_id, None)
             if waiter is not None and not waiter.triggered:
                 if isinstance(message.payload, _RemoteFailure):
                     waiter.fail(message.payload.exception)
@@ -268,6 +315,8 @@ class Endpoint:
             request_id = next(self._ids)
             response = Event(self.sim, name=f"rpc-resp:{method}")
             self._pending[request_id] = response
+            self._pending_dst[request_id] = (
+                Network.node_of(dst), dst, method)
             self.network.send(Message(
                 src=self.address,
                 dst=dst,
@@ -282,6 +331,7 @@ class Endpoint:
             winner = yield self.sim.any_of([response, timer])
             if not response.triggered:
                 self._pending.pop(request_id, None)
+                self._pending_dst.pop(request_id, None)
                 self.timeouts += 1
                 if span is not None:
                     span.set("status", "timeout")

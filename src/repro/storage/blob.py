@@ -80,6 +80,11 @@ class GlobalStorage:
         self.stats = StorageStats()
         #: Operations currently inside their storage round trip.
         self._inflight = 0
+        #: Brownout window (fault injection): while ``sim.now`` is before
+        #: ``_brownout_until`` every access latency is multiplied by
+        #: ``_brownout_factor`` (service degradation, not unavailability).
+        self._brownout_factor = 1.0
+        self._brownout_until = 0.0
         metrics = sim.metrics
         if metrics.active:
             stats = self.stats
@@ -104,6 +109,28 @@ class GlobalStorage:
                 "Operations inside their storage round trip.",
                 labelnames=("store",),
             ).set_callback(lambda: self._inflight, store=name)
+            metrics.gauge(
+                "storage_brownout_factor",
+                "Current latency multiplier (1.0 = healthy).",
+                labelnames=("store",),
+            ).set_callback(lambda: self.brownout_factor(), store=name)
+
+    # -- fault injection ----------------------------------------------------
+    def set_brownout(self, factor: float, until_ms: float) -> None:
+        """Degrade access latency by ``factor`` until ``until_ms``."""
+        if factor < 1.0:
+            raise ValueError("brownout factor must be >= 1.0")
+        self._brownout_factor = factor
+        self._brownout_until = until_ms
+
+    def brownout_factor(self) -> float:
+        """The latency multiplier in effect right now."""
+        if self.sim.now < self._brownout_until:
+            return self._brownout_factor
+        return 1.0
+
+    def _delay(self, base_ms: float) -> float:
+        return base_ms * self.brownout_factor()
 
     # -- synchronous setup / inspection (no simulated latency) -------------
     def preload(self, items: dict[str, object]) -> None:
@@ -153,7 +180,7 @@ class GlobalStorage:
     def _read(self, key: str):
         record = self._data.get(key)
         size = sizeof(record.value) if record else 0
-        yield self.sim.timeout(self.latency.storage_read(size))
+        yield self.sim.timeout(self._delay(self.latency.storage_read(size)))
         self.stats.reads += 1
         self.stats.read_bytes += size
         # Re-read after the latency: a concurrent write may have landed.
@@ -175,7 +202,7 @@ class GlobalStorage:
 
     def _write(self, key: str, value: object, writer: str):
         size = sizeof(value)
-        yield self.sim.timeout(self.latency.storage_write(size))
+        yield self.sim.timeout(self._delay(self.latency.storage_write(size)))
         self.stats.writes += 1
         self.stats.write_bytes += size
         record = self._data.get(key)
@@ -199,7 +226,7 @@ class GlobalStorage:
 
     def _compare_and_swap(self, key, value, expected_version, writer):
         size = sizeof(value)
-        yield self.sim.timeout(self.latency.storage_write(size))
+        yield self.sim.timeout(self._delay(self.latency.storage_write(size)))
         self.stats.writes += 1
         record = self._data.get(key)
         current = record.version if record else 0
@@ -218,6 +245,6 @@ class GlobalStorage:
                                         self._read_version(key)))
 
     def _read_version(self, key: str):
-        yield self.sim.timeout(self.latency.storage_read(8))
+        yield self.sim.timeout(self._delay(self.latency.storage_read(8)))
         self.stats.reads += 1
         return self.version_of(key)

@@ -23,11 +23,19 @@ from repro.verify.model import (
     ModelState,
     enabled_transitions,
 )
+from repro.verify.runtime import (
+    CoherenceViolation,
+    assert_coherent,
+    check_coherence,
+)
 
 __all__ = [
     "CheckReport",
+    "CoherenceViolation",
     "ModelChecker",
     "ModelConfig",
     "ModelState",
+    "assert_coherent",
+    "check_coherence",
     "enabled_transitions",
 ]

@@ -1,0 +1,114 @@
+"""Runtime coherence invariants over a live (quiescent) ConcordSystem.
+
+The model checker (:mod:`repro.verify.model`) explores an abstracted
+protocol; this module checks the *implementation* — the actual caches,
+directories and rings of a :class:`~repro.core.ConcordSystem` — against
+the same invariants, after fault injection and recovery have settled:
+
+- **No stale copies.**  With write-through, every valid (non-speculative)
+  cached value equals the durable value in global storage.
+- **No dead sharers.**  After recovery completes, no directory entry may
+  point at a crashed or ejected node (survivors purge failed sharers,
+  Section III-F).
+- **Structural validity.**  Exclusive entries have exactly one sharer,
+  Shared entries at least one.
+- **Correct homing.**  Every directory entry lives at the ring home of
+  its key, and each key has at most one directory entry domain-wide.
+
+Call :func:`check_coherence` when the simulation is quiescent (no
+requests in flight — e.g. after a drain phase); in-flight operations
+legitimately hold transient states these invariants would flag.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster
+    from repro.core import ConcordSystem
+
+
+class CoherenceViolation(AssertionError):
+    """Raised by :func:`assert_coherent` with all violations listed."""
+
+
+def _live_agents(system: "ConcordSystem", cluster: "Cluster") -> dict:
+    """node_id -> agent for agents that are up and serving."""
+    live = {}
+    for node_id, agent in system.agents.items():
+        node = cluster.nodes.get(node_id)
+        if node is not None and not node.alive:
+            continue
+        if not agent.alive or agent.ejected:
+            continue
+        live[node_id] = agent
+    return live
+
+
+def check_coherence(
+    system: "ConcordSystem", cluster: Optional["Cluster"] = None,
+) -> list[str]:
+    """All invariant violations in ``system``'s current state (quiescent)."""
+    cluster = cluster if cluster is not None else system.cluster
+    storage = system.storage
+    live = _live_agents(system, cluster)
+    violations: list[str] = []
+
+    # -- no stale cached copies (write-through: cache == storage) -------
+    for node_id, agent in live.items():
+        for key in agent.cache.keys():
+            entry = agent.cache.peek(key)
+            if entry is None or entry.speculative:
+                continue
+            record = storage.peek(key)
+            if record is None:
+                violations.append(
+                    f"{node_id}: caches {key!r} but storage has no record")
+            elif entry.value != record.value:
+                violations.append(
+                    f"{node_id}: stale copy of {key!r} "
+                    f"(cached {entry.value!r} != stored {record.value!r})")
+
+    # -- directory entries: structure, liveness of sharers, homing ------
+    homes_of: dict[str, list[str]] = {}
+    for node_id, agent in live.items():
+        for entry in agent.directory.entries():
+            homes_of.setdefault(entry.key, []).append(node_id)
+            if not entry.is_valid():
+                violations.append(
+                    f"{node_id}: directory entry for {entry.key!r} is "
+                    f"structurally invalid ({entry.state}, "
+                    f"{len(entry.sharers)} sharers)")
+            for sharer in sorted(entry.sharers):
+                if sharer not in live:
+                    violations.append(
+                        f"{node_id}: directory entry for {entry.key!r} "
+                        f"points at dead/ejected node {sharer!r}")
+                elif sharer not in agent.ring.members:
+                    violations.append(
+                        f"{node_id}: directory entry for {entry.key!r} "
+                        f"lists {sharer!r}, not a ring member")
+            if (agent.ring.members
+                    and agent.ring.home(entry.key) != node_id):
+                violations.append(
+                    f"{node_id}: directory entry for {entry.key!r} parked "
+                    f"away from its home "
+                    f"{agent.ring.home(entry.key)!r}")
+    for key, holders in homes_of.items():
+        if len(holders) > 1:
+            violations.append(
+                f"duplicate directory entries for {key!r} at {holders}")
+
+    return violations
+
+
+def assert_coherent(
+    system: "ConcordSystem", cluster: Optional["Cluster"] = None,
+) -> None:
+    """Raise :class:`CoherenceViolation` if any invariant is violated."""
+    violations = check_coherence(system, cluster)
+    if violations:
+        raise CoherenceViolation(
+            f"{len(violations)} coherence violation(s):\n  "
+            + "\n  ".join(violations))

@@ -1,0 +1,55 @@
+"""A node declared unreachable is purged from every app group it is in.
+
+Regression for the multi-app purge fix (ISSUE 4 satellite): a crash is a
+*node*-level fact, so one application's unreachable report must remove
+the node's cache instances from all groups — exactly as accumulated
+heartbeat misses would — not just from the reporting app's group.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.coord import CoordinationService
+from repro.net import Network
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def coord(sim):
+    config = SimConfig(heartbeat_interval_ms=100.0, heartbeat_misses=3)
+    net = Network(sim, config.latency)
+    service = CoordinationService(net, config, run_heartbeats=False)
+    for app in ("app1", "app2"):
+        for node in ("node0", "node1", "node2"):
+            service.join(app, node, f"{node}/{app}")
+    return service
+
+
+class TestMultiAppPurge:
+    def test_report_purges_node_from_every_group(self, sim, coord):
+        coord.report_unreachable("app1", "node0")
+        sim.run()
+        assert "node0" not in coord.members("app1")
+        assert "node0" not in coord.members("app2")
+        # One failure declaration per (app, member) pair.
+        declared = {(app, node) for _t, app, node in coord.failures_detected}
+        assert declared == {("app1", "node0"), ("app2", "node0")}
+
+    def test_survivors_keep_their_membership(self, sim, coord):
+        coord.report_unreachable("app2", "node1")
+        sim.run()
+        assert set(coord.members("app1")) == {"node0", "node2"}
+        assert set(coord.members("app2")) == {"node0", "node2"}
+
+    def test_report_for_unknown_member_is_a_noop(self, sim, coord):
+        coord.report_unreachable("app1", "node9")
+        coord.report_unreachable("nosuchapp", "node0")
+        sim.run()
+        assert set(coord.members("app1")) == {"node0", "node1", "node2"}
+        assert set(coord.members("app2")) == {"node0", "node1", "node2"}
+        assert coord.failures_detected == []

@@ -59,6 +59,47 @@ class TestFailures:
         assert result.output == "done"
         assert app.cold_starts == 1
 
+    def test_crash_mid_invocation_reschedules_elsewhere(self, sim, cluster):
+        """A request interrupted by a node crash re-runs on a live node."""
+
+        def slow(ctx):
+            yield from ctx.compute(500.0)
+            return "done"
+
+        spec = AppSpec(name="t")
+        spec.add_function(FunctionSpec("f", slow))
+        platform = FaasPlatform(cluster)
+        app = platform.deploy(spec, DirectStorage(cluster),
+                              node_ids=["node1"])
+        platform.submit("t")
+        sim.run(until=100.0)  # the invocation is mid-compute on node1
+        cluster.crash_node("node1")
+        sim.run(until=5000.0)
+        assert app.requests_rescheduled == 1
+        assert app.requests_completed == 1
+        assert app.requests_failed == 0
+
+    def test_crash_mid_invocation_fails_after_reschedule_budget(self, sim, cluster):
+        """With rescheduling disabled, the interrupted request fails."""
+
+        def slow(ctx):
+            yield from ctx.compute(500.0)
+            return "done"
+
+        spec = AppSpec(name="t")
+        spec.add_function(FunctionSpec("f", slow))
+        platform = FaasPlatform(cluster)
+        platform.reschedule_on_crash = False
+        app = platform.deploy(spec, DirectStorage(cluster),
+                              node_ids=["node1"])
+        platform.submit("t")
+        sim.run(until=100.0)
+        cluster.crash_node("node1")
+        sim.run(until=5000.0)
+        assert app.requests_rescheduled == 0
+        assert app.requests_failed == 1
+        assert app.requests_completed == 0
+
     def test_concurrent_cold_starts_share_one_container(self, sim, cluster):
         """No thundering herd: simultaneous invocations of a cold function
         start exactly one container."""

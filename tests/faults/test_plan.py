@@ -1,0 +1,116 @@
+"""Unit tests for FaultPlan: ordering, serialization, seeded generation."""
+
+import pytest
+
+from repro.faults import (
+    EVENT_TYPES,
+    FaultPlan,
+    MessageDelay,
+    MessageDrop,
+    NetworkPartition,
+    NodeCrash,
+    NodeRestart,
+    StorageBrownout,
+)
+
+NODES = [f"node{i}" for i in range(6)]
+
+
+class TestOrdering:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(events=(
+            NodeRestart(at_ms=900.0, node="node1"),
+            NodeCrash(at_ms=300.0, node="node1"),
+            StorageBrownout(at_ms=500.0, duration_ms=100.0),
+        ))
+        assert [e.at_ms for e in plan.events] == [300.0, 500.0, 900.0]
+        assert plan.kinds() == ["NodeCrash", "StorageBrownout", "NodeRestart"]
+
+    def test_len(self):
+        assert len(FaultPlan()) == 0
+        assert len(FaultPlan(events=(NodeCrash(at_ms=1.0, node="n"),))) == 1
+
+
+class TestSerialization:
+    def _full_plan(self):
+        return FaultPlan(seed=42, events=(
+            NodeCrash(at_ms=100.0, node="node2"),
+            NodeRestart(at_ms=600.0, node="node2"),
+            NetworkPartition(at_ms=200.0, duration_ms=50.0,
+                             groups=(("node0", "node1"), ("node2", "node3"))),
+            MessageDrop(at_ms=300.0, duration_ms=80.0, probability=0.5,
+                        src="node0", dst=None),
+            MessageDelay(at_ms=400.0, duration_ms=90.0, extra_ms=3.0,
+                         jitter_ms=1.0),
+            StorageBrownout(at_ms=500.0, duration_ms=120.0, slowdown=4.5),
+        ))
+
+    def test_json_round_trip_every_kind(self):
+        plan = self._full_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_round_trip_is_byte_stable(self):
+        plan = self._full_plan()
+        text = plan.to_json()
+        assert FaultPlan.from_json(text).to_json() == text
+
+    def test_save_load(self, tmp_path):
+        plan = self._full_plan()
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault event kind"):
+            FaultPlan.from_json(
+                '{"seed": 0, "events": [{"kind": "Meteor", "at_ms": 1.0}]}')
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            FaultPlan.from_json(
+                '{"seed": 0, "events": ['
+                '{"kind": "NodeCrash", "at_ms": 1.0, "blast_radius": 3}]}')
+
+    def test_registry_covers_every_event_class(self):
+        assert set(EVENT_TYPES) == {
+            "NodeCrash", "NodeRestart", "NetworkPartition", "MessageDrop",
+            "MessageDelay", "StorageBrownout",
+        }
+
+
+class TestRandom:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(seed=7, node_ids=NODES, horizon_ms=8000.0)
+        b = FaultPlan.random(seed=7, node_ids=NODES, horizon_ms=8000.0)
+        assert a == b
+        assert a.to_json() == b.to_json()
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.random(seed=7, node_ids=NODES, horizon_ms=8000.0)
+        b = FaultPlan.random(seed=8, node_ids=NODES, horizon_ms=8000.0)
+        assert a != b
+
+    def test_node_order_does_not_matter(self):
+        a = FaultPlan.random(seed=7, node_ids=NODES, horizon_ms=8000.0)
+        b = FaultPlan.random(seed=7, node_ids=list(reversed(NODES)),
+                             horizon_ms=8000.0)
+        assert a == b
+
+    def test_crash_gets_restart_before_horizon(self):
+        plan = FaultPlan.random(seed=3, node_ids=NODES, horizon_ms=8000.0,
+                                crashes=1, restart=True)
+        crashes = [e for e in plan.events if isinstance(e, NodeCrash)]
+        restarts = [e for e in plan.events if isinstance(e, NodeRestart)]
+        assert len(crashes) == 1 and len(restarts) == 1
+        assert crashes[0].node == restarts[0].node
+        assert crashes[0].at_ms < restarts[0].at_ms < 8000.0
+
+    def test_refuses_to_crash_almost_everyone(self):
+        with pytest.raises(ValueError, match="all but one"):
+            FaultPlan.random(seed=0, node_ids=["a", "b", "c"],
+                             horizon_ms=1000.0, crashes=2)
+
+    def test_events_within_horizon(self):
+        plan = FaultPlan.random(seed=11, node_ids=NODES, horizon_ms=5000.0,
+                                crashes=1, drops=2, delays=2, brownouts=2)
+        assert all(0.0 <= e.at_ms < 5000.0 for e in plan.events)

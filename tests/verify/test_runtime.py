@@ -1,0 +1,130 @@
+"""The runtime coherence checker: green on health, loud on planted faults.
+
+Each invariant in :func:`repro.verify.check_coherence` gets one test
+that corrupts a healthy quiescent :class:`ConcordSystem` in exactly the
+way the invariant forbids and asserts the violation is reported.
+"""
+
+import pytest
+
+from repro.caching.base import EXCLUSIVE, VALID, CacheEntry
+from repro.cluster import Cluster
+from repro.config import SimConfig
+from repro.coord import CoordinationService
+from repro.core import ConcordSystem
+from repro.core.directory import DirectoryEntry
+from repro.sim import Simulator
+from repro.storage import DataItem
+from repro.verify import CoherenceViolation, assert_coherent, check_coherence
+
+KEYS = [f"k{i}" for i in range(8)]
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=9)
+
+
+@pytest.fixture
+def cluster(sim):
+    return Cluster(sim, SimConfig(num_nodes=4, cores_per_node=2))
+
+
+@pytest.fixture
+def concord(sim, cluster):
+    coord = CoordinationService(cluster.network, cluster.config,
+                                run_heartbeats=False)
+    system = ConcordSystem(cluster, app="app1", coord=coord)
+    cluster.storage.preload(
+        {k: DataItem((k, 0), size_bytes=128) for k in KEYS})
+
+    def warmup(sim):
+        # Mixed reads and writes spread S and E copies around.
+        for index, key in enumerate(KEYS):
+            reader = f"node{index % 4}"
+            yield from system.read(reader, key)
+            if index % 2 == 0:
+                writer = f"node{(index + 1) % 4}"
+                yield from system.write(
+                    writer, key, DataItem((key, 1), size_bytes=128))
+
+    sim.run_until_complete(sim.spawn(warmup(sim)), limit=60_000.0)
+    return system
+
+
+def home_and_other(concord, key):
+    home = concord.ring_template.home(key)
+    other = next(n for n in concord.agents if n != home)
+    return home, other
+
+
+class TestHealthySystem:
+    def test_no_violations_after_quiescent_warmup(self, concord, cluster):
+        assert check_coherence(concord, cluster) == []
+        assert_coherent(concord, cluster)  # does not raise
+
+    def test_assert_coherent_raises_with_all_violations(self, concord, cluster):
+        for key in ("planted0", "planted1"):
+            home, _ = home_and_other(concord, key)
+            concord.agents[home].directory.install(
+                DirectoryEntry(key, state=EXCLUSIVE, sharers=set()))
+        with pytest.raises(CoherenceViolation, match="2 coherence"):
+            assert_coherent(concord, cluster)
+
+
+class TestPlantedViolations:
+    def test_stale_cached_copy(self, concord, cluster):
+        key = KEYS[0]
+        _, node = home_and_other(concord, key)
+        agent = concord.agents[node]
+        agent.cache.put(CacheEntry(
+            key, DataItem((key, "stale"), size_bytes=128),
+            state=VALID, size_bytes=128))
+        found = check_coherence(concord, cluster)
+        assert any("stale copy" in v and node in v for v in found)
+
+    def test_cached_key_missing_from_storage(self, concord, cluster):
+        agent = concord.agents["node0"]
+        agent.cache.put(CacheEntry(
+            "ghost", DataItem(("ghost", 0), size_bytes=16),
+            state=VALID, size_bytes=16))
+        found = check_coherence(concord, cluster)
+        assert any("storage has no record" in v for v in found)
+
+    def test_directory_entry_pointing_at_dead_node(self, concord, cluster):
+        key = KEYS[0]
+        home, other = home_and_other(concord, key)
+        concord.agents[home].directory.install(
+            DirectoryEntry(key, state=EXCLUSIVE, sharers={other}))
+        # Crash the sharer; check *before* any failure detection or
+        # recovery runs, exactly the state recovery must clean up.
+        cluster.crash_node(other)
+        found = check_coherence(concord, cluster)
+        assert any("dead/ejected" in v and key in v for v in found)
+
+    def test_structurally_invalid_entry(self, concord, cluster):
+        key = KEYS[1]
+        home, other = home_and_other(concord, key)
+        concord.agents[home].directory.install(
+            DirectoryEntry(key, state=EXCLUSIVE, sharers={home, other}))
+        found = check_coherence(concord, cluster)
+        assert any("structurally invalid" in v for v in found)
+
+    def test_entry_parked_away_from_home(self, concord, cluster):
+        key = KEYS[2]
+        home, other = home_and_other(concord, key)
+        concord.agents[home].directory.remove(key)
+        concord.agents[other].directory.install(
+            DirectoryEntry(key, state=EXCLUSIVE, sharers={other}))
+        found = check_coherence(concord, cluster)
+        assert any("parked away from its home" in v for v in found)
+
+    def test_duplicate_entries_across_homes(self, concord, cluster):
+        key = KEYS[3]
+        home, other = home_and_other(concord, key)
+        concord.agents[home].directory.install(
+            DirectoryEntry(key, state=EXCLUSIVE, sharers={home}))
+        concord.agents[other].directory.install(
+            DirectoryEntry(key, state=EXCLUSIVE, sharers={other}))
+        found = check_coherence(concord, cluster)
+        assert any("duplicate directory entries" in v for v in found)
