@@ -1,18 +1,15 @@
 #!/usr/bin/env python
-"""Perf smoke: two fixed-seed simulator runs timed on the wall clock.
+"""Perf smoke: the tier-1 bench suite through ``repro.bench``.
 
-CI runs this on every push (the ``perf-smoke`` job) and uploads the
-result as the ``BENCH_tier1.json`` artifact, so a slow regression in the
-simulator hot path shows up as a number, not a hunch.  The two points
-are chosen to exercise the expensive paths:
+Thin wrapper kept for muscle memory and old CI configs — it is exactly::
 
-* ``fig08_point`` — one throughput grid point (8 nodes, mixed apps,
-  near the SLO knee): the protocol + FaaS fast path.
-* ``fig13_churn_point`` — one churn run (16 nodes, 24 removals/min):
-  membership changes, directory transfers, barrier churn.
+    python -m repro.bench run --suite tier1 --out BENCH_tier1.json
 
-Simulated throughput is reported alongside wall time: a perf change that
-also moves the *simulated* numbers is a behavior change, not a speedup.
+The two fixed-seed simulator points (``fig08_point``,
+``fig13_churn_point``) are defined once in :mod:`repro.bench.suite`; the
+executor owns the wall clock and the report keeps the historical
+``BENCH_tier1.json`` schema (now versioned and baseline-comparable —
+gate with ``repro-bench compare BENCH_tier1.json BENCH_baseline.json``).
 
 Usage::
 
@@ -21,50 +18,10 @@ Usage::
 
 import argparse
 import json
-import platform
 import sys
 
-# Wall-clock is the measurement here (simulator speed), never simulation
-# input — exempt from the determinism rule.
-import time  # noqa: DET01
-
-from repro.experiments.fig13_churn import _throughput_at
-from repro.experiments.runner import MixedRunConfig, run_mixed_workload
-
-SEED = 1009
-
-
-def bench_fig08_point() -> dict:
-    config = MixedRunConfig(
-        scheme="concord", num_nodes=8, cores_per_node=4,
-        utilization=None, total_rps=115,
-        duration_ms=5000.0, warmup_ms=1500.0, seed=SEED,
-    )
-    start = time.perf_counter()
-    outcome = run_mixed_workload(config)
-    wall_s = time.perf_counter() - start
-    completed = sum(s.completed for s in outcome.per_app.values())
-    return {
-        "wall_time_s": round(wall_s, 3),
-        "simulated_ms": config.duration_ms,
-        "requests_completed": completed,
-        "simulated_rps": round(completed / (config.duration_ms / 1000.0), 2),
-        "sim_ms_per_wall_s": round(config.duration_ms / wall_s, 1),
-    }
-
-
-def bench_fig13_churn_point() -> dict:
-    duration_ms = 8000.0
-    start = time.perf_counter()
-    throughput, _registry = _throughput_at(
-        24, duration_ms=duration_ms, seed=SEED)
-    wall_s = time.perf_counter() - start
-    return {
-        "wall_time_s": round(wall_s, 3),
-        "simulated_ms": duration_ms,
-        "simulated_rps": round(throughput, 2),
-        "sim_ms_per_wall_s": round(duration_ms / wall_s, 1),
-    }
+from repro.bench import build_report, run_jobs, write_report
+from repro.bench.suite import DEFAULT_SEED, tier1_suite
 
 
 def main(argv=None) -> int:
@@ -73,20 +30,12 @@ def main(argv=None) -> int:
                         help="output path (default: BENCH_tier1.json)")
     args = parser.parse_args(argv)
 
-    report = {
-        "seed": SEED,
-        "python": platform.python_version(),
-        "benchmarks": {
-            "fig08_point": bench_fig08_point(),
-            "fig13_churn_point": bench_fig13_churn_point(),
-        },
-    }
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    results = run_jobs(tier1_suite())
+    report = build_report(results, seed=DEFAULT_SEED)
+    write_report(report, args.out)
     json.dump(report, sys.stdout, indent=2, sort_keys=True)
     print()
-    return 0
+    return 0 if all(result.ok for result in results) else 1
 
 
 if __name__ == "__main__":

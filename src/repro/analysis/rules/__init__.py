@@ -6,6 +6,7 @@ Add a new rule family by creating a module here that defines
 """
 
 from repro.analysis.rules import (
+    bench,
     determinism,
     protocol,
     simprocess,
@@ -13,4 +14,5 @@ from repro.analysis.rules import (
     tracing,
 )
 
-__all__ = ["determinism", "protocol", "simprocess", "telemetry", "tracing"]
+__all__ = ["bench", "determinism", "protocol", "simprocess", "telemetry",
+           "tracing"]

@@ -1,0 +1,206 @@
+"""Bench rules (BEN*).
+
+The bench layer (:mod:`repro.bench`) promises that a :class:`JobSpec`
+can cross a ``spawn`` process boundary and reproduce the same work from
+strings and JSON alone.  That only holds when job targets are
+**importable module-level callables** and args are **JSON-serializable**
+— a lambda, a closure, or a set in the args dict fails at sweep time,
+possibly hours into a grid.  BEN01 moves those failures to analysis
+time:
+
+- the ``target=`` of every ``JobSpec(...)`` construction must be a plain
+  string literal of the form ``"pkg.module:callable"`` (not an f-string,
+  not the callable object itself);
+- when the named module is part of the analyzed tree, the callable's
+  root attribute must actually exist at module level (a top-level
+  ``def``/``class``/assignment or an import);
+- the ``args=`` expression must not contain literals JSON cannot encode
+  (sets, set comprehensions, lambdas, bytes, complex numbers).
+
+Dynamic args *values* (names, calls) stay allowed — grids are built
+programmatically — because :class:`JobSpec` still canonicalizes at
+runtime; BEN01 only rejects what is *provably* wrong at the source.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional
+
+from repro.analysis.engine import Finding, ModuleInfo, ProjectRule, register
+
+#: Same shape JobSpec accepts at runtime: ``pkg.module:qual.name``.
+_TARGET_RE = re.compile(
+    r"^[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)*"
+    r":[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)*$")
+
+#: JobSpec positional order (mirrors repro.bench.job.JobSpec).
+_POS_TARGET = 1
+_POS_ARGS = 2
+
+
+def _module_index(modules: List[ModuleInfo]) -> dict:
+    """dotted-suffix -> [ModuleInfo] for every analyzed module.
+
+    ``src/repro/bench/suite.py`` registers ``suite``,
+    ``bench.suite``, ``repro.bench.suite``, ... so any spelling of the
+    module path that targets use can be resolved.  Packages register
+    their ``__init__.py`` under the package path.
+    """
+    index: dict = {}
+    for module in modules:
+        parts = module.display_path.split("/")
+        if not parts[-1].endswith(".py"):
+            continue
+        if parts[-1] == "__init__.py":
+            parts = parts[:-1]
+        else:
+            parts = parts[:-1] + [parts[-1][:-3]]
+        for start in range(len(parts)):
+            dotted = ".".join(parts[start:])
+            if dotted:
+                index.setdefault(dotted, []).append(module)
+    return index
+
+
+def _module_level_names(module: ModuleInfo) -> frozenset:
+    """Names bound at the module's top level (defs, classes, imports,
+    assignments)."""
+    bound = []
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            bound.append(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        bound.append(name_node.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                bound.append(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.append((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                bound.append(alias.asname or alias.name)
+                if alias.name == "*":
+                    bound.append("*")  # star import: assume anything
+    return frozenset(bound)
+
+
+def _keyword_or_positional(call: ast.Call, keyword: str,
+                           position: int) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if len(call.args) > position:
+        return call.args[position]
+    return None
+
+
+def _is_jobspec_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "JobSpec"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "JobSpec"
+    return False
+
+
+@register
+class BenchJobDisciplineRule(ProjectRule):
+    """BEN01: JobSpec targets resolvable, args JSON-serializable."""
+
+    id = "BEN01"
+    name = "bench-job-discipline"
+    description = (
+        "JobSpec(target=...) must be a string literal "
+        "'pkg.module:callable' whose callable exists at module level "
+        "(checked when the module is in the analyzed tree), and "
+        "args= must not contain sets, lambdas, bytes or other literals "
+        "JSON cannot encode — specs must survive the spawn boundary")
+
+    def check_project(self,
+                      modules: List[ModuleInfo]) -> Iterable[Finding]:
+        index = _module_index(modules)
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call) and _is_jobspec_call(node):
+                    yield from self._check_call(module, node, index)
+
+    # -- one JobSpec(...) -------------------------------------------------
+    def _check_call(self, module: ModuleInfo, call: ast.Call,
+                    index: dict) -> Iterable[Finding]:
+        target = _keyword_or_positional(call, "target", _POS_TARGET)
+        if target is not None:
+            yield from self._check_target(module, target, index)
+        args = _keyword_or_positional(call, "args", _POS_ARGS)
+        if args is not None:
+            yield from self._check_args(module, args)
+
+    def _check_target(self, module: ModuleInfo, target: ast.AST,
+                      index: dict) -> Iterable[Finding]:
+        if isinstance(target, ast.JoinedStr):
+            yield self.finding(
+                module, target,
+                "JobSpec target built from an f-string: write the "
+                "'pkg.module:callable' reference as a plain literal so "
+                "it can be statically resolved and fingerprinted")
+            return
+        if not isinstance(target, ast.Constant):
+            yield self.finding(
+                module, target,
+                f"JobSpec target must be a string literal "
+                f"'pkg.module:callable', not {ast.unparse(target)!r}: "
+                "passing the callable (or a computed name) cannot cross "
+                "the spawn worker boundary")
+            return
+        if not isinstance(target.value, str) or not _TARGET_RE.match(
+                target.value):
+            yield self.finding(
+                module, target,
+                f"JobSpec target {target.value!r} does not look like "
+                "'pkg.module:callable'")
+            return
+        module_name, _, qualname = target.value.partition(":")
+        candidates = index.get(module_name)
+        if not candidates:
+            return  # module outside the analyzed tree: runtime's problem
+        head = qualname.split(".")[0]
+        for candidate in candidates:
+            bound = _module_level_names(candidate)
+            if head in bound or "*" in bound:
+                return
+        yield self.finding(
+            module, target,
+            f"JobSpec target {target.value!r}: {head!r} is not a "
+            f"module-level name in {module_name!r} — spawn workers "
+            "re-import targets by name, so nested functions and "
+            "closures cannot be bench jobs")
+
+    def _check_args(self, module: ModuleInfo,
+                    args: ast.AST) -> Iterable[Finding]:
+        for node in ast.walk(args):
+            if isinstance(node, (ast.Set, ast.SetComp)):
+                yield self.finding(
+                    module, node,
+                    f"JobSpec args contain a set "
+                    f"({ast.unparse(node)!r}): JSON cannot encode sets "
+                    "and their iteration order leaks PYTHONHASHSEED — "
+                    "use a sorted list")
+            elif isinstance(node, ast.Lambda):
+                yield self.finding(
+                    module, node,
+                    "JobSpec args contain a lambda: args must be JSON "
+                    "values; pass a 'pkg.module:callable' string and "
+                    "resolve it inside the job instead")
+            elif (isinstance(node, ast.Constant)
+                    and isinstance(node.value, (bytes, complex))):
+                yield self.finding(
+                    module, node,
+                    f"JobSpec args contain "
+                    f"{type(node.value).__name__} literal "
+                    f"{node.value!r}: not JSON-serializable")

@@ -1,0 +1,130 @@
+"""Tiny module-level bench targets for the bench test suite.
+
+These live in the installed package (not under ``tests/``) because
+``spawn`` worker processes must be able to re-import every job target by
+its ``"module:callable"`` name, and the test tree is not an importable
+package.  They are deliberately cheap — tests exercise the executor's
+machinery (retries, timeouts, crash isolation, checkpoint/resume,
+hash-seed independence), not simulation scale.
+"""
+
+from __future__ import annotations
+
+import os
+# Wall-clock sleep here exists only to trip the executor's job timeout
+# in tests — never simulation input.
+import time  # noqa: DET01
+from pathlib import Path
+
+from repro.bench.job import JobSpec
+
+__all__ = [
+    "boom",
+    "echo",
+    "flaky",
+    "hard_crash",
+    "hash_probe",
+    "mini_session",
+    "record_invocation",
+    "sleepy",
+    "tiny_suite",
+]
+
+
+def echo(**kwargs) -> dict:
+    """Return the received kwargs (round-trip / ordering probe)."""
+    return {"echo": kwargs}
+
+
+def hash_probe(n: int = 32, seed: int = 0) -> dict:
+    """Deterministic digest of set-heavy work.
+
+    Builds a string set (whose iteration order varies with
+    ``PYTHONHASHSEED``) and reduces it order-insensitively, so the
+    *correct* result is hash-seed independent — any leak of hash order
+    into the value shows up as cross-seed drift.
+    """
+    keys = {f"key-{seed}-{i}" for i in range(n)}
+    return {
+        "n": len(keys),
+        "checksum": sum(hash_free(k) for k in keys),
+        "first": min(keys),
+        "last": max(keys),
+    }
+
+
+def hash_free(text: str) -> int:
+    """A hash-seed-independent string digest (FNV-1a, 32-bit)."""
+    acc = 0x811C9DC5
+    for byte in text.encode("utf-8"):
+        acc = ((acc ^ byte) * 0x01000193) & 0xFFFFFFFF
+    return acc
+
+
+def mini_session(ops: int = 6, seed: int = 7) -> dict:
+    """A miniature end-to-end simulator run returning real counters."""
+    from repro.session import Session
+    from repro.storage import DataItem
+
+    with Session(nodes=2, seed=seed, scheme="concord", app="bench") as s:
+        s.preload({f"k{i}": DataItem(f"v{i}", 128) for i in range(ops)})
+        for i in range(ops):
+            s.read(f"node{i % 2}", f"k{i}")
+        for i in range(ops):
+            s.write(f"node{(i + 1) % 2}", f"k{i}", DataItem(f"w{i}", 128))
+        s.advance(1_000.0)
+        return {
+            "reads": s.system.stats.reads,
+            "writes": s.system.stats.writes,
+            "sim_now_ms": s.sim.now,
+        }
+
+
+def boom(message: str = "boom") -> dict:
+    """Always raises — the ordinary-failure path."""
+    raise RuntimeError(message)
+
+
+def flaky(scratch: str, fail_times: int = 1) -> dict:
+    """Fail the first ``fail_times`` invocations, then succeed.
+
+    Invocation counting goes through a scratch file so it works across
+    process boundaries and resumed sweeps.
+    """
+    path = Path(scratch)
+    calls = int(path.read_text()) if path.exists() else 0
+    calls += 1
+    path.write_text(str(calls))
+    if calls <= fail_times:
+        raise RuntimeError(f"flaky failure {calls}/{fail_times}")
+    return {"calls": calls}
+
+
+def record_invocation(scratch: str, token: str = "ran") -> dict:
+    """Append ``token`` to a scratch file (checkpoint/resume probe)."""
+    with open(scratch, "a", encoding="utf-8") as handle:
+        handle.write(token + "\n")
+    return {"token": token}
+
+
+def sleepy(seconds: float = 5.0) -> dict:
+    """Block on the wall clock — the timeout path."""
+    time.sleep(seconds)
+    return {"slept_s": seconds}
+
+
+def hard_crash(code: int = 13) -> dict:
+    """Kill the worker process outright — the crash-isolation path."""
+    os._exit(code)
+
+
+def tiny_suite(seed: int = 0) -> list:
+    """A fast, fully deterministic suite for CLI and executor tests."""
+    return [
+        JobSpec(name="probe-a", target="repro.bench._testing:hash_probe",
+                args={"n": 16}, seed=seed),
+        JobSpec(name="probe-b", target="repro.bench._testing:hash_probe",
+                args={"n": 24}, seed=seed + 1),
+        JobSpec(name="echo", target="repro.bench._testing:echo",
+                args={"alpha": 1, "beta": [1, 2, 3]}),
+    ]

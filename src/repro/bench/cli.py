@@ -1,0 +1,165 @@
+"""Command-line entry point: ``python -m repro.bench`` / ``repro-bench``.
+
+Usage::
+
+    repro-bench run [--suite tier1] [--jobs N] [--out BENCH_tier1.json]
+                    [--journal sweep.jsonl] [--compare BENCH_baseline.json]
+                    [--wall-threshold 0.25] [--strict-wall] [--seed N]
+    repro-bench compare CURRENT BASELINE [--wall-threshold] [--strict-wall]
+    repro-bench history BENCH_*.json ...
+
+Exit codes: 0 clean; 1 gate failure (failed jobs, simulated-counter
+drift, missing benchmarks — or wall regressions under ``--strict-wall``;
+without it wall regressions only warn, which is the right setting for
+shared CI runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.executor import run_jobs
+from repro.bench.report import (
+    build_report,
+    compare_reports,
+    load_report,
+    render_comparison,
+    render_history,
+    write_report,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=("Run benchmark suites on the repro.bench executor "
+                     "and gate wall-time / simulated-counter regressions "
+                     "against a committed baseline."),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser(
+        "run", help="run a suite, write a BENCH report, optionally gate")
+    run_p.add_argument("--suite", default="tier1",
+                       help="suite name or 'pkg.module:callable' factory "
+                            "(default: tier1)")
+    run_p.add_argument("--jobs", type=int, default=1,
+                       help="parallel worker processes (default: 1)")
+    run_p.add_argument("--out", default="BENCH_tier1.json",
+                       help="report path (default: BENCH_tier1.json)")
+    run_p.add_argument("--journal", default=None,
+                       help="JSONL checkpoint: completed jobs are skipped "
+                            "on rerun")
+    run_p.add_argument("--seed", type=int, default=None,
+                       help="suite seed (default: the suite's own)")
+    run_p.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="gate the fresh report against this baseline")
+    _gate_flags(run_p)
+
+    cmp_p = sub.add_parser(
+        "compare", help="gate an existing report against a baseline")
+    cmp_p.add_argument("current", help="BENCH report to check")
+    cmp_p.add_argument("baseline", help="baseline BENCH report")
+    cmp_p.add_argument("--format", choices=("text", "json"), default="text")
+    _gate_flags(cmp_p)
+
+    hist_p = sub.add_parser(
+        "history", help="wall-time trend across BENCH reports")
+    hist_p.add_argument("reports", nargs="+", help="BENCH_*.json files")
+    return parser
+
+
+def _gate_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--wall-threshold", type=float, default=0.25,
+                        help="relative wall-time slack before flagging "
+                             "(default: 0.25 = +25%%)")
+    parser.add_argument("--strict-wall", action="store_true",
+                        help="fail (not warn) on wall-time regressions — "
+                             "for dedicated hardware, not shared runners")
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+def _cmd_run(args) -> int:
+    from repro.bench.suite import load_suite  # heavy: imports the simulator
+
+    try:
+        specs = (load_suite(args.suite) if args.seed is None
+                 else load_suite(args.suite, seed=args.seed))
+    except ValueError as exc:
+        print(f"repro-bench: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(result):
+        if result.ok:
+            cached = " (journal)" if result.cached else ""
+            print(f"  {result.name}: ok in {result.wall_time_s:.3f}s "
+                  f"[{result.attempts} attempt(s)]{cached}")
+        else:
+            print(f"  {result.name}: {result.status.upper()} after "
+                  f"{result.attempts} attempt(s): {result.error}")
+
+    print(f"running suite {args.suite!r} "
+          f"({len(specs)} job(s), --jobs {args.jobs})")
+    results = run_jobs(specs, jobs=args.jobs, journal=args.journal,
+                       progress=progress)
+
+    seeds = sorted({s.seed for s in specs if s.seed is not None})
+    report = build_report(
+        results, seed=seeds[0] if len(seeds) == 1 else None)
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+
+    status = 0
+    if any(not result.ok for result in results):
+        failed = ", ".join(r.name for r in results if not r.ok)
+        print(f"repro-bench: job(s) failed: {failed}", file=sys.stderr)
+        status = 1
+
+    if args.compare is not None:
+        comparison = compare_reports(
+            report, load_report(args.compare),
+            wall_threshold=args.wall_threshold)
+        print(render_comparison(comparison))
+        status = max(status, comparison.exit_code(args.strict_wall))
+    return status
+
+
+def _cmd_compare(args) -> int:
+    comparison = compare_reports(
+        load_report(args.current), load_report(args.baseline),
+        wall_threshold=args.wall_threshold)
+    if args.format == "json":
+        json.dump(comparison.to_dict(), sys.stdout, indent=2,
+                  sort_keys=True)
+        print()
+    else:
+        print(render_comparison(comparison))
+    return comparison.exit_code(args.strict_wall)
+
+
+def _cmd_history(args) -> int:
+    pairs = [(Path(path).name, load_report(path)) for path in args.reports]
+    print(render_history(pairs))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        return _cmd_history(args)
+    except (OSError, ValueError) as exc:
+        print(f"repro-bench: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

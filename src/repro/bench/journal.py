@@ -1,0 +1,85 @@
+"""Checkpoint/resume journal: one JSONL record per completed job.
+
+The journal is an append-only file the executor writes a line to the
+moment a job settles (success or permanent failure).  Records are keyed
+by the job's canonical fingerprint, so an interrupted sweep rerun with
+the same journal path skips exactly the jobs whose identical work
+already succeeded — failed and timed-out jobs are retried on resume.
+
+The format is deliberately dumb: self-describing JSON lines, flushed per
+record, tolerant of a truncated tail (a sweep killed mid-write loses at
+most the line being written).  Lines from older journal versions or
+foreign tools are skipped, not fatal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.bench.job import JobResult
+
+__all__ = ["JOURNAL_SCHEMA", "Journal"]
+
+JOURNAL_SCHEMA = "repro.bench.journal/1"
+
+
+class Journal:
+    """Append-only JSONL record of settled jobs, keyed by fingerprint."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    # -- reading ----------------------------------------------------------
+    def load(self) -> dict:
+        """fingerprint -> :class:`JobResult` for every readable record.
+
+        Later records win (a retried job overwrites its earlier failure).
+        Malformed or foreign lines — including a truncated final line
+        from an interrupted run — are skipped.
+        """
+        results: dict = {}
+        if not self.path.exists():
+            return results
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated tail or foreign content
+                if (not isinstance(record, dict)
+                        or record.get("schema") != JOURNAL_SCHEMA):
+                    continue
+                payload = {k: v for k, v in record.items() if k != "schema"}
+                try:
+                    result = JobResult.from_dict(payload)
+                except Exception:
+                    continue
+                results[result.fingerprint] = result
+        return results
+
+    def completed(self) -> dict:
+        """fingerprint -> JobResult for successfully completed jobs only."""
+        return {fp: res for fp, res in self.load().items() if res.ok}
+
+    # -- writing ----------------------------------------------------------
+    def append(self, result: JobResult) -> None:
+        """Durably append one settled job (flushed before returning)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        record = {"schema": JOURNAL_SCHEMA}
+        record.update(result.to_dict())
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+            handle.flush()
+
+
+def as_journal(journal: Union[None, str, Path, Journal]) -> Optional[Journal]:
+    """Accept a path or a Journal; None passes through."""
+    if journal is None or isinstance(journal, Journal):
+        return journal
+    return Journal(journal)

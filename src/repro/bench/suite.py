@@ -1,0 +1,92 @@
+"""Benchmark suites: named collections of :class:`JobSpec`.
+
+The ``tier1`` suite is the CI perf gate — the two fixed-seed simulator
+points that ``scripts/perf_smoke.py`` has always timed, now expressed as
+bench jobs so their wall times and simulated counters flow through the
+journal and the regression gate:
+
+* ``fig08_point`` — one throughput grid point (8 nodes, mixed apps,
+  near the SLO knee): the protocol + FaaS fast path.
+* ``fig13_churn_point`` — one churn run (16 nodes, 24 removals/min):
+  membership changes, directory transfers, barrier churn.
+
+Job targets return **simulated counters only** — the executor owns the
+wall clock, and :func:`repro.bench.report.build_report` derives
+``sim_ms_per_wall_s`` from the two.
+
+Heavyweight imports stay at module level on purpose: job resolution
+(imports included) happens before the executor starts a job's timer, so
+the measured wall time covers simulation work only.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.job import JobSpec, resolve_target
+from repro.experiments.fig13_churn import _throughput_at
+from repro.experiments.runner import MixedRunConfig, run_mixed_workload
+
+__all__ = ["DEFAULT_SEED", "SUITES", "fig08_point", "fig13_churn_point",
+           "load_suite", "tier1_suite"]
+
+DEFAULT_SEED = 1009
+
+
+def fig08_point(seed: int = DEFAULT_SEED) -> dict:
+    """One fig08 throughput grid point; returns simulated counters."""
+    config = MixedRunConfig(
+        scheme="concord", num_nodes=8, cores_per_node=4,
+        utilization=None, total_rps=115,
+        duration_ms=5000.0, warmup_ms=1500.0, seed=seed,
+    )
+    outcome = run_mixed_workload(config)
+    completed = sum(s.completed for s in outcome.per_app.values())
+    return {
+        "simulated_ms": config.duration_ms,
+        "requests_completed": completed,
+        "simulated_rps": round(completed / (config.duration_ms / 1000.0), 2),
+    }
+
+
+def fig13_churn_point(seed: int = DEFAULT_SEED) -> dict:
+    """One fig13 churn run; returns simulated counters."""
+    duration_ms = 8000.0
+    throughput, _registry = _throughput_at(24, duration_ms=duration_ms,
+                                           seed=seed)
+    return {
+        "simulated_ms": duration_ms,
+        "simulated_rps": round(throughput, 2),
+    }
+
+
+def tier1_suite(seed: int = DEFAULT_SEED) -> List[JobSpec]:
+    """The CI perf-gate suite."""
+    return [
+        JobSpec(name="fig08_point",
+                target="repro.bench.suite:fig08_point", seed=seed),
+        JobSpec(name="fig13_churn_point",
+                target="repro.bench.suite:fig13_churn_point", seed=seed),
+    ]
+
+
+#: Named suites the CLI accepts directly.
+SUITES = {"tier1": tier1_suite}
+
+
+def load_suite(name: str, seed: int = DEFAULT_SEED) -> List[JobSpec]:
+    """A named suite, or any ``"pkg.module:callable"`` returning specs."""
+    if name in SUITES:
+        specs = SUITES[name](seed=seed)
+    elif ":" in name:
+        specs = resolve_target(name)(seed=seed)
+    else:
+        known = ", ".join(sorted(SUITES))
+        raise ValueError(
+            f"unknown suite {name!r}: pick one of [{known}] or pass a "
+            "'pkg.module:callable' suite factory")
+    specs = list(specs)
+    if not specs or not all(isinstance(s, JobSpec) for s in specs):
+        raise ValueError(f"suite {name!r} must yield a non-empty list of "
+                         "JobSpec")
+    return specs

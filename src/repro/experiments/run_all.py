@@ -3,10 +3,23 @@
 Usage::
 
     python -m repro.experiments.run_all [--scale 1.0] [--only fig07,tab1]
+    python -m repro.experiments.run_all --jobs 4 [--journal sweep.jsonl]
     python -m repro.experiments.run_all --list
 
 Prints every table/figure as ASCII (the same output the benchmarks show)
 and a final summary with per-experiment wall time.
+
+Each experiment runs as a :class:`repro.bench.JobSpec`, so ``--jobs N``
+fans the sweep out over N spawn workers with byte-identical
+per-experiment output (every experiment is seeded and hash-seed
+independent, and results are printed in the fixed experiment order
+regardless of completion order).  ``--journal PATH`` checkpoints
+completed experiments: an interrupted sweep rerun with the same journal
+skips everything that already finished.
+
+A failing experiment no longer kills the sweep: the remaining
+experiments still run, failures are summarized at the end, and the exit
+status is nonzero.
 """
 
 from __future__ import annotations
@@ -14,10 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-# Wall-clock here is driver UX (per-experiment elapsed time in the final
-# summary), never simulation input — exempt from the determinism rule.
-import time  # noqa: DET01
-
+from repro.bench import JobSpec, run_jobs
 from repro.experiments import (
     char_reads,
     fig01_breakdown,
@@ -72,6 +82,30 @@ EXPERIMENTS = {
 }
 
 
+def run_experiment(name: str, scale: float = 1.0) -> dict:
+    """Bench-job target: one experiment by name, rendered to ASCII.
+
+    Module-level so spawn workers can re-import it; the JSON return value
+    is exactly what the driver prints, which is what makes serial and
+    parallel sweeps byte-identical per experiment.
+    """
+    if name not in EXPERIMENTS:
+        raise ValueError(f"unknown experiment {name!r}")
+    result = EXPERIMENTS[name](scale=scale)
+    return {"name": name, "rendered": result.render()}
+
+
+def _specs(names, scale: float) -> list:
+    return [
+        JobSpec(
+            name=name,
+            target="repro.experiments.run_all:run_experiment",
+            args={"name": name, "scale": scale},
+        )
+        for name in names
+    ]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate every table and figure of the Concord paper.")
@@ -79,6 +113,12 @@ def main(argv=None) -> int:
                         help="duration/request scale (default 1.0)")
     parser.add_argument("--only", type=str, default=None,
                         help="comma-separated experiment names")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel worker processes (default 1 = "
+                             "in-process serial)")
+    parser.add_argument("--journal", type=str, default=None,
+                        help="JSONL checkpoint: completed experiments are "
+                             "skipped when the sweep is rerun")
     parser.add_argument("--list", action="store_true",
                         help="list experiment names and exit")
     args = parser.parse_args(argv)
@@ -93,22 +133,42 @@ def main(argv=None) -> int:
         selected = [name.strip() for name in args.only.split(",")]
         unknown = [n for n in selected if n not in EXPERIMENTS]
         if unknown:
-            parser.error(f"unknown experiments: {', '.join(unknown)}")
+            parser.error(
+                f"unknown experiments: {', '.join(unknown)}\n"
+                f"valid names: {', '.join(EXPERIMENTS)}")
 
-    timings = []
-    for name in selected:
-        start = time.perf_counter()
-        result = EXPERIMENTS[name](scale=args.scale)
-        elapsed = time.perf_counter() - start
-        timings.append((name, elapsed))
-        print(result.render())
-        print()
+    results = run_jobs(
+        _specs(selected, args.scale),
+        jobs=args.jobs,
+        journal=args.journal,
+    )
+
+    for result in results:
+        if result.ok:
+            print(result.value["rendered"])
+            print()
 
     print("=" * 60)
     print(f"{'experiment':28s} {'wall time':>12s}")
-    for name, elapsed in timings:
-        print(f"{name:28s} {elapsed:10.1f} s")
-    print(f"{'total':28s} {sum(t for _n, t in timings):10.1f} s")
+    failures = []
+    total_s = 0.0
+    for result in results:
+        if result.ok:
+            cached = "  (journal)" if result.cached else ""
+            print(f"{result.name:28s} {result.wall_time_s:10.1f} s{cached}")
+            total_s += result.wall_time_s
+        else:
+            failures.append(result)
+            print(f"{result.name:28s} {'FAILED':>12s}")
+    print(f"{'total':28s} {total_s:10.1f} s")
+
+    if failures:
+        print()
+        print(f"{len(failures)} experiment(s) failed:")
+        for result in failures:
+            print(f"  {result.name}: {result.status} after "
+                  f"{result.attempts} attempt(s): {result.error}")
+        return 1
     return 0
 
 

@@ -1,0 +1,61 @@
+"""Known-bad bench-job idioms; BEN01 must fire at the marked lines."""
+
+from repro.bench import JobSpec
+
+MODULE = "repro.bench._testing"
+
+
+def helper():
+    return {"n": 1}
+
+
+def target_fstring(mod):
+    return JobSpec(name="x", target=f"{mod}:run")            # line 13: BEN01
+
+
+def target_callable_object():
+    return JobSpec(name="x", target=helper)                  # line 17: BEN01
+
+
+def target_bad_format():
+    return JobSpec(name="x", target="just_a_module")         # line 21: BEN01
+
+
+def target_computed_name():
+    return JobSpec(name="x", target=MODULE + ":echo")        # line 25: BEN01
+
+
+def args_with_set():
+    return JobSpec(name="x", target="m:fn",
+                   args={"keys": {1, 2, 3}})                 # line 30: BEN01
+
+
+def args_with_set_comp(items):
+    return JobSpec(name="x", target="m:fn",
+                   args={"keys": {i for i in items}})        # line 35: BEN01
+
+
+def args_with_lambda():
+    return JobSpec(name="x", target="m:fn",
+                   args={"callback": lambda: 1})             # line 40: BEN01
+
+
+def args_with_bytes():
+    return JobSpec(name="x", target="m:fn",
+                   args={"blob": b"raw"})                    # line 45: BEN01
+
+
+def clean_dynamic_values(name, scale):
+    # Dynamic *values* are fine — JobSpec canonicalizes at runtime.
+    return JobSpec(name=name, target="m:fn",
+                   args={"name": name, "scale": scale})
+
+
+def clean_sorted_list():
+    return JobSpec(name="x", target="m:fn",
+                   args={"keys": sorted({1, 2, 3})})  # noqa: BEN01
+
+
+def clean_unanalyzed_module():
+    # "m:fn" is outside the analyzed tree: resolution is skipped.
+    return JobSpec(name="x", target="some.other.module:entry")

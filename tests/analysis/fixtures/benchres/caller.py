@@ -1,0 +1,7 @@
+"""Resolution fixture: JobSpec targets into the sibling module."""
+
+from repro.bench import JobSpec
+
+GOOD = JobSpec(name="g", target="jobs_module:run")
+GOOD_ATTR = JobSpec(name="a", target="jobs_module:Runner.run")
+BAD_MISSING = JobSpec(name="m", target="jobs_module:absent")    # line 7: BEN01

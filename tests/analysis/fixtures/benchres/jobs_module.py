@@ -1,0 +1,17 @@
+"""Resolution fixture: the module bench targets point into."""
+
+
+def run(scale=1.0):
+    return {"scale": scale}
+
+
+class Runner:
+    @staticmethod
+    def run():
+        return {}
+
+
+def outer():
+    def inner():  # not module-level: unreachable as a target
+        return {}
+    return inner

@@ -184,6 +184,49 @@ class TestTelemetryRules:
             for f in report.findings)
 
 
+class TestBenchRules:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return Analyzer(select=["BEN01"]).run([FIXTURES / "bad_bench.py"])
+
+    def test_fstring_target_flagged(self, report):
+        assert any(f.rule == "BEN01" and f.symbol == "target_fstring"
+                   for f in report.findings)
+
+    def test_callable_object_target_flagged(self, report):
+        assert any(f.rule == "BEN01"
+                   and f.symbol == "target_callable_object"
+                   for f in report.findings)
+
+    def test_bad_format_target_flagged(self, report):
+        assert any(f.rule == "BEN01" and f.symbol == "target_bad_format"
+                   for f in report.findings)
+
+    def test_computed_target_flagged(self, report):
+        assert any(f.rule == "BEN01" and f.symbol == "target_computed_name"
+                   for f in report.findings)
+
+    def test_unserializable_args_flagged(self, report):
+        for symbol in ("args_with_set", "args_with_set_comp",
+                       "args_with_lambda", "args_with_bytes"):
+            assert any(f.rule == "BEN01" and f.symbol == symbol
+                       for f in report.findings), symbol
+
+    def test_dynamic_values_and_foreign_modules_clean(self, report):
+        for symbol in ("clean_dynamic_values", "clean_unanalyzed_module"):
+            assert not any(f.rule == "BEN01" and f.symbol == symbol
+                           for f in report.findings), symbol
+
+    def test_inline_waiver_suppresses(self, report):
+        assert not any(f.symbol == "clean_sorted_list"
+                       for f in report.findings)
+        assert report.waived >= 1
+
+    def test_cross_module_resolution(self):
+        report = Analyzer(select=["BEN01"]).run([FIXTURES / "benchres"])
+        assert [(f.rule, f.line) for f in report.findings] == [("BEN01", 7)]
+
+
 def test_select_restricts_rules():
     report = run_on("bad_determinism.py", select=["DET02"])
     assert {f.rule for f in report.findings} == {"DET02"}

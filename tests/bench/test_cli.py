@@ -1,0 +1,144 @@
+"""The repro-bench CLI: run/compare/history plumbing and exit codes.
+
+``run`` tests use the fast ``repro.bench._testing:tiny_suite`` factory
+instead of the real tier-1 suite so the CLI path stays cheap to test.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import BENCH_SCHEMA_VERSION, load_report, write_report
+from repro.bench.cli import main
+
+TINY = "repro.bench._testing:tiny_suite"
+
+
+def write_baseline(path, report):
+    write_report(report, path)
+    return str(path)
+
+
+@pytest.fixture
+def fresh_report(tmp_path):
+    out = tmp_path / "BENCH_current.json"
+    assert main(["run", "--suite", TINY, "--out", str(out)]) == 0
+    return load_report(out)
+
+
+class TestRun:
+    def test_run_writes_versioned_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_tiny.json"
+        assert main(["run", "--suite", TINY, "--out", str(out)]) == 0
+        report = load_report(out)
+        assert report["schema_version"] == BENCH_SCHEMA_VERSION
+        assert set(report["benchmarks"]) == {"probe-a", "probe-b", "echo"}
+        stdout = capsys.readouterr().out
+        assert "probe-a: ok" in stdout
+        assert f"wrote {out}" in stdout
+
+    def test_run_parallel_matches_serial_counters(self, tmp_path):
+        serial_out = tmp_path / "serial.json"
+        parallel_out = tmp_path / "parallel.json"
+        assert main(["run", "--suite", TINY, "--out", str(serial_out)]) == 0
+        assert main(["run", "--suite", TINY, "--jobs", "2",
+                     "--out", str(parallel_out)]) == 0
+
+        def counters(report):
+            return {name: {k: v for k, v in entry.items()
+                           if k not in ("wall_time_s", "sim_ms_per_wall_s")}
+                    for name, entry in report["benchmarks"].items()}
+
+        assert (counters(load_report(serial_out))
+                == counters(load_report(parallel_out)))
+
+    def test_run_with_clean_compare_passes(self, tmp_path, fresh_report):
+        baseline = write_baseline(tmp_path / "BENCH_baseline.json",
+                                  fresh_report)
+        out = tmp_path / "BENCH_again.json"
+        assert main(["run", "--suite", TINY, "--out", str(out),
+                     "--compare", baseline]) == 0
+
+    def test_run_against_drifted_baseline_fails(self, tmp_path, capsys,
+                                                fresh_report):
+        drifted = copy.deepcopy(fresh_report)
+        drifted["benchmarks"]["probe-a"]["checksum"] += 1
+        baseline = write_baseline(tmp_path / "BENCH_baseline.json", drifted)
+        out = tmp_path / "BENCH_again.json"
+        assert main(["run", "--suite", TINY, "--out", str(out),
+                     "--compare", baseline]) == 1
+        assert "counter-drift" in capsys.readouterr().out
+
+    def test_run_journal_resume(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        out = tmp_path / "BENCH_tiny.json"
+        args = ["run", "--suite", TINY, "--out", str(out),
+                "--journal", str(journal)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert capsys.readouterr().out.count("(journal)") == 3
+
+    def test_unknown_suite_is_usage_error(self, tmp_path, capsys):
+        assert main(["run", "--suite", "nope",
+                     "--out", str(tmp_path / "x.json")]) == 2
+        assert "nope" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_clean_compare_exits_zero(self, tmp_path, fresh_report):
+        current = write_baseline(tmp_path / "a.json", fresh_report)
+        baseline = write_baseline(tmp_path / "b.json",
+                                  copy.deepcopy(fresh_report))
+        assert main(["compare", current, baseline]) == 0
+
+    def test_counter_drift_exits_one(self, tmp_path, capsys, fresh_report):
+        drifted = copy.deepcopy(fresh_report)
+        drifted["benchmarks"]["echo"]["alpha"] = 999
+        current = write_baseline(tmp_path / "a.json", drifted)
+        baseline = write_baseline(tmp_path / "b.json", fresh_report)
+        assert main(["compare", current, baseline]) == 1
+        assert "counter-drift" in capsys.readouterr().out
+
+    def test_wall_regression_warns_unless_strict(self, tmp_path, capsys,
+                                                 fresh_report):
+        # Tiny-suite jobs round to 0.0s wall; plant real values so the
+        # wall gate (which skips non-positive baselines) engages.
+        base = copy.deepcopy(fresh_report)
+        for entry in base["benchmarks"].values():
+            entry["wall_time_s"] = 1.0
+        slowed = copy.deepcopy(base)
+        for entry in slowed["benchmarks"].values():
+            entry["wall_time_s"] = 2.0
+        current = write_baseline(tmp_path / "a.json", slowed)
+        baseline = write_baseline(tmp_path / "b.json", base)
+        assert main(["compare", current, baseline]) == 0
+        assert "wall-regression" in capsys.readouterr().out
+        assert main(["compare", current, baseline, "--strict-wall"]) == 1
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys,
+                                             fresh_report):
+        current = write_baseline(tmp_path / "a.json", fresh_report)
+        baseline = write_baseline(tmp_path / "b.json", fresh_report)
+        capsys.readouterr()  # drain the fixture's run output
+        assert main(["compare", current, baseline, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["compare", str(tmp_path / "no.json"),
+                     str(tmp_path / "nope.json")]) == 2
+        assert "repro-bench:" in capsys.readouterr().err
+
+
+class TestHistory:
+    def test_history_renders_all_reports(self, tmp_path, capsys,
+                                         fresh_report):
+        a = write_baseline(tmp_path / "a.json", fresh_report)
+        b = write_baseline(tmp_path / "b.json",
+                           copy.deepcopy(fresh_report))
+        assert main(["history", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "probe-a:" in out
+        assert "a.json" in out and "b.json" in out

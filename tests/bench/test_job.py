@@ -1,0 +1,148 @@
+"""JobSpec: canonical fingerprints, validation, (de)serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import BenchJobError, JobResult, JobSpec, canonical_json
+from repro.bench.job import resolve_target
+
+# JSON values as Python produces them after a decode round trip: string
+# keys, lists (not tuples), finite floats.
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(min_value=-2**53, max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: (st.lists(children, max_size=4)
+                      | st.dictionaries(st.text(max_size=10), children,
+                                        max_size=4)),
+    max_leaves=12,
+)
+json_args = st.dictionaries(
+    st.text(max_size=10).filter(lambda k: k != "seed"),
+    json_values, max_size=5)
+
+
+class TestFingerprint:
+    @given(args=json_args, seed=st.none() | st.integers(0, 2**31))
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_preserves_fingerprint(self, args, seed):
+        spec = JobSpec(name="j", target="repro.bench._testing:echo",
+                       args=args, seed=seed)
+        clone = JobSpec.from_dict(
+            json.loads(canonical_json(spec.to_dict())))
+        assert clone.fingerprint == spec.fingerprint
+        assert clone == spec
+
+    @given(args=json_args)
+    @settings(max_examples=50, deadline=None)
+    def test_key_order_is_canonicalized(self, args):
+        reordered = dict(reversed(list(args.items())))
+        a = JobSpec(name="a", target="repro.bench._testing:echo", args=args)
+        b = JobSpec(name="b", target="repro.bench._testing:echo",
+                    args=reordered)
+        # The name is a label, not identity: same work, same fingerprint.
+        assert a.fingerprint == b.fingerprint
+
+    def test_seed_is_identity(self):
+        a = JobSpec(name="j", target="repro.bench._testing:echo", seed=1)
+        b = JobSpec(name="j", target="repro.bench._testing:echo", seed=2)
+        assert a.fingerprint != b.fingerprint
+
+    def test_policy_is_not_identity(self):
+        a = JobSpec(name="j", target="repro.bench._testing:echo",
+                    timeout_s=5.0, retries=3)
+        b = JobSpec(name="j", target="repro.bench._testing:echo")
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_is_stable_literal(self):
+        # Pin one fingerprint so accidental canonicalization changes
+        # (which would orphan every existing journal) show up loudly.
+        spec = JobSpec(name="j", target="repro.bench._testing:echo",
+                       args={"b": 2, "a": [1, "x"]}, seed=7)
+        payload = canonical_json(
+            {"target": spec.target, "args": spec.args, "seed": 7})
+        assert payload == ('{"args":{"a":[1,"x"],"b":2},"seed":7,'
+                           '"target":"repro.bench._testing:echo"}')
+        import hashlib
+        assert spec.fingerprint == hashlib.sha256(
+            payload.encode()).hexdigest()
+
+
+class TestValidation:
+    def test_rejects_bad_target_shapes(self):
+        for target in ("no_colon", "a:b:c", "a b:c", "mod:", ":fn", 123):
+            with pytest.raises(BenchJobError):
+                JobSpec(name="j", target=target)
+
+    def test_rejects_non_canonical_args(self):
+        for args in ({"k": {1, 2}}, {"k": (1, 2)}, {1: "v"},
+                     {"k": float("nan")}, {"k": b"raw"}, "not-a-dict"):
+            with pytest.raises(BenchJobError):
+                JobSpec(name="j", target="m:fn", args=args)
+
+    def test_rejects_seed_in_args(self):
+        with pytest.raises(BenchJobError):
+            JobSpec(name="j", target="m:fn", args={"seed": 3})
+
+    def test_rejects_empty_name_and_bad_seed(self):
+        with pytest.raises(BenchJobError):
+            JobSpec(name="", target="m:fn")
+        with pytest.raises(BenchJobError):
+            JobSpec(name="j", target="m:fn", seed="seven")
+
+    def test_args_are_defensively_copied(self):
+        args = {"k": [1, 2]}
+        spec = JobSpec(name="j", target="m:fn", args=args)
+        args["k"].append(3)
+        assert spec.args == {"k": [1, 2]}
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(BenchJobError):
+            JobSpec.from_dict({"name": "j", "target": "m:fn", "extra": 1})
+
+
+class TestResolveAndRun:
+    def test_resolves_module_level_callable(self):
+        fn = resolve_target("repro.bench._testing:echo")
+        assert fn(n=1) == {"echo": {"n": 1}}
+
+    def test_resolves_attribute_path(self):
+        fn = resolve_target("repro.bench.job:JobSpec.from_dict")
+        assert callable(fn)
+
+    def test_rejects_missing_module_and_attr(self):
+        with pytest.raises(BenchJobError):
+            resolve_target("repro.no_such_module:fn")
+        with pytest.raises(BenchJobError):
+            resolve_target("repro.bench._testing:absent")
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(BenchJobError):
+            resolve_target("repro.bench.job:STATUS_OK")
+
+    def test_run_passes_seed_and_canonicalizes(self):
+        spec = JobSpec(name="j", target="repro.bench._testing:echo",
+                       args={"x": 1}, seed=9)
+        assert spec.run() == {"echo": {"x": 1, "seed": 9}}
+
+    def test_run_rejects_non_json_return(self):
+        spec = JobSpec(name="j", target="repro.bench.job:resolve_target",
+                       args={"target": "repro.bench._testing:echo"})
+        with pytest.raises(BenchJobError):
+            spec.run()  # returns a function object: not JSON
+
+
+class TestJobResult:
+    def test_round_trip(self):
+        result = JobResult(name="j", fingerprint="f" * 64, status="ok",
+                           value={"a": 1}, wall_time_s=1.25, attempts=2)
+        assert JobResult.from_dict(result.to_dict()) == result
+
+    def test_cached_flag_not_serialized(self):
+        result = JobResult(name="j", fingerprint="f" * 64).as_cached()
+        assert result.cached
+        assert "cached" not in result.to_dict()
+        assert not JobResult.from_dict(result.to_dict()).cached

@@ -1,0 +1,127 @@
+"""Checkpoint/resume: skip-completed, retry-failed, damage tolerance."""
+
+import json
+
+from repro.bench import JobSpec, Journal, run_jobs
+from repro.bench.job import JobResult
+from repro.bench.journal import JOURNAL_SCHEMA
+
+
+def invocation_spec(scratch, name="rec", token="ran"):
+    return JobSpec(name=name, target="repro.bench._testing:record_invocation",
+                   args={"scratch": str(scratch), "token": token})
+
+
+def invocations(scratch) -> int:
+    if not scratch.exists():
+        return 0
+    return len(scratch.read_text().splitlines())
+
+
+class TestResume:
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        scratch = tmp_path / "calls.txt"
+        spec = invocation_spec(scratch)
+
+        (first,) = run_jobs([spec], journal=journal)
+        assert first.ok and not first.cached
+        assert invocations(scratch) == 1
+
+        (second,) = run_jobs([spec], journal=journal)
+        assert second.ok and second.cached
+        assert second.value == first.value
+        assert invocations(scratch) == 1, "resumed job must not re-run"
+
+    def test_parallel_resume_also_skips(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        scratch = tmp_path / "calls.txt"
+        spec = invocation_spec(scratch)
+        run_jobs([spec], jobs=2, journal=journal)
+        (resumed,) = run_jobs([spec], jobs=2, journal=journal)
+        assert resumed.cached
+        assert invocations(scratch) == 1
+
+    def test_failed_jobs_are_retried_on_resume(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        scratch = tmp_path / "flaky.txt"
+        spec = JobSpec(name="fl", target="repro.bench._testing:flaky",
+                       args={"scratch": str(scratch), "fail_times": 1})
+
+        (first,) = run_jobs([spec], journal=journal)
+        assert first.status == "error"
+
+        (second,) = run_jobs([spec], journal=journal)
+        assert second.ok and not second.cached
+        assert second.value == {"calls": 2}
+
+    def test_journal_records_failures_and_later_success(self, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        scratch = tmp_path / "flaky.txt"
+        spec = JobSpec(name="fl", target="repro.bench._testing:flaky",
+                       args={"scratch": str(scratch), "fail_times": 1})
+        run_jobs([spec], journal=journal_path)
+        run_jobs([spec], journal=journal_path)
+
+        lines = journal_path.read_text().splitlines()
+        assert len(lines) == 2
+        loaded = Journal(journal_path).load()
+        # Later records win: the fingerprint now maps to the success.
+        assert loaded[spec.fingerprint].ok
+
+    def test_changed_args_change_fingerprint_and_rerun(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        scratch = tmp_path / "calls.txt"
+        run_jobs([invocation_spec(scratch, token="a")], journal=journal)
+        (other,) = run_jobs([invocation_spec(scratch, token="b")],
+                            journal=journal)
+        assert not other.cached
+        assert invocations(scratch) == 2
+
+
+class TestDamageTolerance:
+    def test_truncated_tail_is_skipped(self, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        scratch = tmp_path / "calls.txt"
+        spec = invocation_spec(scratch)
+        run_jobs([spec], journal=journal_path)
+
+        with journal_path.open("a") as handle:
+            handle.write('{"schema": "' + JOURNAL_SCHEMA + '", "nam')
+
+        (resumed,) = run_jobs([spec], journal=journal_path)
+        assert resumed.cached, "intact records must survive a torn tail"
+
+    def test_foreign_and_malformed_lines_are_skipped(self, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        journal_path.write_text(
+            "not json at all\n"
+            '{"schema": "someone.elses/9", "name": "x"}\n'
+            '["a", "list"]\n'
+            "\n")
+        assert Journal(journal_path).load() == {}
+
+    def test_records_missing_required_fields_are_skipped(self, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        journal_path.write_text(json.dumps(
+            {"schema": JOURNAL_SCHEMA, "name": "x"}) + "\n")
+        assert Journal(journal_path).load() == {}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Journal(tmp_path / "absent.jsonl").load() == {}
+        assert Journal(tmp_path / "absent.jsonl").completed() == {}
+
+
+class TestJournalRoundTrip:
+    def test_append_then_load(self, tmp_path):
+        journal = Journal(tmp_path / "deep" / "sweep.jsonl")
+        ok = JobResult(name="a", fingerprint="a" * 64, status="ok",
+                       value={"n": 1}, wall_time_s=0.5, attempts=1)
+        bad = JobResult(name="b", fingerprint="b" * 64, status="error",
+                        error="RuntimeError: nope", attempts=2)
+        journal.append(ok)
+        journal.append(bad)
+        loaded = journal.load()
+        assert loaded[ok.fingerprint] == ok
+        assert loaded[bad.fingerprint] == bad
+        assert set(journal.completed()) == {ok.fingerprint}

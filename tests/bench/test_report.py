@@ -1,0 +1,196 @@
+"""Report schema and the wall-vs-simulated-counter regression gate."""
+
+import copy
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    build_report,
+    compare_reports,
+    load_report,
+    render_comparison,
+    write_report,
+)
+from repro.bench.job import JobResult
+from repro.bench.report import render_history
+
+
+def make_report(**benchmarks) -> dict:
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_at": "2026-01-01T00:00:00Z",
+        "benchmarks": benchmarks,
+    }
+
+
+BASELINE = make_report(
+    fig08={"simulated_ms": 5000.0, "requests_completed": 471,
+           "wall_time_s": 2.0, "sim_ms_per_wall_s": 2500.0},
+    fig13={"simulated_ms": 8000.0, "simulated_rps": 93.5,
+           "wall_time_s": 3.0},
+)
+
+
+def kinds(comparison):
+    return [(f.benchmark, f.kind, f.severity) for f in comparison.findings]
+
+
+class TestBuildReport:
+    def test_entries_and_derived_rate(self):
+        ok = JobResult(name="fig08", fingerprint="a" * 64, status="ok",
+                       value={"simulated_ms": 5000.0,
+                              "requests_completed": 471},
+                       wall_time_s=2.0, attempts=1)
+        report = build_report([ok], seed=1009)
+        entry = report["benchmarks"]["fig08"]
+        assert entry["requests_completed"] == 471
+        assert entry["wall_time_s"] == 2.0
+        assert entry["sim_ms_per_wall_s"] == 2500.0
+        assert report["seed"] == 1009
+        assert report["schema_version"] == BENCH_SCHEMA_VERSION
+
+    def test_failures_are_recorded_not_dropped(self):
+        bad = JobResult(name="fig13", fingerprint="b" * 64, status="timeout",
+                        error="timed out after 1.000s", attempts=2)
+        report = build_report([bad])
+        assert "fig13" not in report["benchmarks"]
+        assert report["failures"]["fig13"]["status"] == "timeout"
+
+    def test_non_dict_value_is_wrapped(self):
+        ok = JobResult(name="n", fingerprint="c" * 64, status="ok",
+                       value=42, wall_time_s=0.1, attempts=1)
+        report = build_report([ok])
+        assert report["benchmarks"]["n"]["value"] == 42
+
+
+class TestReportIO:
+    def test_write_load_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_report(BASELINE, path)
+        assert load_report(path) == BASELINE
+
+    def test_legacy_schemaless_report_upgrades_to_v1(self, tmp_path):
+        path = tmp_path / "BENCH_old.json"
+        legacy = {"benchmarks": {"fig08": {"wall_time_s": 1.0}}}
+        write_report(legacy, path)
+        assert load_report(path)["schema_version"] == 1
+
+    def test_future_schema_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_future.json"
+        write_report({"schema_version": BENCH_SCHEMA_VERSION + 1,
+                      "benchmarks": {}}, path)
+        with pytest.raises(ValueError):
+            load_report(path)
+
+    def test_non_report_rejected(self, tmp_path):
+        path = tmp_path / "notabench.json"
+        write_report({"something": "else"}, path)
+        with pytest.raises(ValueError):
+            load_report(path)
+
+
+class TestGate:
+    def test_identical_reports_are_clean(self):
+        comparison = compare_reports(copy.deepcopy(BASELINE), BASELINE)
+        assert comparison.findings == []
+        assert comparison.exit_code() == 0
+        assert comparison.exit_code(strict_wall=True) == 0
+
+    def test_planted_wall_regression_warns_then_fails_strict(self):
+        current = copy.deepcopy(BASELINE)
+        current["benchmarks"]["fig08"]["wall_time_s"] = 3.0  # +50%
+        comparison = compare_reports(current, BASELINE)
+        assert kinds(comparison) == [("fig08", "wall-regression", "warning")]
+        assert comparison.exit_code() == 0, "shared runners: warn only"
+        assert comparison.exit_code(strict_wall=True) == 1
+
+    def test_wall_regression_within_threshold_is_silent(self):
+        current = copy.deepcopy(BASELINE)
+        current["benchmarks"]["fig08"]["wall_time_s"] = 2.4  # +20% < 25%
+        assert compare_reports(current, BASELINE).findings == []
+
+    def test_wall_threshold_is_tunable(self):
+        current = copy.deepcopy(BASELINE)
+        current["benchmarks"]["fig08"]["wall_time_s"] = 2.4
+        comparison = compare_reports(current, BASELINE, wall_threshold=0.1)
+        assert kinds(comparison) == [("fig08", "wall-regression", "warning")]
+
+    def test_planted_counter_drift_always_fails(self):
+        current = copy.deepcopy(BASELINE)
+        current["benchmarks"]["fig08"]["requests_completed"] = 470
+        comparison = compare_reports(current, BASELINE)
+        assert kinds(comparison) == [("fig08", "counter-drift", "error")]
+        assert comparison.exit_code() == 1, \
+            "counter drift is a behavior change: hard fail even unstrict"
+
+    def test_sim_rate_is_wall_derived_not_a_counter(self):
+        # sim_ms_per_wall_s moves whenever the wall clock does; it must
+        # never trip the exact-equality counter gate.
+        current = copy.deepcopy(BASELINE)
+        current["benchmarks"]["fig08"]["sim_ms_per_wall_s"] = 2100.0
+        assert compare_reports(current, BASELINE).findings == []
+
+    def test_missing_and_new_counters_are_drift(self):
+        current = copy.deepcopy(BASELINE)
+        del current["benchmarks"]["fig08"]["requests_completed"]
+        current["benchmarks"]["fig08"]["surprise"] = 1
+        comparison = compare_reports(current, BASELINE)
+        assert {(f.kind, f.severity) for f in comparison.findings} \
+            == {("counter-drift", "error")}
+        assert len(comparison.findings) == 2
+
+    def test_missing_benchmark_is_an_error(self):
+        current = copy.deepcopy(BASELINE)
+        del current["benchmarks"]["fig13"]
+        comparison = compare_reports(current, BASELINE)
+        assert kinds(comparison) == [("fig13", "missing-benchmark", "error")]
+        assert comparison.exit_code() == 1
+
+    def test_failed_job_is_an_error_not_a_missing_benchmark(self):
+        current = copy.deepcopy(BASELINE)
+        del current["benchmarks"]["fig13"]
+        current["failures"] = {"fig13": {"status": "error",
+                                         "error": "RuntimeError: x",
+                                         "attempts": 1}}
+        comparison = compare_reports(current, BASELINE)
+        assert kinds(comparison) == [("fig13", "job-failed", "error")]
+
+    def test_new_benchmark_is_informational(self):
+        current = copy.deepcopy(BASELINE)
+        current["benchmarks"]["fig20"] = {"wall_time_s": 1.0}
+        comparison = compare_reports(current, BASELINE)
+        assert kinds(comparison) == [("fig20", "new-benchmark", "info")]
+        assert comparison.exit_code(strict_wall=True) == 0
+
+    def test_wall_improvement_is_informational(self):
+        current = copy.deepcopy(BASELINE)
+        current["benchmarks"]["fig08"]["wall_time_s"] = 1.0  # -50%
+        comparison = compare_reports(current, BASELINE)
+        assert kinds(comparison) == [("fig08", "wall-improvement", "info")]
+        assert comparison.exit_code(strict_wall=True) == 0
+
+
+class TestRendering:
+    def test_clean_comparison_renders_verdict(self):
+        text = render_comparison(compare_reports(
+            copy.deepcopy(BASELINE), BASELINE))
+        assert "clean" in text
+        assert "0 error(s), 0 warning(s)" in text
+
+    def test_findings_render_with_severity(self):
+        current = copy.deepcopy(BASELINE)
+        current["benchmarks"]["fig08"]["requests_completed"] = 1
+        text = render_comparison(compare_reports(current, BASELINE))
+        assert "[ERROR" in text and "counter-drift" in text
+        assert "1 error(s)" in text
+
+    def test_history_orders_by_stamp_and_shows_delta(self):
+        older = make_report(fig08={"wall_time_s": 2.0})
+        older["generated_at"] = "2026-01-01T00:00:00Z"
+        newer = make_report(fig08={"wall_time_s": 3.0})
+        newer["generated_at"] = "2026-01-02T00:00:00Z"
+        # Passed newest-first: render_history must re-sort by stamp.
+        text = render_history([("new.json", newer), ("old.json", older)])
+        assert text.index("old.json") < text.index("new.json")
+        assert "+50.0%" in text
