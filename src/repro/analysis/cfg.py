@@ -1,4 +1,4 @@
-"""Control-flow reasoning for the lock-discipline rule.
+"""Lock-discipline checking for the PRO03 rule, on the real CFG.
 
 The repo's simulation locks (:class:`repro.sim.resources.Resource`) are
 acquired inside generator processes with ``yield lock.acquire()`` and must
@@ -6,28 +6,41 @@ be released on *every* exit path — including the exceptional ones, because
 the simulator throws :class:`~repro.sim.errors.Interrupt` into processes
 at yield points (node crashes) and RPC helpers raise out of ``yield from``.
 
-Instead of a full CFG we exploit the code shape this enforces: after an
-acquire, the release must be reachable without crossing any statement that
-can escape (``yield``, ``yield from``, ``raise``, ``return``, ``break``,
-``continue``) unless those statements sit inside a ``try`` whose
-``finally`` performs the release.  Concretely, scanning forward from the
-acquire statement (falling out of enclosing blocks as control does), the
-first of these must come before anything risky:
+The check walks the per-function CFG (:mod:`repro.analysis.flow`) forward
+from each acquire.  A path is *closed* when it reaches a statement that
+releases the lock, or the header of a ``try`` whose ``finally`` releases
+it on every path.  Before a path closes, it must not pass an unprotected
+escape:
 
-- a statement performing ``<lock>.release()``;
-- a ``try`` statement whose ``finally`` block contains the release (the
-  acquire may also itself sit inside such a ``try``).
+- any suspension point (``yield`` / ``yield from``): the kernel can throw
+  ``Interrupt`` right there and the frame unwinds without releasing;
+- ``raise`` / ``return``: the frame exits explicitly.
 
-A release under a conditional inside the ``finally`` counts (the repo's
-``if escalated: lock.release()`` idiom); defining a closure that would
-release later does not.
+An escape is *protected* when some enclosing ``try`` (entered through its
+body/handler/else region — ``finally`` code runs during unwinding and
+cannot rely on its own cleanup) has a ``finally`` that releases the lock
+on every path.  "Every path" is a CFG property of the ``finally`` suite
+itself, not subtree containment: a release inside the ``else:`` of a
+``try`` nested in the ``finally`` covers only the no-exception path, and
+the handler path would still leak — containment-style scanning used to
+accept exactly that shape.  A release under a plain conditional still
+counts via its ``if`` header (the repo's ``if escalated: lock.release()``
+idiom: the condition models whether the lock is still held).
+
+A path that falls off the end of the function without closing is reported
+as ``no-release``.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Optional
+
+from repro.analysis.flow import (
+    CFG, build_cfg, build_cfg_body, contains_yield, enclosing_trys,
+    stmt_exprs,
+)
 
 
 @dataclass(frozen=True)
@@ -36,7 +49,7 @@ class LockProblem:
 
     lock: str            # source text of the lock expression
     node: ast.AST        # the acquire statement
-    reason: str          # "no-release" | "unprotected:<detail>"
+    reason: str          # "no-release" | "unprotected: <detail>"
 
 
 def _expr_text(node: ast.AST) -> str:
@@ -92,12 +105,84 @@ def _contains_release(node: ast.AST, lock: str) -> bool:
     return False
 
 
-def _is_risky(stmt: ast.stmt, grant_name: Optional[str]) -> Optional[str]:
-    """Why ``stmt`` can escape before a release is reached, or None.
+def _stmt_releases(stmt: ast.stmt, lock: str) -> bool:
+    """Whether ``stmt`` itself evaluates ``<lock>.release()`` (compound
+    headers count only their own expressions, not nested blocks)."""
+    for expr in stmt_exprs(stmt):
+        stack: list[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                continue
+            if _lock_call(node, "release") == lock:
+                return True
+            stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _always_releases(body: list[ast.stmt], lock: str) -> bool:
+    """Every entry-to-fall-out path through ``body`` releases ``lock``.
+
+    Covering statements close a path: a statement performing the release,
+    an ``if`` header whose subtree releases (the conditional-release
+    idiom), or a nested ``try`` whose ``finally`` recursively satisfies
+    this predicate.  Paths that diverge (raise/return inside ``body``)
+    are not fall-out paths and do not defeat coverage.
+    """
+    exit_marker = ast.Pass(lineno=0, col_offset=0)
+    cfg = build_cfg_body(list(body) + [exit_marker])
+
+    def covers(stmt: ast.stmt) -> bool:
+        if _stmt_releases(stmt, lock):
+            return True
+        if isinstance(stmt, ast.If) and _contains_release(stmt, lock):
+            return True
+        if (isinstance(stmt, ast.Try) and stmt.finalbody
+                and _always_releases(stmt.finalbody, lock)):
+            return True
+        return False
+
+    seen: set[int] = {cfg.entry.bid}
+    stack = [cfg.entry]
+    while stack:
+        block = stack.pop()
+        blocked = False
+        for stmt in block.stmts:
+            if stmt is exit_marker:
+                return False  # an uncovered path reached the fall-out
+            if covers(stmt):
+                blocked = True
+                break
+        if blocked:
+            continue
+        for succ in block.succ:
+            if succ.bid not in seen:
+                seen.add(succ.bid)
+                stack.append(succ)
+    return True
+
+
+def _protected(func: ast.AST, stmt: ast.stmt, lock: str) -> bool:
+    """An enclosing try/finally releases ``lock`` when ``stmt`` escapes.
+
+    Only enclosure through the body/handler/else regions counts: code in
+    a ``finally`` is already unwinding and cannot rely on its own suite
+    to run again.
+    """
+    for try_stmt, region in enclosing_trys(func.body, stmt):
+        if region == "finally":
+            continue
+        if try_stmt.finalbody and _always_releases(try_stmt.finalbody, lock):
+            return True
+    return False
+
+
+def _escape(stmt: ast.stmt, grant_name: Optional[str]) -> Optional[str]:
+    """Why executing ``stmt`` can exit the frame while the lock is held.
 
     A bare ``yield <grant_name>`` is the second half of an assigned
-    acquire (``grant = lock.acquire(); yield grant``) and is not risky:
-    the lock is not held until that yield completes.
+    acquire (``grant = lock.acquire(); yield grant``) and is not an
+    escape: the lock is not held until that yield completes.
     """
     if (grant_name is not None
             and isinstance(stmt, ast.Expr)
@@ -105,128 +190,74 @@ def _is_risky(stmt: ast.stmt, grant_name: Optional[str]) -> Optional[str]:
             and isinstance(stmt.value.value, ast.Name)
             and stmt.value.value.id == grant_name):
         return None
-    stack: list[ast.AST] = [stmt]
-    while stack:
-        node = stack.pop()
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                             ast.Lambda)) and node is not stmt:
-            continue  # statements inside nested defs do not run here
-        if isinstance(node, (ast.Yield, ast.YieldFrom)):
-            return "a yield"
-        if isinstance(node, ast.Raise):
-            return "a raise"
-        if isinstance(node, ast.Return):
-            return "a return"
-        if isinstance(node, (ast.Break, ast.Continue)):
-            return "a loop exit"
-        stack.extend(ast.iter_child_nodes(node))
+    if contains_yield(stmt) is not None:
+        return "a yield"
+    if isinstance(stmt, ast.Raise):
+        return "a raise"
+    if isinstance(stmt, ast.Return):
+        return "a return"
     return None
-
-
-def _block_chain(func: ast.AST, acquire: ast.stmt) -> list[list[ast.stmt]]:
-    """Statement suffixes control falls through after ``acquire``.
-
-    The first element is the remainder of the acquire's own block (after
-    the acquire); subsequent elements are the remainders of each enclosing
-    block, up to the function body.  Each suffix is paired with the ``try``
-    statements whose body encloses the acquire, which the caller checks
-    for a protecting ``finally``.
-    """
-    chains: list[list[ast.stmt]] = []
-
-    def descend(stmts: list[ast.stmt]) -> bool:
-        for index, stmt in enumerate(stmts):
-            if stmt is acquire:
-                chains.append(list(stmts[index + 1:]))
-                return True
-            for block in _child_blocks(stmt):
-                if descend(block):
-                    chains.append(list(stmts[index + 1:]))
-                    return True
-        return False
-
-    descend(func.body)
-    return chains
-
-
-def _child_blocks(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
-    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-        return  # nested definitions are separate scopes, analyzed on their own
-    for name in ("body", "orelse", "finalbody"):
-        block = getattr(stmt, name, None)
-        if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
-            yield block
-    for handler in getattr(stmt, "handlers", []) or []:
-        yield handler.body
-
-
-def _enclosing_trys(func: ast.AST, acquire: ast.stmt) -> list[ast.Try]:
-    """``try`` statements whose *body* contains the acquire, innermost last."""
-    found: list[ast.Try] = []
-
-    def descend(stmts: list[ast.stmt], trys: list[ast.Try]) -> bool:
-        for stmt in stmts:
-            if stmt is acquire:
-                found.extend(trys)
-                return True
-            if isinstance(stmt, ast.Try):
-                if descend(stmt.body, trys + [stmt]):
-                    return True
-                for block in [stmt.orelse, stmt.finalbody] + [
-                        h.body for h in stmt.handlers]:
-                    if descend(block, trys):
-                        return True
-            else:
-                for block in _child_blocks(stmt):
-                    if descend(block, trys):
-                        return True
-        return False
-
-    descend(func.body, [])
-    return found
 
 
 def check_lock_discipline(func: ast.AST) -> list[LockProblem]:
     """All unbalanced ``acquire()`` statements in ``func``'s own body."""
     problems: list[LockProblem] = []
-    statements: list[ast.stmt] = []
-    stack: list[ast.stmt] = list(func.body)
-    while stack:
-        stmt = stack.pop()
-        statements.append(stmt)
-        for block in _child_blocks(stmt):
-            stack.extend(block)
-    statements.sort(key=lambda s: (s.lineno, s.col_offset))
-
+    cfg = build_cfg(func)
+    statements = sorted(cfg.statements(),
+                        key=lambda s: (s.lineno, s.col_offset))
     for stmt in statements:
         for lock, grant_name in find_acquires(stmt):
-            problem = _check_one(func, stmt, lock, grant_name)
+            problem = _check_one(func, cfg, stmt, lock, grant_name)
             if problem is not None:
                 problems.append(problem)
     return problems
 
 
-def _check_one(func: ast.AST, acquire: ast.stmt, lock: str,
+def _check_one(func: ast.AST, cfg: CFG, acquire: ast.stmt, lock: str,
                grant_name: Optional[str]) -> Optional[LockProblem]:
-    # Safe if an enclosing try's finally releases the lock.
-    for try_stmt in _enclosing_trys(func, acquire):
-        if any(_contains_release(s, lock) for s in try_stmt.finalbody):
-            return None
-    # Otherwise scan forward along the fall-through chain.
-    for suffix in _block_chain(func, acquire):
-        for stmt in suffix:
-            if _lock_call(getattr(stmt, "value", None) or ast.Pass(),
-                          "release") == lock:
-                return None  # immediate release statement
-            if (isinstance(stmt, ast.Try)
-                    and any(_contains_release(s, lock)
-                            for s in stmt.finalbody)):
-                return None  # protected region begins before anything risky
-            risk = _is_risky(stmt, grant_name)
-            if risk is not None:
-                return LockProblem(
-                    lock, acquire,
-                    f"unprotected: {risk} at line {stmt.lineno} can exit "
-                    f"before {lock}.release(); wrap in try/finally",
-                )
-    return LockProblem(lock, acquire, "no-release")
+    if _protected(func, acquire, lock):
+        return None  # the acquire sits inside a releasing try/finally
+
+    def closes(stmt: ast.stmt) -> bool:
+        return (_stmt_releases(stmt, lock)
+                or (isinstance(stmt, ast.Try) and stmt.finalbody
+                    and _always_releases(stmt.finalbody, lock)))
+
+    escapes: list[tuple[int, int, str]] = []
+    leaks_out = False
+    acq_block, acq_index = cfg.locate(acquire)
+    # Walk forward from the acquire.  Re-entering the acquire's block from
+    # a back-edge rescans it from the top: statements lexically before the
+    # acquire do run while the lock is held on looping paths.
+    seen: set[int] = set()
+    stack = [(acq_block, acq_index + 1)]
+    while stack:
+        block, start = stack.pop()
+        alive = True
+        for stmt in block.stmts[start:]:
+            if closes(stmt):
+                alive = False
+                break
+            label = _escape(stmt, grant_name)
+            if label is not None and not _protected(func, stmt, lock):
+                escapes.append((stmt.lineno, stmt.col_offset, label))
+        if not alive:
+            continue
+        if not block.succ:
+            if not block.terminal:
+                leaks_out = True  # fell off the end still holding the lock
+            continue
+        for succ in block.succ:
+            if succ.bid not in seen:
+                seen.add(succ.bid)
+                stack.append((succ, 0))
+    if escapes:
+        line, _, label = min(escapes)
+        return LockProblem(
+            lock, acquire,
+            f"unprotected: {label} at line {line} can exit before "
+            f"{lock}.release(); wrap in try/finally",
+        )
+    if leaks_out:
+        return LockProblem(lock, acquire, "no-release")
+    return None

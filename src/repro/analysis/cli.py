@@ -44,8 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to analyze "
                              "(default: src/repro)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="output format (default: text)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="output format (default: text); sarif emits "
+                             "SARIF 2.1.0 for code-scanning upload")
     parser.add_argument("--baseline", type=Path, default=None,
                         help=f"baseline file (default: {BASELINE_NAME} next "
                              "to pyproject.toml, when present)")
@@ -76,6 +78,63 @@ def _render_text(report, out) -> None:
                f"{len(report.warnings)} warning(s), "
                f"{report.waived} waived, {report.baselined} baselined")
     print(summary, file=out)
+
+
+def _render_sarif(report, rules, out) -> None:
+    """SARIF 2.1.0 — the dialect GitHub code scanning ingests."""
+    results = []
+    for finding in report.findings:
+        results.append({
+            "ruleId": finding.rule,
+            "level": ("error" if finding.severity == "error" else "warning"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path,
+                                         "uriBaseId": "%SRCROOT%"},
+                    "region": {"startLine": max(finding.line, 1),
+                               "startColumn": finding.col + 1},
+                },
+            }],
+        })
+    for path, message in report.parse_errors:
+        results.append({
+            "ruleId": "parse-error",
+            "level": "error",
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": path,
+                                         "uriBaseId": "%SRCROOT%"},
+                    "region": {"startLine": 1, "startColumn": 1},
+                },
+            }],
+        })
+    payload = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-analyze",
+                "rules": [
+                    {
+                        "id": rule.id,
+                        "name": rule.name,
+                        "shortDescription": {"text": rule.description},
+                        "defaultConfiguration": {
+                            "level": ("error" if rule.severity == "error"
+                                      else "warning"),
+                        },
+                    }
+                    for rule in rules
+                ],
+            }},
+            "results": results,
+        }],
+    }
+    json.dump(payload, out, indent=2)
+    out.write("\n")
 
 
 def _render_json(report, out) -> None:
@@ -129,7 +188,9 @@ def main(argv: Optional[list] = None, out=None) -> int:
             print("error: no pyproject.toml found to anchor the baseline; "
                   "pass --baseline PATH", file=out)
             return 2
-        Baseline.dump(report.findings, baseline_path)
+        previous = (Baseline.load(baseline_path)
+                    if baseline_path.exists() else None)
+        Baseline.dump(report.findings, baseline_path, previous=previous)
         print(f"wrote {len(report.findings)} suppression(s) to "
               f"{baseline_path}", file=out)
         return 0
@@ -137,6 +198,8 @@ def main(argv: Optional[list] = None, out=None) -> int:
     try:
         if args.format == "json":
             _render_json(report, out)
+        elif args.format == "sarif":
+            _render_sarif(report, analyzer.rules, out)
         else:
             _render_text(report, out)
     except BrokenPipeError:

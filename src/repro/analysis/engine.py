@@ -138,6 +138,25 @@ def is_generator_function(func: ast.AST) -> bool:
     return False
 
 
+def is_sim_process(func: ast.AST) -> bool:
+    """Whether a generator function looks like a kernel-stepped process.
+
+    A sim process has at least one yield that could produce an Event — a
+    call, name or attribute expression, or a ``yield from`` delegation.
+    Pure value generators (host-side tooling yielding tuples/literals)
+    are never handed to the kernel and are exempt from the SIM/ATM/INT
+    process rules.
+    """
+    for node in walk_function_body(func):
+        if isinstance(node, ast.YieldFrom):
+            return True
+        if isinstance(node, ast.Yield) and isinstance(
+                node.value, (ast.Call, ast.Name, ast.Attribute, ast.IfExp,
+                             ast.Await)):
+            return True
+    return False
+
+
 def walk_function_body(func: ast.AST) -> Iterator[ast.AST]:
     """Walk a function's own statements, skipping nested def/class/lambda."""
     stack: list[ast.AST] = list(func.body)
@@ -209,20 +228,36 @@ def all_rules() -> dict[str, Rule]:
 # ---------------------------------------------------------------------------
 # Baseline
 # ---------------------------------------------------------------------------
+#: Placeholder written for entries --write-baseline could not justify;
+#: the tier-1 baseline test rejects it, forcing a human-written reason.
+BASELINE_FIXME_REASON = "FIXME: justify this suppression"
+
+
 class Baseline:
-    """Checked-in suppressions for accepted findings."""
+    """Checked-in suppressions for accepted findings.
+
+    Every entry carries a one-line ``reason`` saying *why* the finding
+    is accepted rather than fixed — the waiver policy (DESIGN.md §11)
+    makes an unexplained suppression itself a defect, enforced by the
+    tier-1 baseline test.
+    """
 
     def __init__(self, entries: Iterable[dict] = ()):
-        self._keys = {
-            (entry["rule"], entry["path"], entry.get("symbol", ""))
-            for entry in entries
-        }
+        self._entries: dict[tuple, str] = {}
+        for entry in entries:
+            key = (entry["rule"], entry["path"], entry.get("symbol", ""))
+            self._entries[key] = str(entry.get("reason", "")).strip()
 
     def __len__(self) -> int:
-        return len(self._keys)
+        return len(self._entries)
+
+    @property
+    def entries(self) -> dict:
+        """``(rule, path, symbol) -> reason`` for every suppression."""
+        return dict(self._entries)
 
     def suppresses(self, finding: Finding) -> bool:
-        return finding.baseline_key() in self._keys
+        return finding.baseline_key() in self._entries
 
     @classmethod
     def load(cls, path: Path) -> "Baseline":
@@ -230,16 +265,27 @@ class Baseline:
         return cls(data.get("suppressions", []))
 
     @staticmethod
-    def dump(findings: Iterable[Finding], path: Path) -> None:
+    def dump(findings: Iterable[Finding], path: Path,
+             previous: Optional["Baseline"] = None) -> None:
+        """Write ``findings`` as the new baseline.
+
+        Reasons written for a key in ``previous`` are carried over;
+        genuinely new entries get a FIXME placeholder that the tier-1
+        baseline test rejects until a human justifies the suppression.
+        """
         keys = sorted({f.baseline_key() for f in findings})
+        carried = previous.entries if previous is not None else {}
         payload = {
             "comment": (
-                "Accepted pre-existing findings of repro.analysis; entries "
-                "match on (rule, path, enclosing symbol), not line numbers. "
-                "Regenerate with: python -m repro.analysis --write-baseline"
+                "Accepted findings of repro.analysis; entries match on "
+                "(rule, path, enclosing symbol), not line numbers, and "
+                "every entry must carry a one-line reason. Regenerate "
+                "with: python -m repro.analysis --write-baseline"
             ),
             "suppressions": [
-                {"rule": rule, "path": path_, "symbol": symbol}
+                {"rule": rule, "path": path_, "symbol": symbol,
+                 "reason": carried.get((rule, path_, symbol))
+                 or BASELINE_FIXME_REASON}
                 for rule, path_, symbol in keys
             ],
         }

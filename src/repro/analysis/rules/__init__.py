@@ -6,6 +6,7 @@ Add a new rule family by creating a module here that defines
 """
 
 from repro.analysis.rules import (
+    atomicity,
     bench,
     determinism,
     protocol,
@@ -14,5 +15,5 @@ from repro.analysis.rules import (
     tracing,
 )
 
-__all__ = ["bench", "determinism", "protocol", "simprocess", "telemetry",
-           "tracing"]
+__all__ = ["atomicity", "bench", "determinism", "protocol", "simprocess",
+           "telemetry", "tracing"]

@@ -1,0 +1,644 @@
+"""Yield-point atomicity rules (ATM*, INT01).
+
+The simulator interleaves processes only at suspension points, so any
+value read from shared state *before* a ``yield`` may be stale *after*
+it — another process ran in between, and the kernel may additionally
+throw :class:`~repro.sim.errors.Interrupt` right at the yield.  These
+rules do a may-path dataflow over the per-function CFG
+(:mod:`repro.analysis.flow`) with the interprocedural may-suspend
+summary (:mod:`repro.analysis.summaries`) deciding which statements
+actually suspend:
+
+- **ATM01** (check-then-act): a local bound from shared state
+  (``self.*`` attribute, ``self.cache.get(...)``-style getter,
+  subscript) flows across a suspension point into a later guard or
+  shared-state write.  Guards that *revalidate* — their test performs a
+  fresh ``self.*`` read or ``self._method(...)`` call (the
+  epoch/``_still_home`` pattern) — are not flagged.
+- **ATM02** (torn write): the same shared object is mutated twice with
+  a suspension point on a path between the mutations; interleaved
+  processes observe the half-applied update.
+- **INT01** (interrupt-unsafe): shared state is mutated before a
+  reachable suspension point that is not covered by a ``try`` whose
+  ``finally``/``except`` mentions the mutated object — an Interrupt
+  thrown at the yield leaves the mutation applied with no compensation.
+
+Known limitations (documented in DESIGN.md §11): mutation through
+helper methods (``self._install(...)``) is not tracked — only direct
+field/subscript writes and well-known mutator-method calls; augmented
+assignments (``self.hits += 1``) are treated as counters and exempt
+from ATM02/INT01; a rebound local is assumed fresh even when rebound
+from another stale value of the same origin.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Optional
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleInfo,
+    ProjectRule,
+    is_generator_function,
+    is_sim_process,
+    register,
+)
+from repro.analysis.flow import (
+    CFG,
+    build_cfg,
+    enclosing_trys,
+    find_path,
+    stmt_exprs,
+)
+from repro.analysis.summaries import ProjectSummaries
+
+#: Receiver methods that read an entry out of shared state.
+GETTER_NAMES = frozenset({
+    "get", "peek", "lookup", "snapshot", "entry_for", "find",
+})
+
+#: Receiver methods that mutate their receiver in place.
+MUTATOR_NAMES = frozenset({
+    "add", "append", "extend", "insert", "remove", "discard", "pop",
+    "popitem", "clear", "update", "put", "set", "setdefault",
+    "set_exclusive", "set_shared", "install", "push", "store", "delete",
+})
+
+#: How deep derived-taint chains are chased (x -> d1 -> d2 -> use).
+_MAX_TAINT_DEPTH = 3
+
+
+# ---------------------------------------------------------------------------
+# Expression classification
+# ---------------------------------------------------------------------------
+def _chain_root(expr: ast.AST) -> Optional[ast.Name]:
+    """The Name at the base of an attribute/subscript chain, if any."""
+    node = expr
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node if isinstance(node, ast.Name) else None
+
+
+def _rooted_at_self(expr: ast.AST) -> bool:
+    root = _chain_root(expr)
+    return root is not None and root.id == "self"
+
+
+def _ambient_kernel_read(expr: ast.Attribute) -> bool:
+    """``self.sim.*`` attribute chains: ambient kernel context.
+
+    ``self.sim.now`` / ``.tracer`` / ``.active_process`` are process-
+    local views of the kernel, and reading them across yields is the
+    *point* (elapsed-time measurement, deadline checks) — not a stale
+    snapshot of protocol shared state.
+    """
+    parts: list[str] = []
+    node: ast.AST = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    return (isinstance(node, ast.Name) and node.id == "self"
+            and bool(parts) and parts[-1] == "sim")
+
+
+def _shared_reads(expr: ast.AST) -> list[ast.AST]:
+    """Shared-state reads performed by ``expr``.
+
+    ``self.attr`` loads, ``self.<obj>.get(...)``-style getter calls and
+    ``self.<obj>[k]`` subscripts.  Subtrees under yield/``yield from``
+    are skipped — a value produced *through* a suspension is fresh by
+    definition — and a pure attribute chain used as a call's function
+    (``self.cache.get``) is method access, not a data read.
+
+    Taint does not flow *through* opaque calls: the value returned by a
+    non-getter call (``self.sim.spawn(...)``, ``tracer.span(...)``) is
+    the callee's product, not a raw snapshot, even when a ``self.attr``
+    appears among the arguments (usually a key or config label).
+    Getter calls and shared subscripts nested in arguments still count.
+    """
+    reads: list[ast.AST] = []
+
+    def walk(node: ast.AST, opaque: bool = False) -> None:
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Lambda)):
+            return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in GETTER_NAMES
+                    and _rooted_at_self(func.value)):
+                reads.append(node)
+            elif not (isinstance(func, ast.Attribute)
+                      and _rooted_at_self(func)):
+                walk(func, True)
+            for arg in node.args:
+                walk(arg, True)
+            for keyword in node.keywords:
+                walk(keyword.value, True)
+            return
+        if isinstance(node, ast.Attribute) and _rooted_at_self(node):
+            if not opaque and not _ambient_kernel_read(node):
+                reads.append(node)
+            return
+        if isinstance(node, ast.Subscript) and _rooted_at_self(node.value):
+            reads.append(node)
+            walk(node.slice, opaque)
+            return
+        for child in ast.iter_child_nodes(node):
+            walk(child, opaque)
+
+    walk(expr)
+    return reads
+
+
+def _loaded_names(expr: ast.AST, *, through_calls: bool = True) -> set[str]:
+    """Names loaded by ``expr``, outside yield subtrees.
+
+    With ``through_calls=False``, call subtrees are skipped entirely —
+    the derived-taint pass uses this so a call *result* is not treated
+    as a snapshot just because a stale name was among the arguments.
+    In that mode ``IfExp`` tests are skipped too: the test is evaluated
+    at binding time and does not enter the bound *value*.
+    """
+    names: set[str] = set()
+
+    def walk(node: ast.AST) -> None:
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Lambda)):
+            return
+        if not through_calls and isinstance(node, ast.Call):
+            return
+        if not through_calls and isinstance(node, ast.IfExp):
+            walk(node.body)
+            walk(node.orelse)
+            return
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            names.add(node.id)
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+
+    walk(expr)
+    return names
+
+
+def _has_fresh_self_read(test: ast.expr) -> bool:
+    """Whether a guard test revalidates against live shared state."""
+    return any(isinstance(node, ast.Attribute) and _rooted_at_self(node)
+               for node in ast.walk(test))
+
+
+def _flatten_targets(target: ast.expr) -> Iterable[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_targets(element)
+    elif isinstance(target, ast.Starred):
+        yield from _flatten_targets(target.value)
+    else:
+        yield target
+
+
+def _bound_names(stmt: ast.stmt) -> set[str]:
+    """Local names (re)bound by executing ``stmt`` — the kill set."""
+    names: set[str] = set()
+
+    def add(target: ast.expr) -> None:
+        for leaf in _flatten_targets(target):
+            if isinstance(leaf, ast.Name):
+                names.add(leaf.id)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            add(target)
+    elif isinstance(stmt, ast.AnnAssign):
+        add(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        add(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                add(item.optional_vars)
+    for expr in stmt_exprs(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.NamedExpr) and isinstance(
+                    node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Per-function model
+# ---------------------------------------------------------------------------
+class _TaintBinding:
+    """One assignment whose value (transitively) snapshots shared state."""
+
+    __slots__ = ("name", "stmt", "source", "parents")
+
+    def __init__(self, name: str, stmt: ast.stmt,
+                 source: Optional[ast.AST], parents: tuple[str, ...]):
+        self.name = name
+        self.stmt = stmt
+        self.source = source      # the shared-read expression, if direct
+        self.parents = parents    # tainted names the value derives from
+
+
+class _Mutation:
+    """One direct shared-state write."""
+
+    __slots__ = ("stmt", "root_text", "base_name", "token", "value_names")
+
+    def __init__(self, stmt: ast.stmt, root_text: str, base_name: str,
+                 token: str, value_names: set[str]):
+        self.stmt = stmt
+        self.root_text = root_text    # the object being mutated, as text
+        self.base_name = base_name    # root identifier ("self" or a local)
+        self.token = token            # identifier a cleanup would mention
+        self.value_names = value_names
+
+
+class _FunctionModel:
+    """CFG + taint + mutations + suspensions for one sim process."""
+
+    def __init__(self, func: ast.AST, summaries: ProjectSummaries,
+                 mutable_params: set[str]):
+        self.func = func
+        self.cfg: CFG = build_cfg(func)
+        self.stmts = list(self.cfg.statements())
+        # Keyed by statement node (identity hash), no id() involved.
+        self._bound = {s: _bound_names(s) for s in self.stmts}
+        self.suspensions = {
+            s: node for s in self.stmts
+            if (node := summaries.suspension_in(s, func)) is not None
+        }
+        self.taint: dict[str, list[_TaintBinding]] = {}
+        self._collect_taint()
+        self.mutable_params = mutable_params
+        self.mutations = [m for s in self.stmts
+                          for m in self._classify_mutations(s)]
+
+    # -- taint ------------------------------------------------------------
+    def _collect_taint(self) -> None:
+        assigns = [s for s in self.stmts
+                   if isinstance(s, (ast.Assign, ast.AnnAssign))
+                   and getattr(s, "value", None) is not None]
+        for stmt in assigns:
+            reads = _shared_reads(stmt.value)
+            if not reads:
+                continue
+            for name in sorted(_bound_names(stmt)):
+                self.taint.setdefault(name, []).append(
+                    _TaintBinding(name, stmt, reads[0], ()))
+        # Derived taint, to a fixpoint over the tainted-name set.
+        recorded: set[tuple[ast.stmt, str]] = set()
+        changed = True
+        while changed:
+            changed = False
+            for stmt in assigns:
+                loaded = _loaded_names(stmt.value, through_calls=False)
+                parents = tuple(sorted(loaded & self.taint.keys()))
+                if not parents:
+                    continue
+                for name in sorted(_bound_names(stmt)):
+                    key = (stmt, name)
+                    if key in recorded or any(
+                            b.stmt is stmt for b in self.taint.get(name, [])):
+                        continue
+                    recorded.add(key)
+                    self.taint.setdefault(name, []).append(
+                        _TaintBinding(name, stmt, None, parents))
+                    changed = True
+
+    # -- mutations --------------------------------------------------------
+    def _is_shared_root(self, base: Optional[ast.Name]) -> bool:
+        return base is not None and (
+            base.id == "self" or base.id in self.taint
+            or base.id in self.mutable_params)
+
+    def _classify_mutations(self, stmt: ast.stmt) -> Iterable[_Mutation]:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            value = getattr(stmt, "value", None)
+            value_names = _loaded_names(value) if value is not None else set()
+            for target in targets:
+                for leaf in _flatten_targets(target):
+                    if isinstance(leaf, (ast.Attribute, ast.Subscript)):
+                        base = _chain_root(leaf)
+                        if not self._is_shared_root(base):
+                            continue
+                        root = leaf.value
+                        token = (leaf.attr if isinstance(leaf, ast.Attribute)
+                                 else None)
+                        root_text = ast.unparse(root)
+                        yield _Mutation(
+                            stmt, root_text, base.id,
+                            token or root_text.split(".")[-1], value_names)
+        elif (isinstance(stmt, ast.Expr)
+              and isinstance(stmt.value, ast.Call)
+              and isinstance(stmt.value.func, ast.Attribute)
+              and stmt.value.func.attr in MUTATOR_NAMES):
+            call = stmt.value
+            receiver = call.func.value
+            base = _chain_root(receiver)
+            if self._is_shared_root(base):
+                value_names: set[str] = set()
+                for arg in call.args:
+                    value_names |= _loaded_names(arg)
+                for keyword in call.keywords:
+                    value_names |= _loaded_names(keyword.value)
+                root_text = ast.unparse(receiver)
+                yield _Mutation(stmt, root_text, base.id,
+                                root_text.split(".")[-1], value_names)
+        # AugAssign deliberately excluded: counters/accumulators.
+
+    # -- queries ----------------------------------------------------------
+    def suspends(self, stmt: ast.stmt) -> bool:
+        return stmt in self.suspensions
+
+    def rebinds(self, name: str):
+        return lambda stmt: name in self._bound.get(stmt, ())
+
+    def stale_witness(
+        self, binding: _TaintBinding, use: ast.stmt,
+        depth: int = _MAX_TAINT_DEPTH,
+        seen: Optional[set] = None,
+    ) -> Optional[tuple[ast.stmt, _TaintBinding]]:
+        """A suspension on a kill-free path from snapshot to use, if any.
+
+        For derived bindings the suspension may instead sit between the
+        *origin* snapshot and the deriving assignment; the chain is
+        chased up to ``_MAX_TAINT_DEPTH`` parents.
+        """
+        if binding.stmt is use:
+            return None
+        seen = seen if seen is not None else set()
+        if binding in seen:
+            return None
+        seen.add(binding)
+        kill = self.rebinds(binding.name)
+        witness = find_path(self.cfg, binding.stmt, use,
+                            between=self.suspends, kill=kill)
+        if witness is not None:
+            return witness, binding
+        if depth > 0 and binding.parents:
+            if find_path(self.cfg, binding.stmt, use, kill=kill) is None:
+                return None
+            for parent_name in binding.parents:
+                for parent in self.taint.get(parent_name, []):
+                    result = self.stale_witness(
+                        parent, binding.stmt, depth - 1, seen)
+                    if result is not None:
+                        return result
+        return None
+
+    def origin_of(self, binding: _TaintBinding) -> _TaintBinding:
+        while binding.source is None and binding.parents:
+            parents = self.taint.get(binding.parents[0], [])
+            if not parents:
+                break
+            binding = parents[0]
+        return binding
+
+
+# ---------------------------------------------------------------------------
+# Project-level driver (shared by the three rule classes)
+# ---------------------------------------------------------------------------
+def _make_finding(rule: str, module: ModuleInfo, node: ast.AST,
+                  message: str) -> Finding:
+    return Finding(
+        rule=rule, path=module.display_path,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        message=message, symbol=module.qualname(node))
+
+
+def _word_mentioned(token: str, text: str) -> bool:
+    return re.search(rf"\b{re.escape(token)}\b", text) is not None
+
+
+def _cleanup_covers(func: ast.AST, suspension: ast.stmt,
+                    mutation: _Mutation) -> bool:
+    """Whether an Interrupt at ``suspension`` runs cleanup naming the
+    mutated object (a try body with a finally/handler mentioning it)."""
+    for try_stmt, region in enclosing_trys(func.body, suspension):
+        if region != "body":
+            continue
+        cleanup = list(try_stmt.finalbody)
+        for handler in try_stmt.handlers:
+            cleanup.extend(handler.body)
+        if not cleanup:
+            continue
+        text = "\n".join(ast.unparse(s) for s in cleanup)
+        if (_word_mentioned(mutation.token, text)
+                or _word_mentioned(mutation.base_name, text)):
+            return True
+    return False
+
+
+def _analyze_function(module: ModuleInfo, func: ast.AST,
+                      summaries: ProjectSummaries) -> dict[str, list]:
+    params = {a.arg for a in (
+        func.args.posonlyargs + func.args.args + func.args.kwonlyargs)}
+    params.discard("self")
+    model = _FunctionModel(func, summaries, params)
+    out: dict[str, list[Finding]] = {"ATM01": [], "ATM02": [], "INT01": []}
+
+    # -- ATM01: stale snapshot into a guard -------------------------------
+    flagged: set[ast.stmt] = set()
+    for stmt in model.stmts:
+        if not isinstance(stmt, (ast.If, ast.While, ast.Assert)):
+            continue
+        if _has_fresh_self_read(stmt.test):
+            continue  # revalidating guard: reads live state
+        for name in sorted(_loaded_names(stmt.test) & model.taint.keys()):
+            if stmt in flagged:
+                break
+            hit = next(filter(None, (model.stale_witness(b, stmt)
+                                     for b in model.taint[name])), None)
+            if hit is None:
+                continue
+            witness, binding = hit
+            origin = model.origin_of(binding)
+            flagged.add(stmt)
+            out["ATM01"].append(_make_finding(
+                "ATM01", module, stmt,
+                f"check-then-act across a suspension point: {name!r} "
+                f"snapshots shared state at line {origin.stmt.lineno} but "
+                f"guards this branch after the process can suspend at line "
+                f"{witness.lineno}; other processes run in between — "
+                "re-read after the yield or revalidate with a fresh self.* "
+                "check"))
+
+    # -- ATM01: stale snapshot written back to shared state ---------------
+    # Only values flowing *into* shared state count as write-uses here;
+    # mutating *through* a stale handle (entry.state = ...) is the torn-
+    # write/interrupt territory of ATM02/INT01, not a stale write-back.
+    for mutation in model.mutations:
+        if mutation.stmt in flagged:
+            continue
+        used = mutation.value_names - {"self"}
+        for name in sorted(used & model.taint.keys()):
+            hit = next(filter(None, (model.stale_witness(b, mutation.stmt)
+                                     for b in model.taint[name])), None)
+            if hit is None:
+                continue
+            witness, binding = hit
+            origin = model.origin_of(binding)
+            flagged.add(mutation.stmt)
+            out["ATM01"].append(_make_finding(
+                "ATM01", module, mutation.stmt,
+                f"stale write-back: {name!r} snapshots shared state at "
+                f"line {origin.stmt.lineno}, the process can suspend at "
+                f"line {witness.lineno}, and the possibly-stale value is "
+                f"then written into {mutation.root_text!r}; re-read or "
+                "version-check before installing"))
+            break
+
+    # -- ATM02: torn multi-field update -----------------------------------
+    # Mutations inside except/finally suites are compensation (or normal
+    # lifecycle teardown), not halves of a torn update.
+    in_cleanup = {
+        m.stmt for m in model.mutations
+        if any(region in ("handler", "finally")
+               for _try, region in enclosing_trys(func.body, m.stmt))}
+    torn: set[ast.stmt] = set()
+    for second in model.mutations:
+        if second.stmt in torn or second.stmt in in_cleanup:
+            continue
+        for first in model.mutations:
+            if first.stmt is second.stmt or first.stmt in in_cleanup:
+                continue
+            if first.root_text != second.root_text:
+                continue
+            kill = (model.rebinds(first.base_name)
+                    if first.base_name != "self" else None)
+            witness = find_path(model.cfg, first.stmt, second.stmt,
+                                between=model.suspends, kill=kill)
+            if witness is None:
+                continue
+            torn.add(second.stmt)
+            out["ATM02"].append(_make_finding(
+                "ATM02", module, second.stmt,
+                f"torn write to {first.root_text!r}: mutated at line "
+                f"{first.stmt.lineno} and again here, with a suspension "
+                f"point at line {witness.lineno} between them; interleaved "
+                "processes observe the half-applied update — finish the "
+                "update before yielding, or revalidate and rewrite "
+                "atomically after"))
+            break
+
+    # -- INT01: mutation unprotected against Interrupt --------------------
+    interrupted: set[ast.stmt] = set()
+    for mutation in model.mutations:
+        if mutation.stmt in interrupted or mutation.stmt in in_cleanup:
+            continue
+        # A later mutation of the same object closes this mutation's
+        # exposure window (it is checked on its own); rebinding the base
+        # local changes which object is meant.
+        peers = {m.stmt for m in model.mutations
+                 if m.root_text == mutation.root_text
+                 and m.stmt is not mutation.stmt}
+        rebind = (model.rebinds(mutation.base_name)
+                  if mutation.base_name != "self" else None)
+
+        def kill(stmt, _peers=peers, _rebind=rebind):
+            return stmt in _peers or (_rebind is not None
+                                      and _rebind(stmt))
+
+        for suspension in model.suspensions:
+            if _cleanup_covers(func, suspension, mutation):
+                continue
+            if find_path(model.cfg, mutation.stmt, suspension,
+                         kill=kill) is None:
+                continue
+            interrupted.add(mutation.stmt)
+            out["INT01"].append(_make_finding(
+                "INT01", module, mutation.stmt,
+                f"interrupt-unsafe mutation: {mutation.root_text!r} is "
+                f"mutated here and the process can suspend at line "
+                f"{suspension.lineno} with no try/finally or except "
+                f"cleanup naming it on the Interrupt path; an Interrupt "
+                "at the yield leaves the mutation applied — mutate after "
+                "the suspension or add compensating cleanup"))
+            break
+
+    return out
+
+
+def _compute(modules: list[ModuleInfo]) -> dict[str, list[Finding]]:
+    summaries = ProjectSummaries(modules)
+    merged: dict[str, list[Finding]] = {"ATM01": [], "ATM02": [], "INT01": []}
+    for module in modules:
+        for func in module.functions():
+            if not is_generator_function(func) or not is_sim_process(func):
+                continue
+            per_func = _analyze_function(module, func, summaries)
+            for rule_id, findings in per_func.items():
+                merged[rule_id].extend(findings)
+    return merged
+
+
+def _project_findings(modules: list[ModuleInfo]) -> dict[str, list[Finding]]:
+    """One shared analysis pass per analyzer run, cached on the modules.
+
+    The cache is attached to the first ModuleInfo (with the module
+    objects themselves as validity key), so it dies with the run's
+    modules and can never leak across analyzer runs.
+    """
+    if not modules:
+        return {}
+    anchor = modules[0]
+    key = tuple(modules)
+    cached = getattr(anchor, "_atomicity_cache", None)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    result = _compute(modules)
+    anchor._atomicity_cache = (key, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Rule classes
+# ---------------------------------------------------------------------------
+class _AtomicityRule(ProjectRule):
+    def check_project(self, modules: list[ModuleInfo]) -> Iterable[Finding]:
+        return _project_findings(modules).get(self.id, [])
+
+
+@register
+class StaleSnapshotRule(_AtomicityRule):
+    """ATM01: shared-state snapshot used in a guard/write after a yield."""
+
+    id = "ATM01"
+    name = "stale-snapshot"
+    description = (
+        "a value read from shared state before a suspension point must "
+        "not decide a branch or be written back after it without "
+        "revalidation; the simulator interleaves other processes at "
+        "every yield (check-then-act race)"
+    )
+
+
+@register
+class TornWriteRule(_AtomicityRule):
+    """ATM02: multi-field shared update with a suspension in the middle."""
+
+    id = "ATM02"
+    name = "torn-write"
+    description = (
+        "a multi-step update of one shared object must not suspend "
+        "between its writes; interleaved processes would observe the "
+        "half-applied state"
+    )
+
+
+@register
+class InterruptUnsafeMutationRule(_AtomicityRule):
+    """INT01: shared mutation before a yield with no Interrupt cleanup."""
+
+    id = "INT01"
+    name = "interrupt-unsafe-mutation"
+    description = (
+        "shared state mutated before a suspension point needs a "
+        "try/finally (or except) compensating on the Interrupt path; "
+        "the kernel can kill the process at any yield"
+    )

@@ -13,7 +13,8 @@ from __future__ import annotations
 import ast
 
 from repro.analysis.engine import Finding, ModuleInfo, Rule, register
-from repro.analysis.setness import ModuleSetFacts, is_setish, local_set_names
+from repro.analysis.setness import (ModuleSetFacts, is_setish,
+                                    local_set_bindings, set_names_at)
 
 #: Modules whose import alone signals ambient nondeterminism in sim code.
 BANNED_MODULES = {
@@ -123,12 +124,15 @@ class UnorderedIterationRule(Rule):
         local_cache: dict = {}
 
         def names_for(node: ast.AST) -> set:
+            # Position-aware: a name rebound via sorted() before this use
+            # is a list here, even if it held a set earlier in the body.
             func = module.enclosing_function(node)
             if func is None:
                 return set()
             if func not in local_cache:
-                local_cache[func] = local_set_names(func, facts)
-            return local_cache[func]
+                local_cache[func] = local_set_bindings(func, facts)
+            return set_names_at(local_cache[func],
+                                (node.lineno, node.col_offset))
 
         for node in ast.walk(module.tree):
             if isinstance(node, (ast.For, ast.AsyncFor)):

@@ -23,6 +23,7 @@ from repro.analysis.engine import (
     ModuleInfo,
     Rule,
     is_generator_function,
+    is_sim_process,
     register,
     walk_function_body,
 )
@@ -53,22 +54,8 @@ _KERNEL_PRIVATE_ATTRS = {"_now", "_heap", "_seq", "_active_process",
                          "_schedule"}
 
 
-def _is_sim_process(func: ast.AST) -> bool:
-    """Whether a generator function looks like a kernel-stepped process.
-
-    A sim process has at least one yield that could produce an Event — a
-    call, name or attribute expression, or a ``yield from`` delegation.
-    Pure value generators (host-side tooling yielding tuples/literals)
-    are never handed to the kernel and are exempt from SIM01/SIM02.
-    """
-    for node in walk_function_body(func):
-        if isinstance(node, ast.YieldFrom):
-            return True
-        if isinstance(node, ast.Yield) and isinstance(
-                node.value, (ast.Call, ast.Name, ast.Attribute, ast.IfExp,
-                             ast.Await)):
-            return True
-    return False
+# Shared with the atomicity rules; see engine.is_sim_process.
+_is_sim_process = is_sim_process
 
 
 @register

@@ -109,6 +109,91 @@ def _is_set_literalish(node: ast.AST) -> bool:
     return False
 
 
+def local_set_bindings(
+        func: ast.AST, facts: ModuleSetFacts,
+) -> dict[str, list[tuple[tuple[int, int], bool]]]:
+    """Position-ordered set-ness binding events per local name.
+
+    Each event is ``((lineno, col), binds_a_set)``.  Unlike
+    :func:`local_set_names` this is order-aware: a later rebinding to a
+    non-set value *kills* set-ness for subsequent uses.  The motivating
+    idiom is ``sorted()`` negation — the repo's own fix for DET02::
+
+        nodes = self.directory.sharers(key)   # a set
+        nodes = sorted(nodes)                 # now a list: order is fixed
+        for node_id in nodes: ...             # fine, must not be flagged
+
+    Two evaluation passes let straight renames settle regardless of
+    textual order; ``AugAssign`` never changes the container type, so it
+    only ever *adds* set-ness, never kills it.
+    """
+    bindings: dict[str, list[tuple[tuple[int, int], bool]]] = {}
+    args = getattr(func, "args", None)
+    origin = (getattr(func, "lineno", 0), getattr(func, "col_offset", 0))
+    if args is not None:
+        for arg in list(args.args) + list(args.kwonlyargs):
+            if (arg.annotation is not None
+                    and _is_set_annotation(arg.annotation)):
+                bindings.setdefault(arg.arg, []).append((origin, True))
+
+    assigns = [node for node in ast.walk(func)
+               if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign))]
+    assigns.sort(key=lambda node: (node.lineno, node.col_offset))
+
+    def record(name: str, pos: tuple[int, int], setish: bool) -> None:
+        events = bindings.setdefault(name, [])
+        for index, (event_pos, _) in enumerate(events):
+            if event_pos == pos:
+                events[index] = (pos, setish)  # pass-2 refinement
+                return
+        events.append((pos, setish))
+        events.sort(key=lambda event: event[0])
+
+    for _pass in range(2):
+        for node in assigns:
+            pos = (node.lineno, node.col_offset)
+            visible = set_names_at(bindings, pos)
+            if isinstance(node, ast.Assign):
+                if (len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)):
+                    record(node.targets[0].id, pos,
+                           is_setish(node.value, facts, visible))
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Name):
+                    if _is_set_annotation(node.annotation):
+                        record(node.target.id, pos, True)
+                    elif node.value is not None:
+                        record(node.target.id, pos,
+                               is_setish(node.value, facts, visible))
+            else:  # AugAssign
+                if (isinstance(node.target, ast.Name)
+                        and isinstance(node.op, (ast.BitOr, ast.BitAnd,
+                                                 ast.Sub, ast.BitXor))
+                        and is_setish(node.value, facts, visible)):
+                    record(node.target.id, pos, True)
+    return bindings
+
+
+def set_names_at(bindings: dict[str, list[tuple[tuple[int, int], bool]]],
+                 pos: tuple[int, int]) -> set[str]:
+    """Names holding sets just before ``pos``: the last binding strictly
+    earlier in the text wins.
+
+    A name whose events all lie *after* ``pos`` counts when any of them
+    binds a set — a use textually above its binding reaches it through a
+    loop back-edge, and the conservative answer keeps the flag.
+    """
+    names: set[str] = set()
+    for name, events in bindings.items():
+        before = [setish for event_pos, setish in events if event_pos < pos]
+        if before:
+            if before[-1]:
+                names.add(name)
+        elif any(setish for _, setish in events):
+            names.add(name)
+    return names
+
+
 def local_set_names(func: ast.AST, facts: ModuleSetFacts) -> set[str]:
     """Names bound to set-ish values anywhere in ``func``'s own body.
 

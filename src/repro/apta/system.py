@@ -78,10 +78,14 @@ class _MemoryNode:
 
     def _handle_write(self, endpoint, src, args):
         key, value, writer = args
-        self.data[key] = value
         if self.system.backing is not None:
-            # Az variant: the update must also reach global storage.
+            # Az variant: the update must also reach global storage —
+            # durably, *before* the memory tier serves it.  Installing
+            # into ``data`` first would leave an interrupted handler
+            # (node crash at the storage yield) advertising a value the
+            # backing store never accepted.
             yield from self.system.backing.write(key, value, writer=writer)
+        self.data[key] = value
         victims = self.sharers.get(key, set()) - {writer}
         self.sharers[key] = {writer}
         # Lazy invalidation: mark victims stale and reply immediately.
@@ -200,6 +204,9 @@ class AptaSystem(StorageAPI):
             f"{home}/apta-{self.app}", "read", (key, node_id),
             size_bytes=len(key) + 8, timeout=DEFAULT_RPC_TIMEOUT_MS,
         )
+        # Re-read the registry: install into the node's *current* compute
+        # instance, not a handle snapshotted before the RPC suspension.
+        compute = self.caches[node_id]
         if value is not None:
             size = sizeof(value)
             if size <= compute.cache.capacity_bytes:
@@ -219,6 +226,9 @@ class AptaSystem(StorageAPI):
             f"{home}/apta-{self.app}", "write", (key, value, node_id),
             size_bytes=sizeof(value) + len(key), timeout=DEFAULT_RPC_TIMEOUT_MS,
         )
+        # Re-read the registry: install into the node's *current* compute
+        # instance, not a handle snapshotted before the RPC suspension.
+        compute = self.caches[node_id]
         size = sizeof(value)
         if size <= compute.cache.capacity_bytes:
             compute.cache.put(CacheEntry(

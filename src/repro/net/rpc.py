@@ -317,27 +317,36 @@ class Endpoint:
             self._pending[request_id] = response
             self._pending_dst[request_id] = (
                 Network.node_of(dst), dst, method)
-            self.network.send(Message(
-                src=self.address,
-                dst=dst,
-                kind=method,
-                payload=(method, args),
-                size_bytes=size_bytes if size_bytes is not None else sizeof(args),
-                request_id=request_id,
-                trace=ctx,
-            ))
-            limit = timeout if timeout is not None else DEFAULT_RPC_TIMEOUT_MS
-            timer = self.sim.timeout(limit)
-            winner = yield self.sim.any_of([response, timer])
-            if not response.triggered:
+            try:
+                self.network.send(Message(
+                    src=self.address,
+                    dst=dst,
+                    kind=method,
+                    payload=(method, args),
+                    size_bytes=(size_bytes if size_bytes is not None
+                                else sizeof(args)),
+                    request_id=request_id,
+                    trace=ctx,
+                ))
+                limit = (timeout if timeout is not None
+                         else DEFAULT_RPC_TIMEOUT_MS)
+                timer = self.sim.timeout(limit)
+                winner = yield self.sim.any_of([response, timer])
+                if not response.triggered:
+                    self.timeouts += 1
+                    if span is not None:
+                        span.set("status", "timeout")
+                    raise RpcTimeout(dst, method, limit)
+                del winner
+                return response.value
+            finally:
+                # The in-flight window closes on every exit.  Response
+                # delivery already popped these; the timeout path — and an
+                # Interrupt thrown at the yield when the caller's node
+                # crashes — must not leak the entry (the rpc_inflight
+                # gauge and fail_calls_to() scans would keep seeing it).
                 self._pending.pop(request_id, None)
                 self._pending_dst.pop(request_id, None)
-                self.timeouts += 1
-                if span is not None:
-                    span.set("status", "timeout")
-                raise RpcTimeout(dst, method, limit)
-            del winner
-            return response.value
         finally:
             if span is not None:
                 span.end()

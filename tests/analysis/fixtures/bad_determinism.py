@@ -28,3 +28,18 @@ def waived_fanout(members: set):
 
 def handle(member):
     return member
+
+
+def fanout_rebound_sorted(members: set):
+    # sorted() rebinding kills set-ness: iteration order is fixed.
+    members = sorted(members)
+    for member in members:
+        handle(member)
+
+
+def fanout_rebound_late(members: set):
+    for member in members:      # still a set here: flagged
+        handle(member)
+    members = sorted(members)
+    for member in members:      # a list now: clean
+        handle(member)

@@ -37,3 +37,39 @@ class BadAgent:
             yield self.sim.timeout(1.0)
         finally:
             self.lock.release()
+
+    def sneaky_else_release(self):
+        # The release sits in the else: of a try nested in the finally —
+        # the handler path leaks the lock.  Containment-style scanning
+        # used to accept this.
+        yield self.lock.acquire()
+        try:
+            yield self.sim.timeout(1.0)
+        finally:
+            try:
+                self.flush()
+            except OSError:
+                pass
+            else:
+                self.lock.release()
+
+    def escalated_conditional(self):
+        # Conditional release in the finally is the accepted idiom: the
+        # condition models whether the lock is still held.
+        yield self.lock.acquire()
+        try:
+            yield self.sim.timeout(1.0)
+        finally:
+            if self.escalated:
+                self.lock.release()
+
+    def grant_assigned(self):
+        grant = self.lock.acquire()
+        yield grant
+        try:
+            yield self.sim.timeout(1.0)
+        finally:
+            self.lock.release()
+
+    def flush(self):
+        return None

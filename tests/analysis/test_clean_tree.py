@@ -11,6 +11,7 @@ from pathlib import Path
 
 from repro.analysis import Analyzer, Baseline
 from repro.analysis.cli import BASELINE_NAME
+from repro.analysis.engine import BASELINE_FIXME_REASON
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SOURCE_TREE = REPO_ROOT / "src" / "repro"
@@ -34,3 +35,21 @@ def test_analysis_package_itself_is_analyzed():
     report = Analyzer().run([SOURCE_TREE / "analysis"])
     assert report.files >= 8
     assert not report.findings
+
+
+def test_baseline_entries_carry_rationale():
+    """Every accepted finding must say *why* it is acceptable.
+
+    The waiver policy (DESIGN.md): a baseline entry without a written
+    one-line justification is indistinguishable from a rubber-stamped
+    bug, so the FIXME placeholder ``--write-baseline`` emits for new
+    entries must never be committed.
+    """
+    path = REPO_ROOT / BASELINE_NAME
+    assert path.exists(), "analysis-baseline.json missing at repo root"
+    baseline = Baseline.load(path)
+    for key, reason in sorted(baseline.entries.items()):
+        assert reason and reason.strip(), f"empty rationale for {key}"
+        assert reason != BASELINE_FIXME_REASON, (
+            f"unjustified suppression {key}: replace the FIXME with a "
+            "one-line reason why this finding is acceptable")

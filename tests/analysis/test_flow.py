@@ -1,0 +1,226 @@
+"""CFG builder: golden graphs, structural invariants, path queries.
+
+The golden tests pin ``CFG.describe()`` for three representative shapes
+(branch join, loop with continue-out-of-try, raise inside try/finally)
+so builder changes surface as readable diffs.  The Hypothesis tests
+fuzz nested statement shapes against the two invariants every rule
+relies on: each own-body statement lands in exactly one block, and
+terminal blocks (raise/return) have no out-edges.
+"""
+
+import ast
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import flow
+
+SRC = '''
+def diamond(self):
+    ready = self.prepare()
+    if ready:
+        self.fast_path()
+    else:
+        self.slow_path()
+    return ready
+
+def retry_loop(self):
+    while self.pending:
+        try:
+            yield self.endpoint.call()
+        except TimeoutError:
+            continue
+        self.done += 1
+    self.finish()
+
+def guarded(self):
+    entry = self.cache.get("k")
+    yield self.lock.acquire()
+    try:
+        if entry is None:
+            raise KeyError("k")
+        entry.value = 1
+    finally:
+        self.lock.release()
+'''
+
+FUNCS = {func.name: func for func in ast.parse(SRC).body}
+
+GOLDEN = {
+    "diamond": [
+        "B0[Assign@3 If@4] -> [B1,B2]",
+        "B1[Expr@5] -> [B3]",
+        "B2[Expr@7] -> [B3]",
+        "B3[Return@8] -> []",
+    ],
+    "retry_loop": [
+        "B0[] -> [B1]",
+        "B1[While@11] -> [B3,B2]",
+        "B2[Expr@17] -> []",
+        "B3[Try@12] -> [B4]",
+        "B4[Expr@13] -> [B5,B6]",
+        "B5[Continue@15] -> [B1]",
+        "B6[AugAssign@16] -> [B1]",
+    ],
+    "guarded": [
+        "B0[Assign@20 Expr@21 Try@22] -> [B1]",
+        "B1[If@23] -> [B2,B3,B4]",
+        "B2[Raise@24] -> []",
+        "B3[Assign@25] -> [B4]",
+        "B4[Expr@27] -> []",
+    ],
+}
+
+
+def test_golden_cfgs():
+    for name, expected in GOLDEN.items():
+        assert flow.build_cfg(FUNCS[name]).describe() == expected, name
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random nested statement shapes
+# ---------------------------------------------------------------------------
+_SIMPLE = st.sampled_from([
+    "x = 1", "y = x + 1", "pass", "log(x)", "yield x", "return",
+    "raise ValueError()", "break", "continue",
+])
+
+
+def _compound(children):
+    body = st.lists(children, min_size=1, max_size=3)
+    short = st.lists(children, min_size=0, max_size=2)
+    return st.one_of(
+        st.tuples(st.just("if"), body, short),
+        st.tuples(st.just("while"), body),
+        st.tuples(st.just("for"), body),
+        st.tuples(st.just("try"), body, body, short),
+        st.tuples(st.just("with"), body),
+    )
+
+
+_STMTS = st.recursive(_SIMPLE, _compound, max_leaves=12)
+_BODIES = st.lists(_STMTS, min_size=1, max_size=5)
+
+
+def _render(block, indent):
+    lines = []
+    for stmt in block:
+        if isinstance(stmt, str):
+            lines.append(indent + stmt)
+            continue
+        kind = stmt[0]
+        inner = indent + "    "
+        if kind == "if":
+            lines.append(indent + "if cond:")
+            lines.extend(_render(stmt[1], inner))
+            if stmt[2]:
+                lines.append(indent + "else:")
+                lines.extend(_render(stmt[2], inner))
+        elif kind == "while":
+            lines.append(indent + "while cond:")
+            lines.extend(_render(stmt[1], inner))
+        elif kind == "for":
+            lines.append(indent + "for item in seq:")
+            lines.extend(_render(stmt[1], inner))
+        elif kind == "try":
+            lines.append(indent + "try:")
+            lines.extend(_render(stmt[1], inner))
+            lines.append(indent + "except OSError:")
+            lines.extend(_render(stmt[2], inner))
+            if stmt[3]:
+                lines.append(indent + "finally:")
+                lines.extend(_render(stmt[3], inner))
+        else:  # with
+            lines.append(indent + "with ctx():")
+            lines.extend(_render(stmt[1], inner))
+    return lines
+
+
+def _parse_func(body):
+    source = "\n".join(["def fuzzed():"] + _render(body, "    "))
+    return ast.parse(source).body[0]
+
+
+@settings(max_examples=200, deadline=None)
+@given(_BODIES)
+def test_every_statement_in_exactly_one_block(body):
+    func = _parse_func(body)
+    cfg = flow.build_cfg(func)
+    own = list(flow.own_statements(func.body))
+    lowered = list(cfg.statements())
+    assert len(lowered) == len(own)
+    seen = set()
+    for stmt in lowered:
+        assert stmt not in seen, "statement lowered into two blocks"
+        seen.add(stmt)
+    assert seen == set(own)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_BODIES)
+def test_terminal_blocks_have_no_out_edges(body):
+    cfg = flow.build_cfg(_parse_func(body))
+    for block in cfg.blocks:
+        if block.terminal:
+            assert block.succ == [], block.describe()
+
+
+@settings(max_examples=100, deadline=None)
+@given(_BODIES)
+def test_locate_roundtrip(body):
+    cfg = flow.build_cfg(_parse_func(body))
+    for stmt in cfg.statements():
+        block, index = cfg.locate(stmt)
+        assert block.stmts[index] is stmt
+
+
+# ---------------------------------------------------------------------------
+# Path queries
+# ---------------------------------------------------------------------------
+def _stmt_at(func, lineno):
+    for stmt in flow.own_statements(func.body):
+        if stmt.lineno == lineno:
+            return stmt
+    raise AssertionError(f"no statement at line {lineno}")
+
+
+def test_find_path_witness_through_suspension():
+    func = FUNCS["guarded"]
+    cfg = flow.build_cfg(func)
+    snapshot = _stmt_at(func, 20)   # entry = self.cache.get("k")
+    use = _stmt_at(func, 25)        # entry.value = 1
+    witness = flow.find_path(
+        cfg, snapshot, use,
+        between=lambda s: flow.contains_yield(s) is not None)
+    assert witness is not None and witness.lineno == 21
+
+
+def test_find_path_kill_blocks_all_routes():
+    func = FUNCS["guarded"]
+    cfg = flow.build_cfg(func)
+    snapshot = _stmt_at(func, 20)
+    use = _stmt_at(func, 25)
+    blocked = flow.find_path(
+        cfg, snapshot, use,
+        kill=lambda s: flow.contains_yield(s) is not None)
+    assert blocked is None
+
+
+def test_find_path_loop_back_edge():
+    func = FUNCS["retry_loop"]
+    cfg = flow.build_cfg(func)
+    bump = _stmt_at(func, 16)       # self.done += 1
+    call = _stmt_at(func, 13)       # yield self.endpoint.call()
+    # The back-edge makes the call reachable again from the bump.
+    assert flow.find_path(cfg, bump, call) is call
+
+
+def test_unreachable_after_infinite_loop():
+    func = ast.parse(
+        "def spin():\n"
+        "    while True:\n"
+        "        tick()\n"
+        "    after()\n").body[0]
+    cfg = flow.build_cfg(func)
+    first = _stmt_at(func, 3)
+    after = _stmt_at(func, 4)
+    assert flow.find_path(cfg, first, after) is None

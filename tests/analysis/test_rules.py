@@ -46,6 +46,20 @@ class TestDeterminismRules:
         assert report.waived == 1
         assert not any(f.symbol == "waived_fanout" for f in report.findings)
 
+    def test_sorted_rebinding_kills_setness(self, report):
+        # members = sorted(members) makes the name a list; iterating it
+        # afterwards is deterministic and must not be flagged.
+        assert not any(f.rule == "DET02"
+                       and f.symbol == "fanout_rebound_sorted"
+                       for f in report.findings)
+
+    def test_setness_is_position_aware(self, report):
+        # Before the sorted() rebinding the name is still a set (line
+        # 41, flagged); after it, a list (line 44, clean).
+        assert ("DET02", 41) in keys(report)
+        assert not any(f.rule == "DET02" and f.line == 44
+                       for f in report.findings)
+
 
 class TestSimProcessRules:
     @pytest.fixture(scope="class")
@@ -112,6 +126,61 @@ class TestProtocolRules:
 
     def test_try_finally_discipline_clean(self, report):
         assert not any(f.symbol == "BadAgent.disciplined"
+                       for f in report.findings)
+
+    def test_release_in_else_of_nested_try_flagged(self, report):
+        # The release sits in the else: of a try nested inside the
+        # finally — the handler path leaks the lock.  Regression for the
+        # containment-based scan that accepted this.
+        found = [f for f in report.findings
+                 if f.rule == "PRO03"
+                 and f.symbol == "BadAgent.sneaky_else_release"]
+        assert found and "yield" in found[0].message
+
+    def test_conditional_release_in_finally_clean(self, report):
+        assert not any(f.rule == "PRO03"
+                       and f.symbol == "BadAgent.escalated_conditional"
+                       for f in report.findings)
+
+    def test_assigned_grant_clean(self, report):
+        # grant = lock.acquire(); yield grant — the yield completes the
+        # acquire, it does not escape with the lock held.
+        assert not any(f.rule == "PRO03"
+                       and f.symbol == "BadAgent.grant_assigned"
+                       for f in report.findings)
+
+
+class TestAtomicityRules:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return Analyzer(select=["ATM01", "ATM02", "INT01"]).run(
+            [FIXTURES / "bad_atomicity.py"])
+
+    def test_planted_races_and_nothing_else(self, report):
+        # The three pre-fix protocol races, each caught by its rule; the
+        # *_fixed twins contribute nothing.
+        assert keys(report) == {
+            ("ATM01", 25),   # stale entry.state guard after lock wait
+            ("INT01", 27),   # cache fields mutated before storage commit
+            ("ATM01", 50),   # stale snapshot decides the install
+            ("INT01", 65),   # directory owner set before storage write
+            ("ATM02", 67),   # entry torn across the storage suspension
+        }
+
+    def test_stale_guard_race(self, report):
+        found = [f for f in report.findings
+                 if f.rule == "ATM01"
+                 and f.symbol == "RacyAgent.write_direct"]
+        assert found and "entry" in found[0].message
+
+    def test_torn_directory_update(self, report):
+        found = [f for f in report.findings
+                 if f.rule == "ATM02"
+                 and f.symbol == "RacyAgent.home_write"]
+        assert found and "suspension" in found[0].message
+
+    def test_fixed_versions_clean(self, report):
+        assert not any(f.symbol.endswith("_fixed")
                        for f in report.findings)
 
 
