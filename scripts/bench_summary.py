@@ -1,0 +1,52 @@
+"""Render a per-benchmark sim_ms_per_wall_s delta table as markdown.
+
+Usage::
+
+    python scripts/bench_summary.py CURRENT.json BASELINE.json
+
+CI appends the output to ``$GITHUB_STEP_SUMMARY`` after the bench gate,
+so every run shows at a glance how far each benchmark's simulation rate
+moved against the committed baseline.  Exits 0 even when a report is
+missing (the gate step already failed loudly in that case).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def _load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle).get("benchmarks", {})
+    except (OSError, ValueError):
+        return {}
+
+
+def main(argv: list) -> int:
+    if len(argv) != 2:
+        print("usage: bench_summary.py CURRENT.json BASELINE.json",
+              file=sys.stderr)
+        return 0
+    current, baseline = _load(argv[0]), _load(argv[1])
+    if not current:
+        print(f"_no bench report at `{argv[0]}`_")
+        return 0
+    print("### Bench gate: sim_ms_per_wall_s vs baseline\n")
+    print("| benchmark | baseline | current | delta |")
+    print("|---|---:|---:|---:|")
+    for name in sorted(set(current) | set(baseline)):
+        now = current.get(name, {}).get("sim_ms_per_wall_s")
+        then = baseline.get(name, {}).get("sim_ms_per_wall_s")
+        if now is None or then is None or not then:
+            delta = "n/a"
+        else:
+            delta = f"{100.0 * (now - then) / then:+.1f}%"
+        fmt = lambda v: f"{v:,.1f}" if isinstance(v, (int, float)) else "—"
+        print(f"| `{name}` | {fmt(then)} | {fmt(now)} | {delta} |")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

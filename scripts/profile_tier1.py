@@ -1,0 +1,47 @@
+"""Profile the tier-1 bench points and dump cProfile pstats files.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_tier1.py [OUTDIR]
+
+Writes ``<point>.pstats`` per tier-1 benchmark into OUTDIR (default
+``profiles/``) plus a ``<point>.txt`` top-25 cumulative listing for
+humans.  CI uploads the directory as the ``tier1-pstats`` artifact so
+every run carries the profile evidence EXPERIMENTS.md reasons about.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+from repro.bench.suite import fig08_point, fig13_churn_point
+
+POINTS = {
+    "fig08_point": fig08_point,
+    "fig13_churn_point": fig13_churn_point,
+}
+
+
+def main(argv: list) -> int:
+    outdir = Path(argv[0]) if argv else Path("profiles")
+    outdir.mkdir(parents=True, exist_ok=True)
+    for name, target in POINTS.items():
+        profiler = cProfile.Profile()
+        profiler.enable()
+        counters = target()
+        profiler.disable()
+        pstats_path = outdir / f"{name}.pstats"
+        profiler.dump_stats(pstats_path)
+        with open(outdir / f"{name}.txt", "w", encoding="utf-8") as handle:
+            stats = pstats.Stats(str(pstats_path), stream=handle)
+            stats.sort_stats("cumulative").print_stats(25)
+            stats.sort_stats("tottime").print_stats(25)
+        print(f"{name}: {counters} -> {pstats_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -21,6 +21,12 @@ from pathlib import Path
 from typing import Optional
 
 from repro.analysis.engine import Analyzer, Baseline, all_rules
+from repro.cli_common import (
+    EXIT_OK,
+    EXIT_USAGE,
+    common_parent,
+    output_stream,
+)
 
 BASELINE_NAME = "analysis-baseline.json"
 
@@ -39,15 +45,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-analyze",
         description=("Static analysis enforcing simulator determinism and "
-                     "sim-process discipline for the Concord reproduction."),
+                     "sim-process discipline for the Concord reproduction. "
+                     "sarif output emits SARIF 2.1.0 for code-scanning "
+                     "upload."),
+        parents=[common_parent(formats=("text", "json", "sarif"), out=True)],
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to analyze "
                              "(default: src/repro)")
-    parser.add_argument("--format", choices=("text", "json", "sarif"),
-                        default="text",
-                        help="output format (default: text); sarif emits "
-                             "SARIF 2.1.0 for code-scanning upload")
     parser.add_argument("--baseline", type=Path, default=None,
                         help=f"baseline file (default: {BASELINE_NAME} next "
                              "to pyproject.toml, when present)")
@@ -155,21 +160,30 @@ def _render_json(report, out) -> None:
 
 
 def main(argv: Optional[list] = None, out=None) -> int:
-    out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    try:
+        with output_stream(args.out, out) as out:
+            return _run(args, out)
+    except OSError as exc:
+        if args.out is None:
+            raise
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
 
+
+def _run(args, out) -> int:
     if args.list_rules:
         for rule_id, rule in sorted(all_rules().items()):
             print(f"{rule_id}  {rule.name:<22} [{rule.severity}] "
                   f"{rule.description}", file=out)
-        return 0
+        return EXIT_OK
 
     paths = [Path(p) for p in args.paths]
     missing = [str(p) for p in paths if not p.exists()]
     if missing:
         # A typo'd path must not produce a green "0 files analyzed" run.
         print(f"error: no such path: {', '.join(missing)}", file=out)
-        return 2
+        return EXIT_USAGE
     baseline = Baseline()
     baseline_path = args.baseline or _default_baseline_path(paths)
     if (not args.no_baseline and not args.write_baseline
@@ -180,20 +194,20 @@ def main(argv: Optional[list] = None, out=None) -> int:
         analyzer = Analyzer(baseline=baseline, select=args.select)
     except ValueError as exc:
         print(f"error: {exc}", file=out)
-        return 2
+        return EXIT_USAGE
     report = analyzer.run(paths)
 
     if args.write_baseline:
         if baseline_path is None:
             print("error: no pyproject.toml found to anchor the baseline; "
                   "pass --baseline PATH", file=out)
-            return 2
+            return EXIT_USAGE
         previous = (Baseline.load(baseline_path)
                     if baseline_path.exists() else None)
         Baseline.dump(report.findings, baseline_path, previous=previous)
         print(f"wrote {len(report.findings)} suppression(s) to "
               f"{baseline_path}", file=out)
-        return 0
+        return EXIT_OK
 
     try:
         if args.format == "json":

@@ -22,6 +22,7 @@ import sys
 from pathlib import Path
 
 from repro.bench.executor import run_jobs
+from repro.cli_common import EXIT_USAGE, common_parent
 from repro.bench.report import (
     build_report,
     compare_reports,
@@ -41,29 +42,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # --seed / --out / --format come from the shared repro.cli_common
+    # parent so they are spelled identically across the repro-* tools.
     run_p = sub.add_parser(
-        "run", help="run a suite, write a BENCH report, optionally gate")
+        "run", help="run a suite, write a BENCH report, optionally gate",
+        parents=[common_parent(
+            seed=True, seed_help="suite seed (default: the suite's own)",
+            out=True, out_default="BENCH_tier1.json",
+            out_help="report path (default: BENCH_tier1.json)")])
     run_p.add_argument("--suite", default="tier1",
                        help="suite name or 'pkg.module:callable' factory "
                             "(default: tier1)")
     run_p.add_argument("--jobs", type=int, default=1,
                        help="parallel worker processes (default: 1)")
-    run_p.add_argument("--out", default="BENCH_tier1.json",
-                       help="report path (default: BENCH_tier1.json)")
     run_p.add_argument("--journal", default=None,
                        help="JSONL checkpoint: completed jobs are skipped "
                             "on rerun")
-    run_p.add_argument("--seed", type=int, default=None,
-                       help="suite seed (default: the suite's own)")
     run_p.add_argument("--compare", default=None, metavar="BASELINE",
                        help="gate the fresh report against this baseline")
     _gate_flags(run_p)
 
     cmp_p = sub.add_parser(
-        "compare", help="gate an existing report against a baseline")
+        "compare", help="gate an existing report against a baseline",
+        parents=[common_parent(formats=("text", "json"))])
     cmp_p.add_argument("current", help="BENCH report to check")
     cmp_p.add_argument("baseline", help="baseline BENCH report")
-    cmp_p.add_argument("--format", choices=("text", "json"), default="text")
     _gate_flags(cmp_p)
 
     hist_p = sub.add_parser(
@@ -92,7 +95,7 @@ def _cmd_run(args) -> int:
                  else load_suite(args.suite, seed=args.seed))
     except ValueError as exc:
         print(f"repro-bench: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     def progress(result):
         if result.ok:
@@ -158,7 +161,7 @@ def main(argv=None) -> int:
         return _cmd_history(args)
     except (OSError, ValueError) as exc:
         print(f"repro-bench: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":  # pragma: no cover

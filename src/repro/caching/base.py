@@ -205,23 +205,34 @@ class StorageAPI(abc.ABC):
     name: str = "abstract"
 
     def read(self, node_id: str, key: str, ctx: Optional[object] = None) -> Generator:
-        """Read ``key`` from the perspective of ``node_id``; returns value."""
-        tracer = self.sim.tracer
-        if not tracer.active:
-            return (yield from self._do_read(node_id, key, ctx))
-        with tracer.span("read", "op",
-                         scheme=self.name, node=node_id, key=key):
+        """Read ``key`` from the perspective of ``node_id``; returns value.
+
+        Plain dispatcher: with tracing off it returns the scheme's
+        ``_do_read`` generator directly (no wrapper frame on the hot
+        path); ``yield from`` callers see identical behaviour.
+        """
+        if not self.sim.tracer.active:
+            return self._do_read(node_id, key, ctx)
+        return self._traced_read(node_id, key, ctx)
+
+    def _traced_read(self, node_id: str, key: str, ctx: Optional[object]) -> Generator:
+        with self.sim.tracer.span("read", "op",
+                                  scheme=self.name, node=node_id, key=key):
             return (yield from self._do_read(node_id, key, ctx))
 
     def write(
         self, node_id: str, key: str, value: object, ctx: Optional[object] = None
     ) -> Generator:
         """Write ``key`` from ``node_id``; returns when durably stored."""
-        tracer = self.sim.tracer
-        if not tracer.active:
-            return (yield from self._do_write(node_id, key, value, ctx))
-        with tracer.span("write", "op",
-                         scheme=self.name, node=node_id, key=key):
+        if not self.sim.tracer.active:
+            return self._do_write(node_id, key, value, ctx)
+        return self._traced_write(node_id, key, value, ctx)
+
+    def _traced_write(
+        self, node_id: str, key: str, value: object, ctx: Optional[object]
+    ) -> Generator:
+        with self.sim.tracer.span("write", "op",
+                                  scheme=self.name, node=node_id, key=key):
             return (yield from self._do_write(node_id, key, value, ctx))
 
     @abc.abstractmethod

@@ -141,7 +141,7 @@ class FaastSystem(StorageAPI):
 
     def _do_read(self, node_id: str, key: str, ctx: Optional[object] = None):
         start = self.sim.now
-        yield self.sim.timeout(self.cluster.config.latency.local_access)
+        yield self.sim.sleep(self.cluster.config.latency.local_access)
         instance = self.instances[node_id]
         home = self.home_of(key)
 
@@ -183,7 +183,7 @@ class FaastSystem(StorageAPI):
 
     def _do_write(self, node_id: str, key: str, value: object, ctx: Optional[object] = None):
         start = self.sim.now
-        yield self.sim.timeout(self.cluster.config.latency.local_access)
+        yield self.sim.sleep(self.cluster.config.latency.local_access)
         instance = self.instances[node_id]
         home = self.home_of(key)
         if home == node_id:

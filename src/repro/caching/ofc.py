@@ -102,7 +102,7 @@ class OfcSystem(StorageAPI):
 
     def _do_read(self, node_id: str, key: str, ctx: Optional[object] = None):
         start = self.sim.now
-        yield self.sim.timeout(self.cluster.config.latency.local_access)
+        yield self.sim.sleep(self.cluster.config.latency.local_access)
         home = self.home_of(key)
         if home == node_id:
             value, cached = yield from self.agents[node_id].read_local(key)
@@ -120,7 +120,7 @@ class OfcSystem(StorageAPI):
 
     def _do_write(self, node_id: str, key: str, value: object, ctx: Optional[object] = None):
         start = self.sim.now
-        yield self.sim.timeout(self.cluster.config.latency.local_access)
+        yield self.sim.sleep(self.cluster.config.latency.local_access)
         home = self.home_of(key)
         if home == node_id:
             yield from self.agents[node_id].write_local(key, value)

@@ -1,0 +1,104 @@
+"""Shared argparse surface for the ``repro-*`` command-line tools.
+
+All four console scripts — ``repro-analyze``, ``repro-trace``,
+``repro-metrics``, ``repro-bench`` — build their parsers on the parent
+returned by :func:`common_parent`, so the flags every tool shares are
+spelled, typed and documented identically everywhere:
+
+``--format {text,json,...}``
+    Output format (default ``text``; a tool may offer extra formats,
+    e.g. ``sarif`` for repro-analyze).
+``--out PATH``
+    Write the tool's output to ``PATH`` instead of stdout (for
+    repro-bench ``run`` this is the report path, its original meaning).
+``--seed N``
+    Deterministic seed override, where the tool runs a simulation.
+
+Exit-code contract (identical across all four tools):
+
+===  ====================================================================
+0    success / clean gate
+1    tool-level failure: error findings, bench-gate regression,
+     failed jobs, empty metric selection
+2    usage or I/O error: unknown flags, missing or unreadable input
+     file, malformed input, unwritable ``--out``
+===  ====================================================================
+
+argparse itself exits 2 on unknown flags, which is why 2 doubles as the
+usage code here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_FAILURE",
+    "EXIT_USAGE",
+    "common_parent",
+    "output_stream",
+]
+
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+
+
+def common_parent(
+    *,
+    formats: Optional[Sequence[str]] = None,
+    default_format: str = "text",
+    seed: bool = False,
+    seed_help: str = "deterministic seed override",
+    out: bool = False,
+    out_default: Optional[str] = None,
+    out_help: str = "write output to PATH instead of stdout",
+) -> argparse.ArgumentParser:
+    """Build the shared parent parser (``add_help=False``).
+
+    Each tool enables the subset of shared flags it supports; enabled
+    flags carry identical spelling and semantics across tools.  Pass the
+    result via ``argparse.ArgumentParser(parents=[...])``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    if formats is not None:
+        parent.add_argument(
+            "--format", choices=tuple(formats), default=default_format,
+            help=f"output format (default: {default_format})")
+    if seed:
+        parent.add_argument("--seed", type=int, default=None,
+                            help=seed_help)
+    if out:
+        parent.add_argument("--out", default=out_default, metavar="PATH",
+                            help=out_help)
+    return parent
+
+
+class output_stream:
+    """Context manager for the stream tool output should go to.
+
+    ``path`` is the tool's ``--out`` value: None yields ``fallback``
+    (stdout unless the caller injected a stream for testing); a path
+    yields a freshly opened text file, closed on exit.  ``OSError`` from
+    an unwritable path propagates — callers map it to exit code 2.
+    """
+
+    def __init__(self, path: Optional[str], fallback=None):
+        self._path = path
+        self._fallback = fallback
+        self._handle = None
+
+    def __enter__(self):
+        if self._path is None:
+            return self._fallback if self._fallback is not None else sys.stdout
+        self._handle = open(self._path, "w", encoding="utf-8")
+        return self._handle
+
+    def __exit__(self, *exc_info):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        return False

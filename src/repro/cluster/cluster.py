@@ -72,6 +72,6 @@ class Cluster:
         node = self.nodes[node_id]
         if node.alive:
             return
-        node.containers.clear()
+        node.clear_containers()
         node.alive = True
         self.network.restore_node(node_id)

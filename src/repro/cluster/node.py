@@ -56,6 +56,10 @@ class Node:
         self.cores = Resource(sim, capacity=config.cores_per_node, name=f"{node_id}/cores")
         self.memory_capacity = config.memory_per_node
         self.containers: dict[int, Container] = {}
+        #: app name -> containers of that app, in creation order — the
+        #: scheduler's warm-container lookup index (containers_of runs on
+        #: every request; scanning all containers showed up in profiles).
+        self._by_app: dict[str, list[Container]] = {}
         self.alive = True
         metrics = sim.metrics
         if metrics.active:
@@ -93,19 +97,31 @@ class Node:
             last_used=self.sim.now,
         )
         self.containers[container.id] = container
+        self._by_app.setdefault(app, []).append(container)
         return container
 
     def remove_container(self, container_id: int) -> Optional[Container]:
         """Evict a container (returns it, or None if already gone)."""
-        return self.containers.pop(container_id, None)
+        container = self.containers.pop(container_id, None)
+        if container is not None:
+            group = self._by_app.get(container.app)
+            if group is not None:
+                group.remove(container)
+        return container
+
+    def clear_containers(self) -> None:
+        """Drop every container (node crash / restart)."""
+        self.containers.clear()
+        self._by_app.clear()
 
     def containers_of(self, app: str, function: Optional[str] = None) -> list[Container]:
         """Warm containers of ``app`` (optionally a specific function)."""
-        return [
-            c
-            for c in self.containers.values()
-            if c.app == app and (function is None or c.function == function)
-        ]
+        group = self._by_app.get(app)
+        if not group:
+            return []
+        if function is None:
+            return list(group)
+        return [c for c in group if c.function == function]
 
     # -- memory accounting ----------------------------------------------------
     @property

@@ -146,7 +146,7 @@ class CacheAgent:
     # ------------------------------------------------------------------
     def read(self, key: str, ctx: Optional[AccessContext] = None):
         """Read ``key``; returns ``(value, OpKind)``."""
-        yield self.sim.timeout(self.system.latency.local_access)
+        yield self.sim.sleep(self.system.latency.local_access)
         entry = self.cache.get(key)
         while entry is not None:
             verdict = True
@@ -176,7 +176,7 @@ class CacheAgent:
 
     def write(self, key: str, value: object, ctx: Optional[AccessContext] = None):
         """Write ``key``; returns the OpKind once durably stored."""
-        yield self.sim.timeout(self.system.latency.local_access)
+        yield self.sim.sleep(self.system.latency.local_access)
         entry = self.cache.get(key)
         while entry is not None and self.txn_manager is not None:
             verdict = self.txn_manager.on_local_access(
@@ -295,7 +295,7 @@ class CacheAgent:
         guaranteed to arrive at this agent (as fetch_downgrade /
         invalidate) and trigger a squash.
         """
-        yield self.sim.timeout(self.system.latency.local_access)
+        yield self.sim.sleep(self.system.latency.local_access)
         entry = self.cache.get(key)
         if entry is not None and entry.state == EXCLUSIVE:
             return entry.value

@@ -18,6 +18,19 @@ def _hash(value: str) -> int:
     return int.from_bytes(hashlib.md5(value.encode()).digest()[:8], "big")
 
 
+#: value -> position memo shared by all rings (_hash is a pure function,
+#: and the workload keyspace is small and closed, so this stays bounded).
+_HASH_MEMO: dict[str, int] = {}
+
+
+def _hash_cached(value: str) -> int:
+    position = _HASH_MEMO.get(value)
+    if position is None:
+        position = _hash(value)
+        _HASH_MEMO[value] = position
+    return position
+
+
 class ConsistentHashRing:
     """Maps keys to member ids via consistent hashing.
 
@@ -34,6 +47,9 @@ class ConsistentHashRing:
         self._members: set[str] = set()
         self._positions: list[int] = []      # sorted virtual-node hashes
         self._owners: dict[int, str] = {}    # position -> member
+        #: key -> home memo, invalidated wholesale on membership change
+        #: (home() is a pure function of key + membership).
+        self._home_cache: dict[str, str] = {}
         for member in members:
             self.add(member)
 
@@ -53,8 +69,9 @@ class ConsistentHashRing:
         if member in self._members:
             return
         self._members.add(member)
+        self._home_cache.clear()
         for replica in range(self.virtual_nodes):
-            position = _hash(f"{member}#{replica}")
+            position = _hash_cached(f"{member}#{replica}")
             # Collisions across members are vanishingly unlikely with
             # 64-bit positions; last add wins deterministically if one
             # ever occurs.
@@ -70,8 +87,9 @@ class ConsistentHashRing:
         if member not in self._members:
             return
         self._members.remove(member)
+        self._home_cache.clear()
         for replica in range(self.virtual_nodes):
-            position = _hash(f"{member}#{replica}")
+            position = _hash_cached(f"{member}#{replica}")
             if self._owners.get(position) == member:
                 index = bisect.bisect_left(self._positions, position)
                 if index < len(self._positions) and self._positions[index] == position:
@@ -85,13 +103,18 @@ class ConsistentHashRing:
     # -- lookups -----------------------------------------------------------
     def home(self, key: str) -> str:
         """The member owning ``key`` (first clockwise from the key's hash)."""
+        member = self._home_cache.get(key)
+        if member is not None:
+            return member
         if not self._positions:
             raise LookupError("hash ring is empty")
-        position = _hash(key)
+        position = _hash_cached(key)
         index = bisect.bisect_right(self._positions, position)
         if index == len(self._positions):
             index = 0  # wrap around the ring
-        return self._owners[self._positions[index]]
+        member = self._owners[self._positions[index]]
+        self._home_cache[key] = member
+        return member
 
     def successor(self, member: str) -> Optional[str]:
         """The member a departing ``member``'s keys re-home to.

@@ -9,8 +9,8 @@ from __future__ import annotations
 from repro.cluster import Cluster
 from repro.config import SimConfig
 from repro.coord import CoordinationService
-from repro.core import ConcordSystem
 from repro.experiments.tables import ExperimentResult
+from repro.schemes import build_scheme
 from repro.sim import Simulator
 from repro.storage import DataItem
 
@@ -19,7 +19,7 @@ def run(scale: float = 1.0, seed: int = 131) -> ExperimentResult:
     sim = Simulator(seed=seed)
     cluster = Cluster(sim, SimConfig(num_nodes=4))
     coord = CoordinationService(cluster.network, cluster.config)
-    concord = ConcordSystem(cluster, app="char", coord=coord)
+    concord = build_scheme("concord", cluster, coord, "char")
 
     def op(gen):
         return sim.run_until_complete(sim.spawn(gen), limit=sim.now + 60_000.0)

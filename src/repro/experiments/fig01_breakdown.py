@@ -12,11 +12,11 @@ cross-validate each other.
 
 from __future__ import annotations
 
-from repro.caching import DirectStorage
 from repro.cluster import Cluster
 from repro.config import SimConfig
 from repro.experiments.tables import ExperimentResult
 from repro.faas import FaasPlatform
+from repro.schemes import build_scheme
 from repro.sim import Simulator
 from repro.trace import Tracer
 from repro.trace.summary import per_app_requests
@@ -43,7 +43,8 @@ def run(scale: float = 1.0, seed: int = 101) -> ExperimentResult:
     fractions = []
     for name, profile in ALL_PROFILES.items():
         preload_storage(cluster.storage, profile)
-        app = platform.deploy(build_app(profile), DirectStorage(cluster))
+        app = platform.deploy(build_app(profile),
+                              build_scheme("nocache", cluster))
         factory = entity_inputs_factory(profile, sim)
         for index in range(requests):
             sim.run_until_complete(

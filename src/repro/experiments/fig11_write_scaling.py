@@ -9,12 +9,11 @@ a Faa$T *local read hit* costs a version round trip (3.8 ms vs Concord's
 
 from __future__ import annotations
 
-from repro.caching import FaastSystem
 from repro.cluster import Cluster
 from repro.config import SimConfig
-from repro.core import ConcordSystem
 from repro.coord import CoordinationService
 from repro.experiments.tables import ExperimentResult
+from repro.schemes import build_scheme
 from repro.sim import Simulator
 from repro.storage import DataItem
 
@@ -30,9 +29,9 @@ def _measure(system_name: str, num_nodes: int, seed: int) -> tuple:
 
     if system_name == "concord":
         coord = CoordinationService(cluster.network, cluster.config)
-        system = ConcordSystem(cluster, app="bench", coord=coord)
+        system = build_scheme("concord", cluster, coord, "bench")
     else:
-        system = FaastSystem(cluster, app="bench")
+        system = build_scheme("faast", cluster, None, "bench")
 
     def op(gen):
         return sim.run_until_complete(sim.spawn(gen), limit=sim.now + 600_000.0)

@@ -22,9 +22,9 @@ from typing import Optional
 from repro.cluster import Cluster
 from repro.config import SimConfig
 from repro.coord import CoordinationService
-from repro.core import ConcordSystem
 from repro.experiments.tables import ExperimentResult
 from repro.faas import CasScheduler, FaasPlatform
+from repro.schemes import build_scheme
 from repro.sim import Simulator
 from repro.storage import DataItem
 from repro.telemetry import MetricsRegistry, Sampler
@@ -108,7 +108,7 @@ def _throughput_at(
     cluster = Cluster(sim, SimConfig(num_nodes=num_nodes, cores_per_node=2))
     coord = CoordinationService(cluster.network, cluster.config)
     profile = ALL_PROFILES["SocNet"]
-    concord = ConcordSystem(cluster, app="SocNet", coord=coord)
+    concord = build_scheme("concord", cluster, coord, "SocNet")
     preload_storage(cluster.storage, profile)
     platform = FaasPlatform(cluster, scheduler=CasScheduler())
     app = platform.deploy(build_app(profile), concord)

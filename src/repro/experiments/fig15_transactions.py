@@ -12,9 +12,9 @@ from __future__ import annotations
 from repro.cluster import Cluster
 from repro.config import SimConfig
 from repro.coord import CoordinationService
-from repro.core import ConcordSystem
 from repro.experiments.tables import ExperimentResult
 from repro.metrics import Histogram
+from repro.schemes import build_scheme
 from repro.sim import Simulator
 from repro.storage import DataItem
 from repro.txn import BeldiRunner, ConcordTxnRuntime, SagaRunner, TXN_APPS
@@ -48,7 +48,7 @@ def _measure_system(system: str, app, clients: int, txns_per_client: int,
 
     if system == "concord":
         coord = CoordinationService(cluster.network, cluster.config)
-        concord = ConcordSystem(cluster, app=app.name, coord=coord)
+        concord = build_scheme("concord", cluster, coord, app.name)
         runtime = ConcordTxnRuntime(concord)
     elif system == "saga":
         runtime = SagaRunner(cluster)

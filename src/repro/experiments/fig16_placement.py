@@ -11,11 +11,11 @@ from __future__ import annotations
 from repro.cluster import Cluster
 from repro.config import SimConfig
 from repro.coord import CoordinationService
-from repro.core import ConcordSystem
 from repro.experiments.tables import ExperimentResult
 from repro.faas import FaasPlatform
 from repro.metrics import Histogram
 from repro.placement import CommAwarePlacement, ProducerConsumerTable
+from repro.schemes import build_scheme
 from repro.sim import Simulator
 from repro.workloads.pc_apps import PC_PROFILES, build_pc_app
 
@@ -24,7 +24,7 @@ def _measure(profile, use_cafp: bool, duration_ms: float, seed: int) -> float:
     sim = Simulator(seed=seed)
     cluster = Cluster(sim, SimConfig(num_nodes=8, cores_per_node=4))
     coord = CoordinationService(cluster.network, cluster.config)
-    concord = ConcordSystem(cluster, app=profile.name, coord=coord)
+    concord = build_scheme("concord", cluster, coord, profile.name)
     pct = ProducerConsumerTable(min_observations=2).attach(concord)
 
     if use_cafp:

@@ -69,10 +69,9 @@ class InvocationContext:
                 if tracer.active else None)
         start = self.sim.now
         try:
-            grant = self.node.cores.acquire()
-            yield grant
+            yield self.node.cores.acquire_wait()
             try:
-                yield self.sim.timeout(ms)
+                yield self.sim.sleep(ms)
             finally:
                 self.node.cores.release()
             self.compute_ms += self.sim.now - start

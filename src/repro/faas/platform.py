@@ -125,6 +125,8 @@ class FaasPlatform:
         #: executing there (dict as insertion-ordered set: interrupt
         #: order must not depend on hash order).
         self._invocations_on: dict[str, dict] = {}
+        #: app -> interned "req:<app>" spawn name (submit is per-request).
+        self._req_names: dict[str, str] = {}
         cluster.on_crash(self._interrupt_node_invocations)
 
     # -- deployment ------------------------------------------------------------
@@ -208,12 +210,18 @@ class FaasPlatform:
         (``parent=None``), so everything the request causes — function
         invocations, cache-agent work, invalidation fan-out, storage round
         trips, even on other nodes — forms one trace tree per request.
+
+        Plain dispatcher, not itself a generator: with tracing off it
+        hands back the ``_request`` generator directly, so the hot path
+        carries no wrapper frame (``yield from`` sees the same object).
         """
-        tracer = self.sim.tracer
-        if not tracer.active:
-            return (yield from self._request(app_name, inputs))
-        with tracer.span(f"request:{app_name}", "request",
-                         parent=None, app=app_name):
+        if not self.sim.tracer.active:
+            return self._request(app_name, inputs)
+        return self._traced_request(app_name, inputs)
+
+    def _traced_request(self, app_name: str, inputs: Optional[dict] = None):
+        with self.sim.tracer.span(f"request:{app_name}", "request",
+                                  parent=None, app=app_name):
             return (yield from self._request(app_name, inputs))
 
     def _request(self, app_name: str, inputs: Optional[dict] = None):
@@ -223,7 +231,7 @@ class FaasPlatform:
         storage_ms = compute_ms = 0.0
         app.inflight += 1
         try:
-            yield self.sim.timeout(FRONTEND_OVERHEAD_MS)
+            yield self.sim.sleep(FRONTEND_OVERHEAD_MS)
             output = None
             for function_name in app.spec.workflow:
                 ctx, result = yield from self.invoke(app, function_name, inputs)
@@ -247,13 +255,17 @@ class FaasPlatform:
     def invoke(self, app: DeployedApp, function_name: str, inputs: dict):
         """Schedule and run one function invocation (generator).
 
-        Returns ``(ctx, handler_result)``.
+        Returns ``(ctx, handler_result)``.  Plain dispatcher like
+        :meth:`request`: tracing off returns the ``_invoke`` generator
+        with no wrapper frame.
         """
-        tracer = self.sim.tracer
-        if not tracer.active:
-            return (yield from self._invoke(app, function_name, inputs))
-        with tracer.span(f"invoke:{function_name}", "invoke",
-                         app=app.name, function=function_name):
+        if not self.sim.tracer.active:
+            return self._invoke(app, function_name, inputs)
+        return self._traced_invoke(app, function_name, inputs)
+
+    def _traced_invoke(self, app: DeployedApp, function_name: str, inputs: dict):
+        with self.sim.tracer.span(f"invoke:{function_name}", "invoke",
+                                  app=app.name, function=function_name):
             return (yield from self._invoke(app, function_name, inputs))
 
     def _invoke(self, app: DeployedApp, function_name: str, inputs: dict):
@@ -282,7 +294,7 @@ class FaasPlatform:
             if node.id not in app.node_ids:
                 app.node_ids.append(node.id)
             app.cold_starts += 1
-            yield self.sim.timeout(COLD_START_MS)
+            yield self.sim.sleep(COLD_START_MS)
         app.metric_sched_delay.observe(self.sim.now - admitted)
         container.active += 1
         container.last_used = self.sim.now
@@ -312,9 +324,12 @@ class FaasPlatform:
     # -- load generation ----------------------------------------------------------
     def submit(self, app_name: str, inputs: Optional[dict] = None):
         """Fire-and-forget a request (failures counted, not raised)."""
+        name = self._req_names.get(app_name)
+        if name is None:
+            name = f"req:{app_name}"
+            self._req_names[app_name] = name
         process = self.sim.spawn(
-            self._guarded_request(app_name, inputs),
-            name=f"req:{app_name}", daemon=True,
+            self._guarded_request(app_name, inputs), name=name, daemon=True,
         )
         return process
 

@@ -20,7 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single one-way message on the wire."""
 
@@ -35,6 +35,12 @@ class Message:
     #: TraceContext travelling with the request so the serving side joins
     #: the caller's span tree (None when tracing is off / for responses).
     trace: Optional[object] = None
+
+
+#: address -> node id memo for :meth:`Network.node_of`.  Addresses are
+#: immutable strings and the mapping is a pure function of the address,
+#: so the cache never needs invalidation.
+_NODE_OF: dict = {}
 
 
 @dataclass
@@ -169,6 +175,9 @@ class Network:
         #: Per (src_node, dst_node) pair: the latest delivery timestamp
         #: handed out, enforcing FIFO delivery per connection as TCP does.
         self._pair_clock: dict[tuple[str, str], float] = {}
+        #: Open same-tick delivery batch: ``[deliver_at, seq_watermark,
+        #: messages]``.  See :meth:`send` for the coalescing rule.
+        self._last_batch: Optional[list] = None
         self.stats = NetworkStats()
         #: Injected partition/drop/delay rules (see :meth:`fault_rules`).
         self.faults: Optional[FaultRules] = None
@@ -214,7 +223,11 @@ class Network:
     @staticmethod
     def node_of(address: str) -> str:
         """The node id component of an endpoint address."""
-        return address.split("/", 1)[0]
+        node = _NODE_OF.get(address)
+        if node is None:
+            node = address.split("/", 1)[0]
+            _NODE_OF[address] = node
+        return node
 
     # -- fault-injection hooks ------------------------------------------------
     def fault_rules(self) -> FaultRules:
@@ -255,7 +268,7 @@ class Network:
         """Put ``message`` on the wire (delivery is asynchronous)."""
         src_node = self.node_of(message.src)
         dst_node = self.node_of(message.dst)
-        if self.is_down(src_node):
+        if src_node in self._down_nodes:
             self.stats.dropped += 1
             return
         extra = 0.0
@@ -268,24 +281,62 @@ class Network:
             extra = self.faults.extra_delay(src_node, dst_node)
             if extra > 0.0:
                 self.faults.delayed_injected += 1
-        if self.fail_fast and self.is_down(dst_node):
+        if self.fail_fast and dst_node in self._down_nodes:
             # The destination's TCP stack is gone: a request gets an RST
             # back after one propagation delay instead of a silent drop.
             self.stats.dropped += 1
             if message.request_id is not None and not message.is_response:
                 self._reject_fast(message)
             return
-        self.stats.record(message)
-        delay = (self.transit_time(message.src, message.dst,
-                                   message.size_bytes) + extra)
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes += message.size_bytes
+        kind = message.kind
+        by_kind = stats.by_kind
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if src_node == dst_node:
+            delay = extra
+        else:
+            delay = self.latency.one_way(message.size_bytes) + extra
         # Messages between the same pair of nodes never overtake each
         # other (gRPC over one TCP connection): a later send is delivered
         # no earlier than every previous one.
-        pair = (self.node_of(message.src), self.node_of(message.dst))
-        deliver_at = max(self.sim.now + delay, self._pair_clock.get(pair, 0.0))
-        self._pair_clock[pair] = deliver_at
-        delay = deliver_at - self.sim.now
-        self.sim.timeout(delay).callbacks.append(lambda _ev: self._deliver(message))
+        sim = self.sim
+        now = sim.now
+        pair_clock = self._pair_clock
+        pair = (src_node, dst_node)
+        deliver_at = now + delay
+        floor = pair_clock.get(pair, 0.0)
+        if floor > deliver_at:
+            deliver_at = floor
+        pair_clock[pair] = deliver_at
+        # Same-tick coalescing: if the previous send scheduled delivery at
+        # this exact timestamp and *nothing else* has been scheduled since
+        # (the seq watermark is unchanged, so no entry can sit between
+        # that batch and where this message's own entry would have gone),
+        # appending to the batch dispatches the messages back-to-back in
+        # exactly the (time, seq) order separate entries would have had.
+        last = self._last_batch
+        if (last is not None and last[0] == deliver_at
+                and last[1] == sim.schedule_count):
+            last[2].append(message)
+            return
+        batch = [message]
+        sim.call_at(deliver_at, self._deliver_batch, batch)
+        self._last_batch = [deliver_at, sim.schedule_count, batch]
+
+    def _deliver_batch(self, batch: list) -> None:
+        # Close the coalescing window: this batch is being dispatched, so
+        # a later same-tick send must open a fresh entry even if nothing
+        # was scheduled in between (deliveries that schedule nothing —
+        # e.g. a message dropped at a crashed endpoint — leave the seq
+        # watermark untouched).
+        last = self._last_batch
+        if last is not None and last[2] is batch:
+            self._last_batch = None
+        deliver = self._deliver
+        for message in batch:
+            deliver(message)
 
     def _reject_fast(self, message: Message) -> None:
         """Fail the caller's pending request with a retriable PeerDown."""
@@ -296,11 +347,15 @@ class Network:
             return
         delay = self.latency.one_way(0)
         error = PeerDown(message.dst, message.kind, delay)
-        self.sim.timeout(delay).callbacks.append(
-            lambda _ev: source.reject_call(message.request_id, error))
+        self.sim.call_at(
+            self.sim.now + delay, self._do_reject, (source, message.request_id, error))
+
+    def _do_reject(self, job: tuple) -> None:
+        source, request_id, error = job
+        source.reject_call(request_id, error)
 
     def _deliver(self, message: Message) -> None:
-        if self.is_down(self.node_of(message.dst)):
+        if self.node_of(message.dst) in self._down_nodes:
             self.stats.dropped += 1
             if (self.fail_fast and message.request_id is not None
                     and not message.is_response):

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Callable, Generator, Optional
 from repro.net.fabric import Message, Network
 from repro.net.sizes import sizeof
 from repro.sim.errors import Interrupt
-from repro.sim.events import Event
+from repro.sim.events import PENDING, Event
 from repro.trace.tracer import INHERIT, TraceContext  # noqa: F401 - re-export
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -88,6 +88,69 @@ class _RemoteFailure:
 
 Handler = Callable[["Endpoint", str, object], Generator]
 
+#: request kind -> interned "reply:<kind>" string (method names form a
+#: small closed set, so the memo stays tiny).
+_REPLY_KINDS: dict = {}
+
+
+class _RpcWaiter(Event):
+    """The client-side gate one in-flight RPC blocks on.
+
+    Replaces the old response-``Event`` + 5000 ms ``Timeout`` + ``AnyOf``
+    triple with a single event plus two raw schedule entries, while
+    occupying the exact same ``(time, seq)`` slots so pop order — and
+    therefore every simulated counter — is unchanged:
+
+    - the *deadline* is a raw :meth:`Simulator.call_at` entry in the slot
+      the old ``Timeout`` used; it fires :meth:`_deadline`, which triggers
+      the gate only if nothing else already has (stale deadlines drain as
+      no-ops, exactly like the old timers left in the heap);
+    - response delivery records the payload on the waiter
+      (unconditionally — a same-tick-as-deadline response must still win,
+      matching the old code where the response event fired independently
+      of the race) and, if the gate is still pending, schedules
+      :meth:`_fire` via ``call_soon`` in the slot the old response
+      event's processing used; ``_fire`` then triggers the gate in the
+      slot the old ``AnyOf`` hop used.
+
+    The caller inspects ``resp_done`` after the yield: the old code's
+    ``response.triggered`` check, verbatim.
+    """
+
+    __slots__ = ("resp_done", "resp_value", "resp_exc")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.name = "rpc-wait"
+        self._state = PENDING
+        self._value = None
+        self._exc = None
+        self.callbacks = []
+        self._defused = False
+        #: Whether a response (value or remote failure) was delivered.
+        self.resp_done = False
+        self.resp_value = None
+        self.resp_exc: Optional[BaseException] = None
+
+    def _fire(self, _arg=None) -> None:
+        """Second hop of response delivery (the old AnyOf hop's slot)."""
+        if self._state is PENDING:
+            exc = self.resp_exc
+            if exc is not None:
+                self.fail(exc)
+            else:
+                self.succeed(self.resp_value)
+
+    def _deadline(self, _arg=None) -> None:
+        """RPC deadline reached; a no-op if the gate already fired."""
+        if self._state is PENDING:
+            self.succeed(None)
+
+    def _reject(self, error: BaseException) -> None:
+        """Fail-fast rejection hop (scheduled by Endpoint.reject_call)."""
+        if self._state is PENDING:
+            self.fail(error)
+
 
 class Endpoint:
     """A named RPC party attached to the network.
@@ -114,7 +177,9 @@ class Endpoint:
         self.service = service
         self.address = f"{node_id}/{service}"
         self._handlers: dict[str, Handler] = {}
-        self._pending: dict[int, Event] = {}
+        #: method -> interned handler-process name "rpc:<addr>:<method>".
+        self._spawn_names: dict[str, str] = {}
+        self._pending: dict[int, "_RpcWaiter"] = {}
         #: request_id -> (dst_node, dst_address, method) for in-flight
         #: calls, so a declared node crash can fail them fast
         #: (insertion-ordered: rejection order must not depend on hashes).
@@ -184,9 +249,12 @@ class Endpoint:
         """Fail the pending call ``request_id`` with ``error`` (idempotent)."""
         waiter = self._pending.pop(request_id, None)
         self._pending_dst.pop(request_id, None)
-        if waiter is not None and not waiter.triggered:
+        if waiter is not None and not waiter.resp_done:
             self.resets += 1
-            waiter.fail(error)
+            # Two schedule hops to the caller (reject entry, then the
+            # waiter's own processing) — the same slots the old
+            # response-event failure + AnyOf hop occupied.
+            self.sim.call_soon(waiter._reject, error)
 
     def fail_calls_to(self, node_id: str) -> None:
         """Fail every in-flight call addressed to ``node_id`` fast."""
@@ -202,11 +270,19 @@ class Endpoint:
         if message.is_response:
             waiter = self._pending.pop(message.request_id, None)
             self._pending_dst.pop(message.request_id, None)
-            if waiter is not None and not waiter.triggered:
-                if isinstance(message.payload, _RemoteFailure):
-                    waiter.fail(message.payload.exception)
+            if waiter is not None:
+                payload = message.payload
+                if isinstance(payload, _RemoteFailure):
+                    waiter.resp_exc = payload.exception
                 else:
-                    waiter.succeed(message.payload)
+                    waiter.resp_value = payload
+                # Recorded even when the deadline already fired this tick:
+                # the caller resumes later in the tick and must see the
+                # response (the old response event fired independently of
+                # the AnyOf race, and call() checked response.triggered).
+                waiter.resp_done = True
+                if waiter._state is PENDING:
+                    self.sim.call_soon(waiter._fire)
             return
         method, args = message.payload
         handler = self._handlers.get(method)
@@ -214,43 +290,51 @@ class Endpoint:
             self._respond(message, _RemoteFailure(RpcError(
                 f"no handler for {method!r} at {self.address}")), 0)
             return
-        process = self.sim.spawn(
-            self._run_handler(handler, message),
-            name=f"rpc:{self.address}:{method}",
-            daemon=True,
-        )
+        name = self._spawn_names.get(method)
+        if name is None:
+            name = f"rpc:{self.address}:{method}"
+            self._spawn_names[method] = name
+        # When tracing is off, skip the _run_handler span wrapper entirely
+        # (yield-from is transparent, so dropping the layer changes no
+        # scheduling — it only removes a Python frame per request).
+        if self.sim.tracer.active:
+            body = self._run_handler(handler, message)
+        else:
+            body = self._serve(handler, message)
+        process = self.sim.spawn(body, name=name, daemon=True)
         # The handler joins the caller's span tree: its ambient context is
         # whatever TraceContext travelled with the request.
         process.trace_ctx = message.trace
         self._inflight_handlers[process] = None
-        process.callbacks.append(
-            lambda _ev: self._inflight_handlers.pop(process, None))
+        process.callbacks.append(self._handler_done)
+
+    def _handler_done(self, process: Event) -> None:
+        # Event callbacks receive the firing event — here the handler
+        # process itself, so no per-request closure is needed.
+        self._inflight_handlers.pop(process, None)
 
     def _run_handler(self, handler: Handler, message: Message):
-        tracer = self.sim.tracer
-        if not tracer.active:
-            yield from self._serve(handler, message)
-            return
         # Server-side span: covers the service slice (queueing at a hot
         # agent) plus the handler body.  _serve() swallows Interrupt, so
-        # the span ends on every path, including node crashes.
-        with tracer.span(f"serve:{message.kind}", "rpc.server",
-                         src=message.src, addr=self.address):
+        # the span ends on every path, including node crashes.  Only used
+        # when tracing is on; _receive spawns _serve directly otherwise.
+        with self.sim.tracer.span(f"serve:{message.kind}", "rpc.server",
+                                  src=message.src, addr=self.address):
             yield from self._serve(handler, message)
 
     def _serve(self, handler: Handler, message: Message):
         try:
             if self._server is not None:
-                yield self._server.acquire()
+                yield self._server.acquire_wait()
                 try:
                     if self._cpu is not None:
-                        yield self._cpu.acquire()
+                        yield self._cpu.acquire_wait()
                         try:
-                            yield self.sim.timeout(self.service_time_ms)
+                            yield self.sim.sleep(self.service_time_ms)
                         finally:
                             self._cpu.release()
                     else:
-                        yield self.sim.timeout(self.service_time_ms)
+                        yield self.sim.sleep(self.service_time_ms)
                 finally:
                     self._server.release()
             result = yield from handler(self, message.src, message.payload[1])
@@ -267,10 +351,15 @@ class Endpoint:
     def _respond(self, request: Message, value: object, size_bytes: int) -> None:
         if request.request_id is None:
             return  # one-way notify: nobody is waiting
+        kind = request.kind
+        reply_kind = _REPLY_KINDS.get(kind)
+        if reply_kind is None:
+            reply_kind = "reply:" + kind
+            _REPLY_KINDS[kind] = reply_kind
         self.network.send(Message(
             src=self.address,
             dst=request.src,
-            kind=f"reply:{request.kind}",
+            kind=reply_kind,
             payload=value,
             size_bytes=size_bytes,
             request_id=request.request_id,
@@ -305,7 +394,8 @@ class Endpoint:
         timeout path (ended in a ``finally`` with ``status=timeout``),
         so retries issued afterwards join the same operation's trace.
         """
-        tracer = self.sim.tracer
+        sim = self.sim
+        tracer = sim.tracer
         span = None
         ctx = None
         if tracer.active:
@@ -313,8 +403,8 @@ class Endpoint:
             ctx = span.context
         try:
             request_id = next(self._ids)
-            response = Event(self.sim, name=f"rpc-resp:{method}")
-            self._pending[request_id] = response
+            waiter = _RpcWaiter(sim)
+            self._pending[request_id] = waiter
             self._pending_dst[request_id] = (
                 Network.node_of(dst), dst, method)
             try:
@@ -330,15 +420,24 @@ class Endpoint:
                 ))
                 limit = (timeout if timeout is not None
                          else DEFAULT_RPC_TIMEOUT_MS)
-                timer = self.sim.timeout(limit)
-                winner = yield self.sim.any_of([response, timer])
-                if not response.triggered:
-                    self.timeouts += 1
-                    if span is not None:
-                        span.set("status", "timeout")
-                    raise RpcTimeout(dst, method, limit)
-                del winner
-                return response.value
+                # The deadline is a raw entry in the slot the old Timeout
+                # used; it stays in the wheel as a no-op after a response
+                # wins, exactly like the stale timers the old code left
+                # in the heap.
+                sim.call_at(sim.now + limit, waiter._deadline)
+                yield waiter
+                if waiter.resp_done:
+                    exc = waiter.resp_exc
+                    if exc is not None:
+                        # Late same-tick remote failure (deadline fired
+                        # first): the old code raised it from
+                        # response.value; re-raise it here unchanged.
+                        raise exc
+                    return waiter.resp_value
+                self.timeouts += 1
+                if span is not None:
+                    span.set("status", "timeout")
+                raise RpcTimeout(dst, method, limit)
             finally:
                 # The in-flight window closes on every exit.  Response
                 # delivery already popped these; the timeout path — and an

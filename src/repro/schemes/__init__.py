@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "SchemeSpec",
     "UnknownSchemeError",
+    "available",
     "build_scheme",
     "build_scheme_map",
     "make_scheduler",
@@ -93,6 +94,16 @@ def register_scheme(
 def registered_schemes() -> tuple:
     """All registered scheme names, in registration order."""
     return tuple(_REGISTRY)
+
+
+def available() -> tuple:
+    """All registered scheme names, sorted — the user-facing catalogue.
+
+    This is the supported way for experiments, CLIs and docs to discover
+    what ``scheme=`` accepts; constructing scheme objects directly
+    (bypassing :func:`build_scheme`) is not.
+    """
+    return tuple(sorted(_REGISTRY))
 
 
 def scheme_spec(name: str) -> SchemeSpec:

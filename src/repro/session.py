@@ -24,6 +24,8 @@ path string to also export the JSONL timeline on close.
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.cluster import Cluster
@@ -37,25 +39,76 @@ from repro.telemetry import export_jsonl as _metrics_export_jsonl
 from repro.telemetry import export_prometheus as _metrics_export_prometheus
 from repro.trace import Tracer, export_chrome, export_jsonl
 
-__all__ = ["Session"]
+__all__ = ["RunResult", "Session"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one :meth:`Session.run` drive.
+
+    Carries the operation's return value together with where the
+    simulated clock started and stopped, so callers get latency
+    accounting without sampling ``sim.now`` around every call.
+    """
+
+    #: The driven generator's return value.
+    value: object
+    #: Simulated clock when the drive started / finished (ms).
+    started_ms: float
+    finished_ms: float
+
+    @property
+    def duration_ms(self) -> float:
+        """Simulated milliseconds the operation took."""
+        return self.finished_ms - self.started_ms
+
+
+#: Parameter order of the pre-v2 positional signature, oldest first —
+#: how bare positional arguments are interpreted on the deprecated path.
+_LEGACY_POSITIONAL = (
+    "nodes", "seed", "scheme", "app", "cores_per_node",
+    "trace", "metrics", "metrics_interval_ms", "config",
+)
 
 
 class Session:
-    """A ready-to-use simulated cluster running one caching scheme."""
+    """A ready-to-use simulated cluster running one caching scheme.
 
-    def __init__(
-        self,
-        nodes: int = 4,
-        seed: int = 42,
-        scheme: str = "concord",
-        app: str = "app",
-        cores_per_node: int = 8,
-        trace: object = None,
-        metrics: object = None,
-        metrics_interval_ms: float = 100.0,
-        config: Optional[SimConfig] = None,
-        **scheme_cfg,
-    ):
+    All configuration is keyword-only::
+
+        with Session(nodes=4, seed=42, scheme="concord") as s:
+            ...
+
+    Positional configuration (the pre-v2 signature) still works but emits
+    a :class:`DeprecationWarning` and will be removed in a later release.
+    """
+
+    def __init__(self, *legacy_args, **kwargs):
+        if legacy_args:
+            warnings.warn(
+                "positional Session(...) configuration is deprecated; "
+                "pass every setting as a keyword argument "
+                "(e.g. Session(nodes=4, seed=42))",
+                DeprecationWarning, stacklevel=2)
+            if len(legacy_args) > len(_LEGACY_POSITIONAL):
+                raise TypeError(
+                    f"Session() takes at most {len(_LEGACY_POSITIONAL)} "
+                    f"positional arguments ({len(legacy_args)} given)")
+            for name, value in zip(_LEGACY_POSITIONAL, legacy_args):
+                if name in kwargs:
+                    raise TypeError(
+                        f"Session() got multiple values for argument {name!r}")
+                kwargs[name] = value
+        nodes = kwargs.pop("nodes", 4)
+        seed = kwargs.pop("seed", 42)
+        scheme = kwargs.pop("scheme", "concord")
+        app = kwargs.pop("app", "app")
+        cores_per_node = kwargs.pop("cores_per_node", 8)
+        trace = kwargs.pop("trace", None)
+        metrics = kwargs.pop("metrics", None)
+        metrics_interval_ms = kwargs.pop("metrics_interval_ms", 100.0)
+        config: Optional[SimConfig] = kwargs.pop("config", None)
+        scheme_cfg = kwargs
         self._trace = trace
         tracer = None
         if trace:
@@ -92,18 +145,25 @@ class Session:
         self.cluster.storage.preload(items)
 
     # -- driving the clock ---------------------------------------------------
-    def run(self, operation, limit_ms: float = 60_000.0):
-        """Drive one operation generator to completion; returns its value."""
-        return self.sim.run_until_complete(
-            self.sim.spawn(operation), limit=self.sim.now + limit_ms)
+    def run(self, operation, limit_ms: float = 60_000.0) -> RunResult:
+        """Drive one operation generator to completion.
+
+        Returns a :class:`RunResult` carrying the operation's value plus
+        the simulated start/finish timestamps of the drive.
+        """
+        started = self.sim.now
+        value = self.sim.run_until_complete(
+            self.sim.spawn(operation), limit=started + limit_ms)
+        return RunResult(value=value, started_ms=started,
+                         finished_ms=self.sim.now)
 
     def read(self, node_id: str, key: str):
         """Read ``key`` from ``node_id`` through the scheme (blocking)."""
-        return self.run(self.system.read(node_id, key))
+        return self.run(self.system.read(node_id, key)).value
 
     def write(self, node_id: str, key: str, value: object):
         """Write ``key`` at ``node_id`` through the scheme (blocking)."""
-        return self.run(self.system.write(node_id, key, value))
+        return self.run(self.system.write(node_id, key, value)).value
 
     def advance(self, ms: float) -> None:
         """Let the simulation run for ``ms`` more milliseconds."""

@@ -86,7 +86,22 @@ class Event:
             raise SimulationError(f"event {self!r} already triggered")
         self._value = value
         self._state = TRIGGERED
-        self.sim._schedule(self)
+        # Inlined Simulator._schedule zero-delay fast path (succeed is the
+        # single busiest scheduling site in a run).
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        wheel = sim._wheel
+        free = wheel._free
+        if free:
+            entry = free.pop()
+            entry[0] = sim._now
+            entry[1] = seq
+            entry[2] = self
+        else:
+            entry = [sim._now, seq, self, None, None]
+        wheel._live += 1
+        wheel._imm.append(entry)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -110,9 +125,18 @@ class Event:
     def _process(self) -> None:
         """Run callbacks; called by the simulator at the scheduled time."""
         self._state = PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
+        callbacks = self.callbacks
+        if len(callbacks) == 1:
+            # Dominant case (a single waiting process): clear in place
+            # before invoking — late appends land in the emptied list and
+            # are never run, exactly as with the list swap below.
+            callback = callbacks[0]
+            callbacks.clear()
             callback(self)
+        else:
+            self.callbacks = []
+            for callback in callbacks:
+                callback(self)
         if self._exc is not None and not self._defused:
             raise self._exc
 
@@ -127,13 +151,20 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: object = None):
+        # Hot path: inlined Event.__init__ with an interned name (the old
+        # f"timeout({delay})" label dominated allocation profiles; the
+        # delay is still visible via the ``delay`` attribute).
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
-        self.delay = delay
-        self._value = value
+        self.sim = sim
+        self.name = "timeout"
         self._state = TRIGGERED
-        sim._schedule(self, delay=delay)
+        self._value = value
+        self._exc = None
+        self.callbacks = []
+        self._defused = False
+        self.delay = delay
+        sim._schedule(self, delay)
 
 
 class AllOf(Event):

@@ -5,12 +5,29 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.sim.errors import Interrupt, SimulationError
-from repro.sim.events import Event
+from repro.sim.events import PENDING, PROCESSED, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.simulator import Simulator
 
 ProcessGenerator = Generator[Event, object, object]
+
+
+class _RawWait:
+    """Sentinel yielded by :meth:`Simulator.sleep`.
+
+    Tells :meth:`Process._step` that the wakeup entry is already in the
+    wheel (registered by ``sleep``), so there is no event to attach a
+    callback to — the process just parks until the entry fires.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<raw-wait>"
+
+
+RAW_WAIT = _RawWait()
 
 
 class Process(Event):
@@ -26,7 +43,8 @@ class Process(Event):
     simulated condition (for example a process on a failed node).
     """
 
-    __slots__ = ("generator", "daemon", "trace_ctx", "_waiting_on")
+    __slots__ = ("generator", "daemon", "trace_ctx", "_waiting_on",
+                 "_send", "_throw", "_sleep_token")
 
     def __init__(
         self,
@@ -35,7 +53,14 @@ class Process(Event):
         name: str = "",
         daemon: bool = False,
     ):
-        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        # Inlined Event.__init__ (spawns are a hot allocation site).
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._state = PENDING
+        self._value = None
+        self._exc = None
+        self.callbacks = []
+        self._defused = False
         self.generator = generator
         self.daemon = daemon
         #: Ambient TraceContext this process runs under (see repro.trace).
@@ -43,10 +68,15 @@ class Process(Event):
         self.trace_ctx = None
         #: The event this process is currently blocked on, if any.
         self._waiting_on: Optional[Event] = None
-        # Kick off the first step "now".
-        bootstrap = Event(sim, name=f"init:{self.name}")
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        #: Wheel entry of an in-flight raw sleep (see Simulator.sleep).
+        self._sleep_token: Optional[list] = None
+        # Bound generator methods, cached: _step runs a few hundred
+        # thousand times per benchmark and the attribute walk shows up.
+        self._send = generator.send
+        self._throw = generator.throw
+        # Kick off the first step "now" (one schedule slot, exactly like
+        # the old bootstrap event + succeed()).
+        sim.call_soon(self._step)
 
     @property
     def is_alive(self) -> bool:
@@ -65,42 +95,59 @@ class Process(Event):
         if target is not None and self._resume in target.callbacks:
             target.callbacks.remove(self._resume)
         self._waiting_on = None
-        wakeup = Event(self.sim, name=f"interrupt:{self.name}")
-        wakeup.callbacks.append(lambda _ev: self._step(throw=Interrupt(cause)))
-        wakeup.succeed()
+        # Orphan any in-flight raw sleep: its wheel entry stays scheduled
+        # (exactly like the stale Timeout the old path left in the heap)
+        # but the token mismatch makes its firing a no-op.
+        self._sleep_token = None
+        self.sim.call_soon(self._interrupt_step, cause)
 
     # -- internal --------------------------------------------------------
+    def _interrupt_step(self, cause: object) -> None:
+        self._step(throw=Interrupt(cause))
+
+    def _sleep_wake(self, token: list) -> None:
+        """Fire a raw sleep (see Simulator.sleep); stale tokens are no-ops."""
+        if self._sleep_token is token:
+            self._sleep_token = None
+            self._step()
+
     def _resume(self, event: Event) -> None:
         """Callback attached to the event the process waits on."""
         self._waiting_on = None
-        if event.exception is not None:
-            event.defuse()
-            self._step(throw=event.exception)
+        if event._exc is not None:
+            event._defused = True
+            self._step(throw=event._exc)
         else:
             self._step(send=event._value)
 
     def _step(self, send: object = None, throw: Optional[BaseException] = None) -> None:
-        if self.triggered:
+        if self._state is not PENDING:
             return
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
             if throw is not None:
-                target = self.generator.throw(throw)
+                target = self._throw(throw)
             else:
-                target = self.generator.send(send)
+                target = self._send(send)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - process crashed
             if self.daemon:
-                self.sim.daemon_failures.append((self, exc))
+                sim.daemon_failures.append((self, exc))
                 self.defuse()
             self.fail(exc)
             return
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
 
-        if not isinstance(target, Event):
+        if target is RAW_WAIT:
+            # Simulator.sleep already planted the wakeup entry; nothing to
+            # wait on — the entry re-enters _step at its scheduled time.
+            self._waiting_on = None
+            return
+        if target.__class__ is not Event and not isinstance(target, Event):
             self.fail(
                 SimulationError(
                     f"process {self.name!r} yielded {target!r}; "
@@ -109,11 +156,10 @@ class Process(Event):
             )
             return
         self._waiting_on = target
-        if target.processed:
+        if target._state is PROCESSED:
             # Already-processed events resume the process immediately
-            # (at the current simulated time) via a fresh wakeup event.
-            wakeup = Event(self.sim, name=f"wake:{self.name}")
-            wakeup.callbacks.append(lambda _ev: self._resume(target))
-            wakeup.succeed()
+            # (at the current simulated time) via a raw wakeup entry —
+            # the same schedule slot the old wakeup event occupied.
+            sim.call_soon(self._resume, target)
         else:
             target.callbacks.append(self._resume)

@@ -2,28 +2,37 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappush
 from typing import Iterable, Optional
 
 from repro.sim.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
-from repro.sim.process import Process, ProcessGenerator
+from repro.sim.process import RAW_WAIT, Process, ProcessGenerator
 from repro.sim.rng import RngRegistry
+from repro.sim.wheel import _MAX_FREE, EventWheel
 from repro.telemetry.registry import NULL_REGISTRY
 from repro.trace.tracer import NULL_TRACER
 
 
 class Simulator:
-    """Owns the event heap and the simulated clock.
+    """Owns the event wheel and the simulated clock.
 
     Time is a float in milliseconds (by convention of this project).  Events
     scheduled at the same instant are processed in schedule order (FIFO),
     which keeps runs fully deterministic.
+
+    The schedule holds two kinds of entries: *events* (the public
+    :class:`~repro.sim.events.Event` machinery) and *raw callbacks*
+    (:meth:`call_soon` / :meth:`call_at`), the kernel's allocation-free
+    path for one-shot continuations — process bootstraps and wakeups,
+    fabric message delivery — that used to be modelled as throwaway
+    events.  Both kinds share one ``(time, seq)`` sequence space, so their
+    relative order is exactly what the old heap scheduler produced.
     """
 
     def __init__(self, seed: int = 0, tracer=None, metrics=None):
         self._now = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self._wheel = EventWheel()
         self._seq = 0
         self._active_process: Optional[Process] = None
         #: Failures of daemon processes, recorded instead of raised.
@@ -50,6 +59,16 @@ class Simulator:
         """The process currently being stepped, if any."""
         return self._active_process
 
+    @property
+    def schedule_count(self) -> int:
+        """Monotonic count of entries ever scheduled.
+
+        Public so upper layers (the network fabric's same-tick delivery
+        batching) can detect "nothing was scheduled in between" without
+        touching kernel-private state.
+        """
+        return self._seq
+
     # -- event construction ----------------------------------------------
     def event(self, name: str = "") -> Event:
         """Create a fresh pending event."""
@@ -58,6 +77,53 @@ class Simulator:
     def timeout(self, delay: float, value: object = None) -> Timeout:
         """Create an event that fires after ``delay`` ms."""
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float):
+        """Park the *active process* for ``delay`` ms: ``yield sim.sleep(d)``.
+
+        The allocation-free twin of ``yield sim.timeout(d)`` for the
+        overwhelmingly common case where the timeout's value is unused and
+        nothing else waits on it: instead of a Timeout event plus callback
+        registration, one raw wheel entry re-enters the process's step at
+        exactly the ``(time, seq)`` slot the Timeout would have occupied.
+        Only valid as a direct ``yield`` target inside a process.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        process = self._active_process
+        if process is None:
+            raise SimulationError("sleep() outside a running process")
+        seq = self._seq
+        self._seq = seq + 1
+        now = self._now
+        when = now + delay
+        # Inlined EventWheel.push; the wakeup receives its own entry as
+        # the staleness token (entry[4] = entry), so an interrupt can
+        # orphan the sleep without cancelling the wheel entry.
+        wheel = self._wheel
+        free = wheel._free
+        if free:
+            entry = free.pop()
+            entry[0] = when
+            entry[1] = seq
+            entry[3] = process._sleep_wake
+            entry[4] = entry
+        else:
+            entry = [when, seq, None, process._sleep_wake, None]
+            entry[4] = entry
+        wheel._live += 1
+        process._sleep_token = entry
+        if when == now:
+            wheel._imm.append(entry)
+            return RAW_WAIT
+        day = int(when * wheel._inv_width)
+        buckets = wheel._buckets
+        try:
+            heappush(buckets[day], entry)
+        except KeyError:
+            buckets[day] = [entry]
+            heappush(wheel._days, day)
+        return RAW_WAIT
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event firing once all ``events`` have fired successfully."""
@@ -83,22 +149,105 @@ class Simulator:
 
     # -- scheduling / running ----------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        now = self._now
+        wheel = self._wheel
+        if delay == 0.0:
+            # Fast lane: the common zero-delay schedule (succeed/fail at
+            # the current instant) skips all bucket machinery.
+            free = wheel._free
+            if free:
+                entry = free.pop()
+                entry[0] = now
+                entry[1] = seq
+                entry[2] = event
+            else:
+                entry = [now, seq, event, None, None]
+            wheel._live += 1
+            wheel._imm.append(entry)
+        else:
+            wheel.push(now + delay, seq, now, event=event)
+
+    def call_soon(self, fn, arg=None) -> list:
+        """Schedule ``fn(arg)`` at the current instant (after pending work).
+
+        The raw-callback twin of creating and immediately succeeding an
+        event: one schedule slot, zero allocations beyond the recycled
+        wheel entry.  Returns the wheel entry (a cancellation handle for
+        :meth:`cancel`).
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        wheel = self._wheel
+        free = wheel._free
+        if free:
+            entry = free.pop()
+            entry[0] = self._now
+            entry[1] = seq
+            entry[3] = fn
+            entry[4] = arg
+        else:
+            entry = [self._now, seq, None, fn, arg]
+        wheel._live += 1
+        wheel._imm.append(entry)
+        return entry
+
+    def call_at(self, when: float, fn, arg=None) -> list:
+        """Schedule ``fn(arg)`` at absolute time ``when`` (>= now)."""
+        now = self._now
+        if when < now:
+            raise SimulationError(
+                f"call_at({when}) in the past; clock at {now}")
+        seq = self._seq
+        self._seq = seq + 1
+        # Inlined EventWheel.push (this is the fabric/timer hot path).
+        wheel = self._wheel
+        free = wheel._free
+        if free:
+            entry = free.pop()
+            entry[0] = when
+            entry[1] = seq
+            entry[3] = fn
+            entry[4] = arg
+        else:
+            entry = [when, seq, None, fn, arg]
+        wheel._live += 1
+        if when == now:
+            wheel._imm.append(entry)
+            return entry
+        day = int(when * wheel._inv_width)
+        buckets = wheel._buckets
+        try:
+            heappush(buckets[day], entry)
+        except KeyError:
+            buckets[day] = [entry]
+            heappush(wheel._days, day)
+        return entry
+
+    def cancel(self, entry: list) -> None:
+        """Cancel a raw-callback entry returned by call_soon/call_at."""
+        self._wheel.cancel(entry)
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next scheduled entry, or ``inf`` if none."""
+        return self._wheel.peek()
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._heap:
+        """Process exactly one schedule entry."""
+        wheel = self._wheel
+        entry = wheel.pop(self._now)
+        if entry is None:
             raise SimulationError("step() on an empty schedule")
-        when, _seq, event = heapq.heappop(self._heap)
-        if when < self._now:
-            raise SimulationError("event scheduled in the past")
-        self._now = when
-        event._process()
+        when = entry[0]
+        if when > self._now:
+            self._now = when
+        event, fn, arg = entry[2], entry[3], entry[4]
+        wheel.recycle(entry)
+        if event is not None:
+            event._process()
+        else:
+            fn(arg)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the schedule drains or the clock reaches ``until``.
@@ -111,10 +260,45 @@ class Simulator:
             raise SimulationError(
                 f"cannot run until {until}; clock already at {self._now}"
             )
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        wheel = self._wheel
+        imm = wheel._imm
+        imm_popleft = imm.popleft
+        advance = wheel.advance
+        free = wheel._free
+        while True:
+            # Current-instant lane first: FIFO == (time, seq) order here.
+            # Entry recycling is inlined (this loop dispatches hundreds of
+            # thousands of entries per benchmark); the freelist invariant
+            # is that entries return with [2]=[3]=[4]=None, so each branch
+            # blanks exactly the fields its entry kind uses.
+            if imm:
+                entry = imm_popleft()
+                event = entry[2]
+                if event is not None:
+                    wheel._live -= 1
+                    entry[2] = None
+                    if len(free) < _MAX_FREE:
+                        free.append(entry)
+                    event._process()
+                    continue
+                fn = entry[3]
+                if fn is not None:
+                    arg = entry[4]
+                    wheel._live -= 1
+                    entry[3] = None
+                    entry[4] = None
+                    if len(free) < _MAX_FREE:
+                        free.append(entry)
+                    fn(arg)
+                    continue
+                # Lazily-cancelled entry draining through (already blanked).
+                if len(free) < _MAX_FREE:
+                    free.append(entry)
+                continue
+            advanced = advance(until)
+            if advanced is None:
                 break
-            self.step()
+            self._now = advanced
         if until is not None:
             self._now = max(self._now, until)
 
@@ -125,11 +309,11 @@ class Simulator:
         is reached with the process still alive (deadlock guard).
         """
         while not process.triggered:
-            if not self._heap:
+            if not self._wheel:
                 raise SimulationError(
                     f"deadlock: schedule drained but {process.name!r} still alive"
                 )
-            if self._heap[0][0] > limit:
+            if self._wheel.peek() > limit:
                 raise SimulationError(
                     f"time limit {limit} reached with {process.name!r} still alive"
                 )

@@ -180,7 +180,7 @@ class GlobalStorage:
     def _read(self, key: str):
         record = self._data.get(key)
         size = sizeof(record.value) if record else 0
-        yield self.sim.timeout(self._delay(self.latency.storage_read(size)))
+        yield self.sim.sleep(self._delay(self.latency.storage_read(size)))
         self.stats.reads += 1
         self.stats.read_bytes += size
         # Re-read after the latency: a concurrent write may have landed.
@@ -202,7 +202,7 @@ class GlobalStorage:
 
     def _write(self, key: str, value: object, writer: str):
         size = sizeof(value)
-        yield self.sim.timeout(self._delay(self.latency.storage_write(size)))
+        yield self.sim.sleep(self._delay(self.latency.storage_write(size)))
         self.stats.writes += 1
         self.stats.write_bytes += size
         record = self._data.get(key)
@@ -226,7 +226,7 @@ class GlobalStorage:
 
     def _compare_and_swap(self, key, value, expected_version, writer):
         size = sizeof(value)
-        yield self.sim.timeout(self._delay(self.latency.storage_write(size)))
+        yield self.sim.sleep(self._delay(self.latency.storage_write(size)))
         self.stats.writes += 1
         record = self._data.get(key)
         current = record.version if record else 0
@@ -245,6 +245,6 @@ class GlobalStorage:
                                         self._read_version(key)))
 
     def _read_version(self, key: str):
-        yield self.sim.timeout(self._delay(self.latency.storage_read(8)))
+        yield self.sim.sleep(self._delay(self.latency.storage_read(8)))
         self.stats.reads += 1
         return self.version_of(key)

@@ -19,6 +19,13 @@ import sys
 from pathlib import Path
 from typing import Optional
 
+from repro.cli_common import (
+    EXIT_FAILURE,
+    EXIT_OK,
+    EXIT_USAGE,
+    common_parent,
+    output_stream,
+)
 from repro.telemetry.anomaly import detect_anomalies
 from repro.telemetry.export import load_series
 from repro.telemetry.summary import (
@@ -35,12 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
                      "or CSV): per-metric timelines, a per-node "
                      "utilization summary, and a rule-based SLO/anomaly "
                      "report over simulated time."),
+        parents=[common_parent(formats=("text", "json"), out=True)],
     )
     parser.add_argument("timeline", type=Path,
                         help="timeline file written by the telemetry "
                              "exporters (JSONL or CSV)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="output format (default: text)")
     parser.add_argument("--metric", default=None,
                         help="show only series of this metric name")
     parser.add_argument("--anomalies", action="store_true",
@@ -112,17 +118,27 @@ def _print_anomalies(anomalies: list, out) -> None:
 
 
 def main(argv: Optional[list] = None, out=None) -> int:
-    out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    try:
+        with output_stream(args.out, out) as out:
+            return _run(args, out)
+    except OSError as exc:
+        if args.out is None:
+            raise
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+
+def _run(args, out) -> int:
     if not args.timeline.exists():
         print(f"error: no such timeline file: {args.timeline}", file=out)
-        return 2
+        return EXIT_USAGE
     try:
         series_list = load_series(str(args.timeline))
     except (ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"error: {args.timeline} is not a telemetry export: {exc}",
               file=out)
-        return 2
+        return EXIT_USAGE
 
     if args.metric is not None:
         series_list = [series for series in series_list
@@ -151,18 +167,18 @@ def _render(args, series_list: list, anomalies: list, out) -> int:
         }
         json.dump(payload, out, indent=2, sort_keys=True)
         out.write("\n")
-        return 0
+        return EXIT_OK
 
     if args.anomalies:
         _print_anomalies(anomalies, out)
-        return 0
+        return EXIT_OK
 
     if args.metric is not None:
         if not series_list:
             print(f"no series named {args.metric!r}", file=out)
-            return 1
+            return EXIT_FAILURE
         _print_series(series_list, out)
-        return 0
+        return EXIT_OK
 
     names = {}
     total_points = 0
@@ -178,7 +194,7 @@ def _render(args, series_list: list, anomalies: list, out) -> int:
     _print_utilization(series_list, out)
     print("", file=out)
     _print_anomalies(anomalies, out)
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,6 +18,7 @@ import sys
 from pathlib import Path
 from typing import Optional
 
+from repro.cli_common import EXIT_OK, EXIT_USAGE, common_parent, output_stream
 from repro.trace.export import load_trace
 from repro.trace.summary import (
     category_totals,
@@ -33,29 +34,38 @@ def build_parser() -> argparse.ArgumentParser:
         description=("Summarize a repro.trace export (JSONL or Chrome "
                      "trace_event) into a Fig. 1-style latency-breakdown "
                      "table."),
+        parents=[common_parent(formats=("text", "json"), out=True)],
     )
     parser.add_argument("trace", type=Path,
                         help="trace file written by Tracer export "
                              "(JSONL or Chrome trace_event JSON)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="output format (default: text)")
     parser.add_argument("--ops", action="store_true",
                         help="print only the per-op table")
     return parser
 
 
 def main(argv: Optional[list] = None, out=None) -> int:
-    out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    try:
+        with output_stream(args.out, out) as out:
+            return _run(args, out)
+    except OSError as exc:
+        if args.out is None:
+            raise
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+
+def _run(args, out) -> int:
     if not args.trace.exists():
         print(f"error: no such trace file: {args.trace}", file=out)
-        return 2
+        return EXIT_USAGE
     try:
         spans = load_trace(args.trace)
     except (json.JSONDecodeError, KeyError, TypeError) as exc:
         print(f"error: {args.trace} is not a repro trace export: {exc}",
               file=out)
-        return 2
+        return EXIT_USAGE
 
     if args.format == "json":
         payload = {
@@ -69,7 +79,7 @@ def main(argv: Optional[list] = None, out=None) -> int:
         }
         json.dump(payload, out, indent=2, sort_keys=True)
         out.write("\n")
-        return 0
+        return EXIT_OK
 
     if args.ops:
         ops = op_breakdown(spans)
@@ -77,11 +87,11 @@ def main(argv: Optional[list] = None, out=None) -> int:
             print(f"{scheme:>12}  {name:<8} n={stats['count']:<6} "
                   f"total={stats['total_ms']:.2f}ms "
                   f"mean={stats['mean_ms']:.3f}ms", file=out)
-        return 0
+        return EXIT_OK
 
     print(format_breakdown(spans, title=f"trace: {args.trace}"),
           end="", file=out)
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

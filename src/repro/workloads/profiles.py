@@ -100,43 +100,100 @@ def global_key(app: str, index: int) -> str:
 
 
 def _make_handler(profile: AppProfile, stage: int, sizes: SizeSampler):
-    """Build the handler generator-function for workflow step ``stage``."""
+    """Build the handler generator-function for workflow step ``stage``.
+
+    All key strings, read-only flags and item sizes are pure functions of
+    the profile, so they are precompiled into lookup tables here instead
+    of being re-derived (f-strings + md5 hashes) on every invocation.
+    The RNG draw sequence inside the handler is exactly the one the
+    non-tabled version made — same calls, same order — so workloads are
+    byte-identical.
+    """
     app = profile.name
     last_stage = profile.functions - 1
     per_op_compute = profile.compute_ms / max(1, profile.reads_per_fn + 2)
+    tail_compute = 2 * per_op_compute
+    reads_per_fn = profile.reads_per_fn
+    writes_per_fn = profile.writes_per_fn
+    global_read_fraction = profile.global_read_fraction
+    global_write_fraction = profile.global_write_fraction
+    write_prob = profile.write_prob
+    items_per_entity = profile.items_per_entity
+    stream_name = f"wl:{app}"
+    zipf_globals = _globals_sampler(profile)
+
+    # (key, read_only, size) per entity item / app-global item, plus the
+    # hand-off keys and sizes this stage touches.
+    entity_items = [
+        [(key, is_read_only(key), sizes.size_of(key))
+         for item in range(items_per_entity)
+         for key in (entity_key(app, entity, item),)]
+        for entity in range(profile.entities)
+    ]
+    global_items = [
+        (key, is_read_only(key), sizes.size_of(key))
+        for index in range(profile.global_items)
+        for key in (global_key(app, index),)
+    ]
+    handoff_in = ([handoff_key(app, entity, stage - 1)
+                   for entity in range(profile.entities)]
+                  if stage > 0 else None)
+    handoff_out = ([(key, sizes.size_of(key))
+                    for entity in range(profile.entities)
+                    for key in (handoff_key(app, entity, stage),)]
+                   if stage < last_stage else None)
+
+    def _fill_rows(entity: int) -> None:
+        # Out-of-profile entity id (callers may inject arbitrary inputs):
+        # extend every table on demand, exactly as they were built above.
+        if entity < 0:
+            raise ValueError(f"negative entity id {entity} for app {app!r}")
+        while len(entity_items) <= entity:
+            missing = len(entity_items)
+            entity_items.append(
+                [(key, is_read_only(key), sizes.size_of(key))
+                 for item in range(items_per_entity)
+                 for key in (entity_key(app, missing, item),)])
+            if handoff_in is not None:
+                handoff_in.append(handoff_key(app, missing, stage - 1))
+            if handoff_out is not None:
+                key = handoff_key(app, missing, stage)
+                handoff_out.append((key, sizes.size_of(key)))
 
     def handler(ctx):
-        rng = ctx.sim.rng.stream(f"wl:{app}")
+        rng = ctx.sim.rng.stream(stream_name)
+        rng_random = rng.random
         entity = int(ctx.inputs.get("entity", 0))
-        zipf_globals = _globals_sampler(profile)
+        if not 0 <= entity < len(entity_items):
+            _fill_rows(entity)
+        my_items = entity_items[entity]
 
-        if stage > 0:
-            yield from ctx.read(handoff_key(app, entity, stage - 1))
-        for _ in range(profile.reads_per_fn):
+        if handoff_in is not None:
+            yield from ctx.read(handoff_in[entity])
+        for _ in range(reads_per_fn):
             yield from ctx.compute(per_op_compute)
-            if rng.random() < profile.global_read_fraction:
-                key = global_key(app, zipf_globals.sample(rng))
+            if rng_random() < global_read_fraction:
+                key = global_items[zipf_globals.sample(rng)][0]
             else:
-                key = entity_key(app, entity, rng.randrange(profile.items_per_entity))
+                key = my_items[rng.randrange(items_per_entity)][0]
             yield from ctx.read(key)
-        for _ in range(profile.writes_per_fn):
-            if rng.random() >= profile.write_prob:
+        for _ in range(writes_per_fn):
+            if rng_random() >= write_prob:
                 continue
-            if rng.random() < profile.global_write_fraction:
-                key = global_key(app, zipf_globals.sample(rng))
+            if rng_random() < global_write_fraction:
+                key, read_only, size = global_items[zipf_globals.sample(rng)]
             else:
-                key = entity_key(app, entity, rng.randrange(profile.items_per_entity))
-            if is_read_only(key):
+                key, read_only, size = my_items[rng.randrange(items_per_entity)]
+            if read_only:
                 # 5 % of objects are read-only; read instead of writing.
                 yield from ctx.read(key)
             else:
                 yield from ctx.write(
-                    key, DataItem((key, ctx.invocation_id), sizes.size_of(key)))
-        if stage < last_stage:
-            key = handoff_key(app, entity, stage)
-            yield from ctx.write(
-                key, DataItem((key, ctx.invocation_id), sizes.size_of(key)))
-        yield from ctx.compute(2 * per_op_compute)
+                    key, DataItem((key, ctx.invocation_id), size))
+        if handoff_out is not None:
+            key, size = handoff_out[entity]
+            yield from ctx.write(key, DataItem((key, ctx.invocation_id), size))
+        yield from ctx.compute(tail_compute)
         return entity
 
     handler.__name__ = f"{app}_f{stage}"

@@ -64,7 +64,21 @@ class TestDriving:
                 yield sim.timeout(5.0)
                 return "done"
 
-            assert s.run(op(s.sim)) == "done"
+            result = s.run(op(s.sim))
+            assert result.value == "done"
+            assert result.finished_ms == result.started_ms + 5.0
+            assert result.duration_ms == 5.0
+
+    def test_positional_config_warns_but_works(self):
+        with pytest.warns(DeprecationWarning):
+            s = Session(2, 9)
+        assert len(s.cluster.node_ids) == 2
+        s.close()
+
+    def test_positional_plus_keyword_collision_raises(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                Session(2, nodes=4)
 
     def test_identical_sessions_identical_results(self):
         def trial():
