@@ -6,8 +6,10 @@ Usage::
 
 CI appends the output to ``$GITHUB_STEP_SUMMARY`` after the bench gate,
 so every run shows at a glance how far each benchmark's simulation rate
-moved against the committed baseline.  Exits 0 even when a report is
-missing (the gate step already failed loudly in that case).
+moved against the committed baseline.  When the suite contains
+flight-recorder twins (``X`` paired with ``X_obs``), a second table
+reports the recorder's wall overhead per pair.  Exits 0 even when a
+report is missing (the gate step already failed loudly in that case).
 """
 
 from __future__ import annotations
@@ -45,7 +47,30 @@ def main(argv: list) -> int:
             delta = f"{100.0 * (now - then) / then:+.1f}%"
         fmt = lambda v: f"{v:,.1f}" if isinstance(v, (int, float)) else "—"
         print(f"| `{name}` | {fmt(then)} | {fmt(now)} | {delta} |")
+    _print_recorder_overhead(current)
     return 0
+
+
+def _print_recorder_overhead(current: dict) -> None:
+    """Wall overhead of each ``X``/``X_obs`` flight-recorder pair."""
+    pairs = [(name, f"{name}_obs") for name in sorted(current)
+             if f"{name}_obs" in current]
+    if not pairs:
+        return
+    print("\n### Flight-recorder overhead (obs-on vs obs-off wall time)\n")
+    print("| benchmark | off (s) | on (s) | overhead | events |")
+    print("|---|---:|---:|---:|---:|")
+    for plain, obs in pairs:
+        off = current[plain].get("wall_time_s")
+        on = current[obs].get("wall_time_s")
+        events = current[obs].get("events_recorded", "—")
+        if not off or on is None:
+            overhead = "n/a"
+            off_s = on_s = "—"
+        else:
+            overhead = f"{100.0 * (on - off) / off:+.1f}%"
+            off_s, on_s = f"{off:.3f}", f"{on:.3f}"
+        print(f"| `{plain}` | {off_s} | {on_s} | {overhead} | {events} |")
 
 
 if __name__ == "__main__":

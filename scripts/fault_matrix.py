@@ -18,10 +18,15 @@ them), so the exact failing schedule replays locally with::
 
     PYTHONPATH=src python scripts/fault_matrix.py --seed N
 
+With ``--obs`` the first run also carries a protocol-event flight
+recorder (provably fingerprint-neutral; the bench gate pins it), and on
+failure its full dump lands next to the failing plan as
+``flight_seed{N}.jsonl`` — ready for ``repro-inspect timeline``.
+
 Usage::
 
     PYTHONPATH=src python scripts/fault_matrix.py [--seed N]
-        [--artifacts DIR] [--skip-subprocess]
+        [--artifacts DIR] [--skip-subprocess] [--obs]
 """
 
 import argparse
@@ -82,14 +87,19 @@ def subprocess_telemetry(plan: FaultPlan, hashseed: str) -> str:
     return proc.stdout.split(MARKER + "\n", 1)[1]
 
 
-def check_seed(seed: int, skip_subprocess: bool) -> list:
-    """Run the matrix cell for one seed; returns a list of problems."""
+def check_seed(seed: int, skip_subprocess: bool,
+               obs: bool = False) -> tuple:
+    """Run the matrix cell for one seed.
+
+    Returns ``(problems, obs_jsonl)`` — the flight-recorder dump is ""
+    unless ``obs`` was requested.
+    """
     problems = []
     plan = build_plan(seed)
     print(f"[seed {seed}] plan: {', '.join(plan.kinds())}")
 
     first = run_fault_scenario(plan, seed=seed, num_nodes=NUM_NODES,
-                               duration_ms=DURATION_MS, rps=RPS)
+                               duration_ms=DURATION_MS, rps=RPS, obs=obs)
     second = run_fault_scenario(plan, seed=seed, num_nodes=NUM_NODES,
                                 duration_ms=DURATION_MS, rps=RPS)
     if first.fingerprint() != second.fingerprint():
@@ -121,7 +131,7 @@ def check_seed(seed: int, skip_subprocess: bool) -> list:
           f"failures_detected={len(first.failures_detected)} "
           f"recoveries={first.recoveries_completed} "
           f"violations={len(first.violations)} -> {status}")
-    return problems
+    return problems, first.obs_jsonl
 
 
 def main(argv=None) -> int:
@@ -132,9 +142,14 @@ def main(argv=None) -> int:
                         help="directory for failing plans/reports")
     parser.add_argument("--skip-subprocess", action="store_true",
                         help="skip the PYTHONHASHSEED subprocess replays")
+    parser.add_argument("--obs", action="store_true",
+                        help="record protocol events; on failure the "
+                             "flight-recorder dump is written next to "
+                             "the failing plan")
     args = parser.parse_args(argv)
 
-    problems = check_seed(args.seed, args.skip_subprocess)
+    problems, obs_jsonl = check_seed(args.seed, args.skip_subprocess,
+                                     obs=args.obs)
     if not problems:
         return 0
 
@@ -142,6 +157,9 @@ def main(argv=None) -> int:
     artifacts.mkdir(parents=True, exist_ok=True)
     plan = build_plan(args.seed)
     plan.save(artifacts / f"failing_plan_seed{args.seed}.json")
+    if obs_jsonl:
+        flight_path = artifacts / f"flight_seed{args.seed}.jsonl"
+        flight_path.write_text(obs_jsonl, encoding="utf-8")
     report = {
         "seed": args.seed,
         "num_nodes": NUM_NODES,

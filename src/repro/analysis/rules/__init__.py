@@ -9,11 +9,12 @@ from repro.analysis.rules import (
     atomicity,
     bench,
     determinism,
+    obs,
     protocol,
     simprocess,
     telemetry,
     tracing,
 )
 
-__all__ = ["atomicity", "bench", "determinism", "protocol", "simprocess",
-           "telemetry", "tracing"]
+__all__ = ["atomicity", "bench", "determinism", "obs", "protocol",
+           "simprocess", "telemetry", "tracing"]

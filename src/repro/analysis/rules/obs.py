@@ -1,0 +1,139 @@
+"""Flight-recorder rules (OBS*).
+
+The protocol event log (:mod:`repro.obs`) promises two things its call
+sites can silently break:
+
+- **Interned event types.**  Every ``recorder.emit(...)`` names its
+  event with one of the interned constants from
+  :mod:`repro.obs.events`.  A string literal at the call site may
+  typo-fork the taxonomy ("cache.instal") and defeats identity-based
+  dispatch in post-mortem tooling; a formatted string additionally
+  allocates per emission.
+- **Zero-cost Null sink.**  Emission sites gate on ``recorder.active``
+  so a run without a recorder never evaluates the event arguments.  An
+  *unguarded* emit whose arguments do real work (calls, f-strings,
+  arithmetic, comprehensions) pays that work on every run — including
+  the benchmark runs whose wall times gate CI.
+- **Byte-deterministic dumps.**  Event attrs are exported verbatim
+  (JSONL, byte-compared across ``PYTHONHASHSEED`` values), so an attr
+  that materializes a bare set in iteration order leaks hash order into
+  the dump — same contract as MET01's sampler callbacks.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import ModuleInfo, Rule, register
+from repro.analysis.setness import ModuleSetFacts, is_setish
+
+#: Receiver names that identify a flight recorder at a call site.
+_RECORDER_NAMES = frozenset({"obs", "recorder"})
+
+#: Wrappers that preserve their argument's (hash) order.
+_ORDER_PRESERVING = frozenset({"list", "tuple", "iter", "reversed",
+                               "enumerate"})
+
+#: Argument shapes that do real work when evaluated.
+_EXPENSIVE = (ast.Call, ast.JoinedStr, ast.BinOp, ast.ListComp,
+              ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _is_recorder_receiver(node: ast.AST) -> bool:
+    """Whether an attribute-call receiver looks like a FlightRecorder."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return False
+    return (name in _RECORDER_NAMES
+            or name.endswith("_obs") or name.endswith("_recorder"))
+
+
+@register
+class ObsDisciplineRule(Rule):
+    """OBS01: interned event types; cheap, order-safe emission sites."""
+
+    id = "OBS01"
+    name = "obs-discipline"
+    description = (
+        "recorder.emit(...) must name its event with an interned "
+        "constant from repro.obs.events (never a string literal or "
+        "formatted string), must not pass attrs that materialize bare "
+        "sets in hash order (dumps are byte-compared across "
+        "PYTHONHASHSEED), and emits with computed arguments must sit "
+        "under an `if <recorder>.active:` guard so the Null sink stays "
+        "zero-cost"
+    )
+
+    def check_module(self, module: ModuleInfo):
+        facts = ModuleSetFacts(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "emit"
+                    and _is_recorder_receiver(func.value)):
+                continue
+            yield from self._check_event_type(module, node)
+            yield from self._check_set_order(module, node, facts)
+            yield from self._check_guard(module, node)
+
+    # -- (a) interned event types ----------------------------------------
+    def _check_event_type(self, module: ModuleInfo, node: ast.Call):
+        if not node.args:
+            return
+        etype = node.args[0]
+        if isinstance(etype, (ast.Name, ast.Attribute)):
+            return
+        yield self.finding(
+            module, etype,
+            f"emit() event type {ast.unparse(etype)!r} is not an "
+            "interned constant: name events with the constants from "
+            "repro.obs.events so the taxonomy cannot typo-fork and "
+            "emission stays allocation-free")
+
+    # -- (b) hash-order-free attrs ---------------------------------------
+    def _check_set_order(self, module: ModuleInfo, node: ast.Call,
+                         facts: ModuleSetFacts):
+        values = list(node.args[1:]) + [kw.value for kw in node.keywords]
+        for value in values:
+            for sub in ast.walk(value):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Name)
+                        and sub.func.id in _ORDER_PRESERVING
+                        and sub.args
+                        and is_setish(sub.args[0], facts, set())):
+                    yield self.finding(
+                        module, sub,
+                        f"emit() attr materializes set expression "
+                        f"{ast.unparse(sub)!r} in hash order: recorded "
+                        "attrs are dumped byte-for-byte across "
+                        "PYTHONHASHSEED values; sort the set or record "
+                        "an order-insensitive reduction (len/sum)")
+
+    # -- (c) Null-sink gating --------------------------------------------
+    def _check_guard(self, module: ModuleInfo, node: ast.Call):
+        values = list(node.args) + [kw.value for kw in node.keywords]
+        if not any(isinstance(value, _EXPENSIVE) for value in values):
+            return
+        if self._under_active_guard(module, node):
+            return
+        yield self.finding(
+            module, node,
+            "emit() with computed arguments outside an `if "
+            "<recorder>.active:` guard: the arguments are evaluated "
+            "even under the Null sink, taxing every unrecorded run; "
+            "hoist the emit under an active check")
+
+    def _under_active_guard(self, module: ModuleInfo,
+                            node: ast.AST) -> bool:
+        current = module.parent(node)
+        while current is not None:
+            if isinstance(current, ast.If) and any(
+                    isinstance(sub, ast.Attribute) and sub.attr == "active"
+                    for sub in ast.walk(current.test)):
+                return True
+            current = module.parent(current)
+        return False

@@ -9,6 +9,12 @@ journal and the regression gate:
   near the SLO knee): the protocol + FaaS fast path.
 * ``fig13_churn_point`` — one churn run (16 nodes, 24 removals/min):
   membership changes, directory transfers, barrier churn.
+* ``fig08_point_obs`` / ``fig13_churn_point_obs`` — the same two points
+  with the protocol-event flight recorder attached.  Their simulated
+  counters must stay byte-identical to the plain points (the recorder is
+  purely passive; the gate pins this), they additionally report
+  ``events_recorded``, and the obs/plain wall-time pairing feeds the
+  recorder-overhead column of ``scripts/bench_summary.py``.
 
 Job targets return **simulated counters only** — the executor owns the
 wall clock, and :func:`repro.bench.report.build_report` derives
@@ -27,9 +33,11 @@ from repro.bench.job import JobSpec, resolve_target
 from repro.bench.quiesce import quiesce_gc
 from repro.experiments.fig13_churn import _throughput_at
 from repro.experiments.runner import MixedRunConfig, run_mixed_workload
+from repro.obs import FlightRecorder
 
-__all__ = ["DEFAULT_SEED", "SUITES", "fig08_point", "fig13_churn_point",
-           "load_suite", "scale_point", "scale_suite", "tier1_suite"]
+__all__ = ["DEFAULT_SEED", "SUITES", "fig08_point", "fig08_point_obs",
+           "fig13_churn_point", "fig13_churn_point_obs", "load_suite",
+           "scale_point", "scale_suite", "tier1_suite"]
 
 DEFAULT_SEED = 1009
 
@@ -51,6 +59,32 @@ def fig08_point(seed: int = DEFAULT_SEED) -> dict:
     }
 
 
+def fig08_point_obs(seed: int = DEFAULT_SEED) -> dict:
+    """``fig08_point`` with the flight recorder on.
+
+    Simulated counters must match ``fig08_point`` byte-for-byte — the
+    recorder never schedules, so attaching it cannot move the
+    simulation.  ``events_recorded`` counts every emission (kept ring +
+    evicted) and is itself deterministic, so it gates exactly too.
+    """
+    config = MixedRunConfig(
+        scheme="concord", num_nodes=8, cores_per_node=4,
+        utilization=None, total_rps=115,
+        duration_ms=5000.0, warmup_ms=1500.0, seed=seed,
+        obs=True,
+    )
+    with quiesce_gc():
+        outcome = run_mixed_workload(config)
+    completed = sum(s.completed for s in outcome.per_app.values())
+    recorder = outcome.obs
+    return {
+        "simulated_ms": config.duration_ms,
+        "requests_completed": completed,
+        "simulated_rps": round(completed / (config.duration_ms / 1000.0), 2),
+        "events_recorded": len(recorder) + recorder.dropped,
+    }
+
+
 def fig13_churn_point(seed: int = DEFAULT_SEED) -> dict:
     """One fig13 churn run; returns simulated counters."""
     duration_ms = 8000.0
@@ -60,6 +94,20 @@ def fig13_churn_point(seed: int = DEFAULT_SEED) -> dict:
     return {
         "simulated_ms": duration_ms,
         "simulated_rps": round(throughput, 2),
+    }
+
+
+def fig13_churn_point_obs(seed: int = DEFAULT_SEED) -> dict:
+    """``fig13_churn_point`` with the flight recorder on (see above)."""
+    duration_ms = 8000.0
+    recorder = FlightRecorder()
+    with quiesce_gc():
+        throughput, _registry = _throughput_at(24, duration_ms=duration_ms,
+                                               seed=seed, obs=recorder)
+    return {
+        "simulated_ms": duration_ms,
+        "simulated_rps": round(throughput, 2),
+        "events_recorded": len(recorder) + recorder.dropped,
     }
 
 
@@ -135,6 +183,10 @@ def tier1_suite(seed: int = DEFAULT_SEED) -> List[JobSpec]:
                 target="repro.bench.suite:fig08_point", seed=seed),
         JobSpec(name="fig13_churn_point",
                 target="repro.bench.suite:fig13_churn_point", seed=seed),
+        JobSpec(name="fig08_point_obs",
+                target="repro.bench.suite:fig08_point_obs", seed=seed),
+        JobSpec(name="fig13_churn_point_obs",
+                target="repro.bench.suite:fig13_churn_point_obs", seed=seed),
     ]
 
 

@@ -15,6 +15,8 @@ from typing import Generator, Iterable, Optional
 from repro.metrics import AccessStats
 from repro.metrics.stats import OpKind
 from repro.net.sizes import sizeof
+from repro.obs.events import CACHE_EVICT
+from repro.obs.recorder import NULL_RECORDER
 
 # Cache entry coherence states (paper Section III-C1: MESI without M).
 EXCLUSIVE = "E"
@@ -72,6 +74,11 @@ class LruCache:
     insert larger than the capacity is refused (large objects are cached
     only if sufficient unused memory is available).
     """
+
+    #: Flight recorder for silent-eviction events.  Class-level Null
+    #: default: the cache itself has no simulator, so owners that do
+    #: (the coherence agents) overwrite it per instance with ``sim.obs``.
+    obs = NULL_RECORDER
 
     def __init__(self, capacity_bytes: int, name: str = ""):
         if capacity_bytes < 0:
@@ -182,6 +189,10 @@ class LruCache:
         entry = self._entries.pop(key)
         self._used_bytes -= entry.size_bytes
         self.evictions += 1
+        obs = self.obs
+        if obs.active:
+            obs.emit(CACHE_EVICT, node=self.name, key=key,
+                     state=entry.state, size=entry.size_bytes)
         return entry
 
 

@@ -13,6 +13,11 @@ spelled, typed and documented identically everywhere:
     repro-bench ``run`` this is the report path, its original meaning).
 ``--seed N``
     Deterministic seed override, where the tool runs a simulation.
+``--since T`` / ``--until T``
+    Sim-time window (milliseconds) the tool restricts itself to, where
+    the tool reads recorded timelines (repro-trace, repro-metrics,
+    repro-inspect).  Point records are kept when ``since <= t <= until``;
+    ranged records (spans) when they overlap the window.
 
 Exit-code contract (identical across all four tools):
 
@@ -40,6 +45,8 @@ __all__ = [
     "EXIT_USAGE",
     "common_parent",
     "output_stream",
+    "in_window",
+    "overlaps_window",
 ]
 
 EXIT_OK = 0
@@ -56,6 +63,7 @@ def common_parent(
     out: bool = False,
     out_default: Optional[str] = None,
     out_help: str = "write output to PATH instead of stdout",
+    window: bool = False,
 ) -> argparse.ArgumentParser:
     """Build the shared parent parser (``add_help=False``).
 
@@ -74,7 +82,34 @@ def common_parent(
     if out:
         parent.add_argument("--out", default=out_default, metavar="PATH",
                             help=out_help)
+    if window:
+        parent.add_argument(
+            "--since", type=float, default=None, metavar="T",
+            help="restrict to simulated time >= T milliseconds")
+        parent.add_argument(
+            "--until", type=float, default=None, metavar="T",
+            help="restrict to simulated time <= T milliseconds")
     return parent
+
+
+def in_window(t: float, since: Optional[float],
+              until: Optional[float]) -> bool:
+    """Shared ``--since/--until`` semantics for point records."""
+    if since is not None and t < since:
+        return False
+    if until is not None and t > until:
+        return False
+    return True
+
+
+def overlaps_window(start: float, end: float, since: Optional[float],
+                    until: Optional[float]) -> bool:
+    """Shared ``--since/--until`` semantics for ranged records (spans)."""
+    if since is not None and end < since:
+        return False
+    if until is not None and start > until:
+        return False
+    return True
 
 
 class output_stream:

@@ -24,6 +24,18 @@ from typing import TYPE_CHECKING, Optional
 from repro.caching.base import AccessContext, CacheEntry, EXCLUSIVE, LruCache, SHARED
 from repro.core.directory import DataDirectory
 from repro.metrics import OpKind
+from repro.obs.events import (
+    BARRIER_LIFT,
+    BARRIER_RAISE,
+    CACHE_DOWNGRADE,
+    CACHE_INSTALL,
+    CACHE_INVALIDATE,
+    CACHE_UPDATE,
+    INV_RECV,
+    INV_SEND,
+    MEMBER_EJECT,
+    PEER_UNREACHABLE,
+)
 from repro.net.rpc import INHERIT, Endpoint, Reply, RpcError, RpcTimeout
 from repro.net.sizes import sizeof
 from repro.sim.resources import Resource
@@ -58,7 +70,9 @@ class CacheAgent:
         self.node_id = node_id
         self.app = system.app
         self.cache = LruCache(capacity_bytes, name=f"concord:{system.app}:{node_id}")
-        self.directory = DataDirectory(node_id, tracer=self.sim.tracer)
+        self.cache.obs = self.sim.obs
+        self.directory = DataDirectory(node_id, tracer=self.sim.tracer,
+                                       obs=self.sim.obs)
         self.ring = system.ring_template.copy()
         node = system.cluster.nodes.get(node_id)
         self.endpoint = Endpoint(
@@ -170,7 +184,7 @@ class CacheAgent:
             # change that re-homed the key) while the reply was in
             # flight: the recovery eviction sweep already ran here, so
             # installing now would plant a copy nobody tracks.
-            self._install(key, value, state, ctx)
+            self._install(key, value, state, ctx, src="read")
         kind = OpKind.REMOTE_READ_HIT if dir_hit else OpKind.READ_MISS
         return value, kind
 
@@ -204,9 +218,14 @@ class CacheAgent:
                 # the entry, or an invalidation may have removed it).
                 current = self.cache.get(key)
                 if current is not None and current.version <= version:
+                    prev = current.version
                     current.value = value
                     current.size_bytes = sizeof(value)
                     current.version = version
+                    obs = self.sim.obs
+                    if obs.active:
+                        obs.emit(CACHE_UPDATE, node=self.node_id, key=key,
+                                 version=version, prev=prev)
                 self.system.stats.invalidations_per_write.record(0)
             finally:
                 lock.release()
@@ -222,7 +241,8 @@ class CacheAgent:
             # stale copy over it.  Storage order wins: keep the entry.
             pass
         elif cacheable and not self._key_barred(key):
-            self._install(key, value, EXCLUSIVE, ctx, version=version)
+            self._install(key, value, EXCLUSIVE, ctx, version=version,
+                          src="write_reply")
         else:
             # The value is durably in storage but the coherence state for
             # it was disturbed (membership changed mid-write): hold no copy.
@@ -336,7 +356,7 @@ class CacheAgent:
                 # Re-acquire once the barrier lifts.
                 continue
             if cacheable:
-                self._install(key, value, EXCLUSIVE, ctx)
+                self._install(key, value, EXCLUSIVE, ctx, src="rfo")
             return value
         raise ProtocolError(f"rfo({key!r}) exhausted retries at {self.node_id}")
 
@@ -404,6 +424,9 @@ class CacheAgent:
         coordination service removes the peer's cache instance, and the
         waiter retries once the membership change reaches it.
         """
+        obs = self.sim.obs
+        if obs.active:
+            obs.emit(PEER_UNREACHABLE, node=self.node_id, peer=peer)
         self.system.report_unreachable(peer)
         # Give the failure notification time to propagate and the local
         # membership handler time to erect the barrier.
@@ -582,6 +605,10 @@ class CacheAgent:
             if local is None:
                 return None
             local.state = SHARED
+            obs = self.sim.obs
+            if obs.active:
+                obs.emit(CACHE_DOWNGRADE, node=self.node_id, key=key,
+                         version=local.version)
             return local.value
         with self.sim.tracer.span("fetch_owner", "agent", key=key, owner=owner):
             call = self.sim.spawn(
@@ -616,6 +643,9 @@ class CacheAgent:
                 continue
             yield self.sim.timeout(self.system.latency.send_ms)
             self.invalidations_sent += 1
+            obs = self.sim.obs
+            if obs.active:
+                obs.emit(INV_SEND, node=self.node_id, key=key, sharer=sharer)
             pending.append(self.sim.spawn(
                 self._invalidate_one(key, sharer), name=f"inv:{key}:{sharer}",
             ))
@@ -682,6 +712,11 @@ class CacheAgent:
 
     def _invalidate_local(self, key: str) -> None:
         entry = self.cache.remove(key)
+        if entry is not None:
+            obs = self.sim.obs
+            if obs.active:
+                obs.emit(CACHE_INVALIDATE, node=self.node_id, key=key,
+                         state=entry.state)
         if entry is not None and self.txn_manager is not None and entry.speculative:
             self.txn_manager.on_external_invalidate(key, entry)
 
@@ -722,10 +757,17 @@ class CacheAgent:
             self.txn_manager.on_external_read(key, entry)
             return Reply(NotCached(), size_bytes=2)
         entry.state = SHARED
+        obs = self.sim.obs
+        if obs.active:
+            obs.emit(CACHE_DOWNGRADE, node=self.node_id, key=key,
+                     version=entry.version)
         return Reply(entry.value, size_bytes=entry.size_bytes)
 
     def _handle_invalidate(self, endpoint, src, key):
         self.invalidations_received += 1
+        obs = self.sim.obs
+        if obs.active:
+            obs.emit(INV_RECV, node=self.node_id, key=key, src=src)
         yield from self._wait_protection(key)
         lock = self._lock(self._owner_locks, key)
         yield lock.acquire()
@@ -775,9 +817,16 @@ class CacheAgent:
         """Block operations on keys homed at ``member`` until lifted."""
         if member not in self._barriers:
             self._barriers[member] = (ring_snapshot, self.sim.event(f"barrier:{member}"))
+            obs = self.sim.obs
+            if obs.active:
+                obs.emit(BARRIER_RAISE, node=self.node_id, member=member)
 
     def lift_barrier(self, member: str) -> None:
         barrier = self._barriers.pop(member, None)
+        if barrier is not None:
+            obs = self.sim.obs
+            if obs.active:
+                obs.emit(BARRIER_LIFT, node=self.node_id, member=member)
         if barrier is not None and not barrier[1].triggered:
             barrier[1].succeed()
 
@@ -798,7 +847,7 @@ class CacheAgent:
     # Cache management
     # ------------------------------------------------------------------
     def _install(self, key: str, value: object, state: str, ctx=None, *,
-                 version: int = 0) -> None:
+                 version: int = 0, src: str = "") -> None:
         """Cache a fetched/written value, respecting the capacity budget."""
         self.refresh_capacity()
         size = sizeof(value)
@@ -815,6 +864,10 @@ class CacheAgent:
         if self.txn_manager is not None and ctx is not None and ctx.txn_id:
             self.txn_manager.on_install(key, entry, ctx)
         self.cache.put(entry)
+        obs = self.sim.obs
+        if obs.active:
+            obs.emit(CACHE_INSTALL, node=self.node_id, key=key, state=state,
+                     version=version, src=src)
 
     def refresh_capacity(self) -> None:
         """Track the application's currently-unused container memory."""
@@ -833,8 +886,13 @@ class CacheAgent:
             return
         self.ejected = True
         self.epoch += 1
+        obs = self.sim.obs
+        if obs.active:
+            obs.emit(MEMBER_EJECT, node=self.node_id,
+                     cached=len(self.cache), homed=len(self.directory))
         self.cache.clear()
-        self.directory = DataDirectory(self.node_id, tracer=self.sim.tracer)
+        self.directory = DataDirectory(self.node_id, tracer=self.sim.tracer,
+                                       obs=self.sim.obs)
         self._last_writer.clear()
         if self.node_id in self.ring.members:
             self.ring.remove(self.node_id)

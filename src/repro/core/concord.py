@@ -21,6 +21,11 @@ from repro.core.hashring import ConsistentHashRing
 from repro.core.recovery import RecoveryTracker
 from repro.metrics import AccessStats
 from repro.net.rpc import DEFAULT_RPC_TIMEOUT_MS, INHERIT, Endpoint, Reply
+from repro.obs.events import (
+    DOMAIN_CHANGE,
+    RECOVERY_COMPLETE,
+    RECOVERY_SURVIVOR,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster import Cluster
@@ -132,6 +137,9 @@ class AppController:
         if tracer.active:
             tracer.instant("recovery:complete", "recovery",
                            app=self.app, member=failed_member)
+        obs = self.sim.obs
+        if obs.active:
+            obs.emit(RECOVERY_COMPLETE, member=failed_member, app=self.app)
         for node_id in sorted(self.ring.members):
             self.endpoint.notify(
                 f"{node_id}/concord-{self.app}", "recovery_complete", failed_member,
@@ -191,6 +199,10 @@ class AppController:
                 self.ring.add(member)
             else:
                 self.ring.remove(member)
+            obs = self.sim.obs
+            if obs.active:
+                obs.emit(DOMAIN_CHANGE, member=member, kind=kind,
+                         members=len(self.ring.members))
         finally:
             self._domain_busy = False
 
@@ -439,6 +451,10 @@ class ConcordSystem(StorageAPI):
                 tracer.instant("recovery:survivor", "recovery",
                                app=self.app, node=agent.node_id,
                                member=failed_member)
+            obs = self.sim.obs
+            if obs.active:
+                obs.emit(RECOVERY_SURVIVOR, node=agent.node_id,
+                         member=failed_member, app=self.app)
             snapshot = agent.ring.copy()
             agent.raise_barrier(failed_member, snapshot)
             agent.evict_keys_homed_at(failed_member, snapshot)

@@ -17,6 +17,13 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.caching.base import EXCLUSIVE, SHARED
+from repro.obs.events import (
+    DIR_EXCLUSIVE,
+    DIR_PRUNE,
+    DIR_REMOVE,
+    DIR_SHARER,
+    DIR_TRANSFER,
+)
 
 
 @dataclass
@@ -51,9 +58,12 @@ class DataDirectory:
     clock; timestamps come from the tracer's simulator.
     """
 
-    def __init__(self, node_id: str, tracer=None):
+    def __init__(self, node_id: str, tracer=None, obs=None):
         self.node_id = node_id
         self.tracer = tracer
+        #: Flight recorder for ownership/sharer-set change events (the
+        #: agent hands in its simulator's recorder); None disables.
+        self.obs = obs
         self._entries: dict[str, DirectoryEntry] = {}
 
     def register_metrics(self, registry, scheme: str, app: str) -> None:
@@ -117,6 +127,9 @@ class DataDirectory:
         if tracer is not None and tracer.active:
             tracer.instant("dir:set_exclusive", "directory",
                            key=key, owner=owner)
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.emit(DIR_EXCLUSIVE, node=self.node_id, key=key, owner=owner)
         return entry
 
     def add_sharer(self, key: str, sharer: str) -> DirectoryEntry:
@@ -129,10 +142,14 @@ class DataDirectory:
         if entry is None:
             entry = DirectoryEntry(key=key, state=EXCLUSIVE, sharers={sharer})
             self._entries[key] = entry
-            return entry
-        entry.sharers.add(sharer)
-        if len(entry.sharers) > 1:
-            entry.state = SHARED
+        else:
+            entry.sharers.add(sharer)
+            if len(entry.sharers) > 1:
+                entry.state = SHARED
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.emit(DIR_SHARER, node=self.node_id, key=key, sharer=sharer,
+                     state=entry.state, sharers=len(entry.sharers))
         return entry
 
     def downgrade(self, key: str) -> None:
@@ -146,11 +163,18 @@ class DataDirectory:
         tracer = self.tracer
         if entry is not None and tracer is not None and tracer.active:
             tracer.instant("dir:remove", "directory", key=key)
+        obs = self.obs
+        if entry is not None and obs is not None and obs.active:
+            obs.emit(DIR_REMOVE, node=self.node_id, key=key)
         return entry
 
     def install(self, entry: DirectoryEntry) -> None:
         """Adopt an entry transferred from another home (domain change)."""
         self._entries[entry.key] = entry
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.emit(DIR_TRANSFER, node=self.node_id, key=entry.key,
+                     state=entry.state, sharers=len(entry.sharers))
 
     def remove_sharer_everywhere(self, node_id: str) -> list[str]:
         """Prune a departed/failed node from all sharer sets.
@@ -158,6 +182,7 @@ class DataDirectory:
         Entries left with no sharers are dropped (nobody caches the item).
         Returns the keys whose entries were modified.
         """
+        obs = self.obs
         touched = []
         for key in list(self._entries):
             entry = self._entries[key]
@@ -165,6 +190,9 @@ class DataDirectory:
                 continue
             entry.sharers.discard(node_id)
             touched.append(key)
+            if obs is not None and obs.active:
+                obs.emit(DIR_PRUNE, node=self.node_id, key=key,
+                         pruned=node_id, sharers=len(entry.sharers))
             if not entry.sharers:
                 del self._entries[key]
             elif len(entry.sharers) == 1 and entry.state == SHARED:

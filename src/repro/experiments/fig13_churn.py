@@ -24,6 +24,7 @@ from repro.config import SimConfig
 from repro.coord import CoordinationService
 from repro.experiments.tables import ExperimentResult
 from repro.faas import CasScheduler, FaasPlatform
+from repro.obs import FlightRecorder
 from repro.schemes import build_scheme
 from repro.sim import Simulator
 from repro.storage import DataItem
@@ -93,18 +94,26 @@ def _throughput_at(
     metrics: object = None,
     metrics_interval_ms: float = 100.0,
     write_burst: Optional[WriteBurst] = None,
+    obs: object = None,
 ):
     """One churn run; returns ``(throughput_rps, registry_or_None)``.
 
     ``metrics`` works like :class:`MixedRunConfig.metrics`: truthy
     attaches a sampled registry, a path string also exports the JSONL
-    timeline there.
+    timeline there.  ``obs`` attaches a flight recorder the same way
+    (truthy for an in-memory ring, an instance as-is).
     """
     registry = None
     if metrics:
         registry = (metrics if isinstance(metrics, MetricsRegistry)
                     else MetricsRegistry())
-    sim = Simulator(seed=seed, metrics=registry)
+    # isinstance first: an empty FlightRecorder is falsy (len() == 0).
+    recorder = None
+    if isinstance(obs, FlightRecorder):
+        recorder = obs
+    elif obs:
+        recorder = FlightRecorder()
+    sim = Simulator(seed=seed, metrics=registry, obs=recorder)
     cluster = Cluster(sim, SimConfig(num_nodes=num_nodes, cores_per_node=2))
     coord = CoordinationService(cluster.network, cluster.config)
     profile = ALL_PROFILES["SocNet"]

@@ -21,6 +21,7 @@ from repro.core import ConcordSystem
 from repro.faas import FaasPlatform
 from repro.faults import FaultInjector
 from repro.metrics import AccessStats, Histogram
+from repro.obs import FlightRecorder
 from repro.schemes import build_scheme_map, make_scheduler, scheme_spec
 from repro.sim import Simulator
 from repro.telemetry import MetricsRegistry, Sampler
@@ -78,6 +79,10 @@ class MixedRunConfig:
     metrics: object = None
     #: Simulated-clock sampling period of the telemetry Sampler.
     metrics_interval_ms: float = 100.0
+    #: Protocol-event flight recorder: ``True`` records into
+    #: ``result.obs``, a :class:`~repro.obs.FlightRecorder` instance is
+    #: used as-is (set ``dump_path`` there for fault auto-dumps).
+    obs: object = None
     #: Optional :class:`~repro.faults.FaultPlan` replayed during the run
     #: (times are absolute simulated time, warmup included).
     faults: object = None
@@ -132,6 +137,8 @@ class MixedRunResult:
     tracer: object = None
     #: The run's MetricsRegistry when ``config.metrics`` was set.
     metrics: object = None
+    #: The run's FlightRecorder when ``config.obs`` was set.
+    obs: object = None
     #: (sim_time, kind, detail) fault events applied (config.faults only).
     fault_log: list = field(default_factory=list)
 
@@ -164,11 +171,20 @@ def _make_registry(config) -> Optional[MetricsRegistry]:
             else MetricsRegistry())
 
 
+def _make_recorder(config) -> Optional[FlightRecorder]:
+    # isinstance first: an empty FlightRecorder is falsy (len() == 0).
+    if isinstance(config.obs, FlightRecorder):
+        return config.obs
+    return FlightRecorder() if config.obs else None
+
+
 def run_mixed_workload(config: MixedRunConfig) -> MixedRunResult:
     """Execute one measurement run and collect all metrics."""
     tracer = _make_tracer(config)
     registry = _make_registry(config)
-    sim = Simulator(seed=config.seed, tracer=tracer, metrics=registry)
+    recorder = _make_recorder(config)
+    sim = Simulator(seed=config.seed, tracer=tracer, metrics=registry,
+                    obs=recorder)
     latency = replace(LatencyModel(), agent_service_ms=config.agent_service_ms)
     sim_config = SimConfig(
         num_nodes=config.num_nodes, cores_per_node=config.cores_per_node,
@@ -286,6 +302,7 @@ def run_mixed_workload(config: MixedRunConfig) -> MixedRunResult:
     result.metrics = registry
     if registry is not None and isinstance(config.metrics, str):
         export_metrics_jsonl(registry, config.metrics)
+    result.obs = recorder
     if injector is not None:
         result.fault_log = list(injector.applied)
     return result

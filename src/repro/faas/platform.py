@@ -16,6 +16,7 @@ from repro.faas.app import AppSpec
 from repro.faas.context import InvocationContext
 from repro.faas.scheduler import RandomScheduler, Scheduler
 from repro.metrics import Histogram
+from repro.obs.events import REQ_RESCHEDULE, SCHED_COLD, SCHED_WARM
 from repro.sim.errors import Interrupt
 from repro.telemetry.registry import NULL_CHILD
 
@@ -282,6 +283,10 @@ class FaasPlatform:
         if candidates:
             node = self.scheduler.pick(app.name, function_name, inputs, candidates)
             container = node.containers_of(app.name, function_name)[0]
+            obs = self.sim.obs
+            if obs.active:
+                obs.emit(SCHED_WARM, node=node.id, app=app.name,
+                         fn=function_name, warm=len(candidates))
         else:
             node = self.placement.place(self, app, function_name)
             # Register the container *before* the cold start completes so
@@ -294,6 +299,10 @@ class FaasPlatform:
             if node.id not in app.node_ids:
                 app.node_ids.append(node.id)
             app.cold_starts += 1
+            obs = self.sim.obs
+            if obs.active:
+                obs.emit(SCHED_COLD, node=node.id, app=app.name,
+                         fn=function_name)
             yield self.sim.sleep(COLD_START_MS)
         app.metric_sched_delay.observe(self.sim.now - admitted)
         container.active += 1
@@ -347,6 +356,10 @@ class FaasPlatform:
                         and reschedules < self.max_reschedules):
                     reschedules += 1
                     app.requests_rescheduled += 1
+                    obs = self.sim.obs
+                    if obs.active:
+                        obs.emit(REQ_RESCHEDULE, app=app_name,
+                                 attempt=reschedules)
                     yield self.sim.timeout(RESCHEDULE_BACKOFF_MS)
                     continue
                 app.requests_failed += 1

@@ -35,6 +35,7 @@ from repro.faults.plan import (
     NodeRestart,
     StorageBrownout,
 )
+from repro.obs.events import FAULT_INJECT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster import Cluster
@@ -131,3 +132,8 @@ class FaultInjector:
         tracer = self.sim.tracer
         if tracer.active:
             tracer.instant(f"fault:{kind}", "fault", detail=detail)
+        obs = self.sim.obs
+        if obs.active:
+            # A dump-trigger event: a recorder with a dump_path writes the
+            # full ring out, preserving the pre-fault flight recording.
+            obs.emit(FAULT_INJECT, kind=kind, detail=detail)

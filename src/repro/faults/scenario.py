@@ -19,6 +19,8 @@ from repro.core import ConcordSystem
 from repro.faas import CasScheduler, FaasPlatform
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.obs import FlightRecorder
+from repro.obs import jsonl_dumps as obs_jsonl_dumps
 from repro.sim import Simulator
 from repro.telemetry import MetricsRegistry, Sampler, jsonl_dumps
 from repro.verify import check_coherence
@@ -47,6 +49,11 @@ class ScenarioOutcome:
     violations: list = field(default_factory=list)
     #: Canonical telemetry export (byte-compared across replays).
     telemetry_jsonl: str = ""
+    #: Flight-recorder JSONL ("" unless the scenario ran with obs=...).
+    #: Deliberately NOT part of the fingerprint: a recorder must never
+    #: change what the fingerprint measures, and obs-on runs are
+    #: fingerprint-compared against obs-off runs to prove it.
+    obs_jsonl: str = ""
 
     def fingerprint(self) -> tuple:
         """Order-stable digest for replay equality assertions."""
@@ -66,10 +73,25 @@ def run_fault_scenario(
     rps: float = 30.0,
     app_name: str = "SocNet",
     recovery_lease_ms=None,
+    obs=None,
 ) -> ScenarioOutcome:
-    """Run the canonical scenario once and capture its outcome."""
+    """Run the canonical scenario once and capture its outcome.
+
+    ``obs`` attaches a flight recorder: pass ``True`` for an in-memory
+    ring (exported into ``ScenarioOutcome.obs_jsonl``), a path string
+    for a recorder that also auto-dumps there on every injected fault,
+    or a ready :class:`FlightRecorder`.
+    """
+    # isinstance first: an empty FlightRecorder is falsy (len() == 0).
+    recorder = None
+    if isinstance(obs, FlightRecorder):
+        recorder = obs
+    elif isinstance(obs, str):
+        recorder = FlightRecorder(dump_path=obs)
+    elif obs:
+        recorder = FlightRecorder()
     registry = MetricsRegistry()
-    sim = Simulator(seed=seed, metrics=registry)
+    sim = Simulator(seed=seed, metrics=registry, obs=recorder)
     config = SimConfig(
         num_nodes=num_nodes, cores_per_node=2,
         # Fast detection keeps recovery inside the settle window.
@@ -106,4 +128,5 @@ def run_fault_scenario(
         applied=list(injector.applied),
         violations=check_coherence(concord, cluster),
         telemetry_jsonl=jsonl_dumps(registry),
+        obs_jsonl=obs_jsonl_dumps(recorder) if recorder is not None else "",
     )

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from repro.net.fabric import Message, Network
 from repro.net.sizes import sizeof
+from repro.obs.events import RPC_RESET, RPC_TIMEOUT
 from repro.sim.errors import Interrupt
 from repro.sim.events import PENDING, Event
 from repro.trace.tracer import INHERIT, TraceContext  # noqa: F401 - re-export
@@ -251,6 +252,9 @@ class Endpoint:
         self._pending_dst.pop(request_id, None)
         if waiter is not None and not waiter.resp_done:
             self.resets += 1
+            obs = self.sim.obs
+            if obs.active:
+                obs.emit(RPC_RESET, node=self.address, reason=type(error).__name__)
             # Two schedule hops to the caller (reject entry, then the
             # waiter's own processing) — the same slots the old
             # response-event failure + AnyOf hop occupied.
@@ -435,6 +439,10 @@ class Endpoint:
                         raise exc
                     return waiter.resp_value
                 self.timeouts += 1
+                obs = sim.obs
+                if obs.active:
+                    obs.emit(RPC_TIMEOUT, node=self.address, dst=dst,
+                             method=method, limit_ms=limit)
                 if span is not None:
                     span.set("status", "timeout")
                 raise RpcTimeout(dst, method, limit)

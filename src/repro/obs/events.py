@@ -1,0 +1,87 @@
+"""The protocol event taxonomy: interned event-type constants.
+
+Every flight-recorder emission site names its event through one of the
+module-level constants below (OBS01 enforces this statically).  Interning
+buys two things: emission sites cannot drift into free-form strings that
+post-mortem tooling would have to fuzzy-match, and the hot path never
+builds a type string — with the Null sink installed an emission site is
+one attribute load and a branch.
+
+The taxonomy mirrors the protocol layers (DESIGN.md §13):
+
+``cache.*``
+    Cache-line lifecycle on one node: E/S installs, in-place E-state
+    updates, downgrades to S, invalidations, capacity evictions.
+``dir.*``
+    Directory ownership and sharer-set changes at a key's home.
+``inv.*``
+    Invalidation rounds: per-sharer sends and server-side receipts.
+``rpc.*``
+    Transport-level failures: timeouts and fail-fast resets.
+``barrier.*`` / ``recovery.*`` / ``domain.*`` / ``member.*``
+    Fault tolerance: barriers raised/lifted around failed homes,
+    survivor recovery steps, two-phase domain changes, ejections.
+``sched.*`` / ``req.*``
+    FaaS control plane: warm/cold placement decisions, crash reruns.
+``fault.*`` / ``verify.*``
+    Injected faults and quiescent coherence-checker verdicts; both
+    trigger the recorder's automatic full dump.
+"""
+
+from __future__ import annotations
+
+# -- cache-line state transitions (per key, per node) ----------------------
+CACHE_INSTALL = "cache.install"
+CACHE_UPDATE = "cache.update"          # in-place E-state value update
+CACHE_DOWNGRADE = "cache.downgrade"    # E -> S (owner fetched from)
+CACHE_INVALIDATE = "cache.invalidate"  # -> I (entry removed)
+CACHE_EVICT = "cache.evict"            # silent capacity eviction
+
+# -- directory ownership / sharer sets -------------------------------------
+DIR_EXCLUSIVE = "dir.exclusive"
+DIR_SHARER = "dir.sharer"
+DIR_REMOVE = "dir.remove"
+DIR_TRANSFER = "dir.transfer"          # entry adopted from another home
+DIR_PRUNE = "dir.prune"                # dead member dropped from sharer sets
+
+# -- invalidation rounds ---------------------------------------------------
+INV_SEND = "inv.send"
+INV_RECV = "inv.recv"
+
+# -- transport failures ----------------------------------------------------
+RPC_TIMEOUT = "rpc.timeout"
+RPC_RESET = "rpc.reset"                # fail-fast PeerDown reject
+
+# -- fault tolerance -------------------------------------------------------
+BARRIER_RAISE = "barrier.raise"
+BARRIER_LIFT = "barrier.lift"
+RECOVERY_SURVIVOR = "recovery.survivor"
+RECOVERY_COMPLETE = "recovery.complete"
+DOMAIN_CHANGE = "domain.change"
+MEMBER_EJECT = "member.eject"
+PEER_UNREACHABLE = "peer.unreachable"
+
+# -- FaaS control plane ----------------------------------------------------
+SCHED_WARM = "sched.warm"
+SCHED_COLD = "sched.cold"
+REQ_RESCHEDULE = "req.reschedule"
+
+# -- dump triggers ---------------------------------------------------------
+FAULT_INJECT = "fault.inject"
+VERIFY_VIOLATION = "verify.violation"
+
+#: Every event type the recorder may carry (closed set, sorted).
+EVENT_TYPES = frozenset({
+    CACHE_INSTALL, CACHE_UPDATE, CACHE_DOWNGRADE, CACHE_INVALIDATE,
+    CACHE_EVICT,
+    DIR_EXCLUSIVE, DIR_SHARER, DIR_REMOVE, DIR_TRANSFER, DIR_PRUNE,
+    INV_SEND, INV_RECV,
+    RPC_TIMEOUT, RPC_RESET,
+    BARRIER_RAISE, BARRIER_LIFT, RECOVERY_SURVIVOR, RECOVERY_COMPLETE,
+    DOMAIN_CHANGE, MEMBER_EJECT, PEER_UNREACHABLE,
+    SCHED_WARM, SCHED_COLD, REQ_RESCHEDULE,
+    FAULT_INJECT, VERIFY_VIOLATION,
+})
+
+#: Event types whose emission triggers the automatic full dump.
+DUMP_TRIGGERS = frozenset({FAULT_INJECT, VERIFY_VIOLATION})

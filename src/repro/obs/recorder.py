@@ -1,0 +1,223 @@
+"""The flight recorder: a bounded ring buffer of protocol events.
+
+A :class:`FlightRecorder` collects :class:`ProtoEvent` records — typed,
+sim-clock-stamped protocol transitions (see :mod:`repro.obs.events`) —
+from every instrumented layer.  Design constraints mirror the tracer and
+the metrics registry:
+
+* **Simulated time only** (DET01): events are stamped with ``sim.now``;
+  the recorder never reads a wall clock.
+* **Deterministic identity** (DET03): event sequence numbers come from a
+  plain counter, so two identically-seeded runs produce byte-identical
+  dumps regardless of ``PYTHONHASHSEED``.
+* **Zero-cost no-op mode**: an unconfigured simulator carries the shared
+  :data:`NULL_RECORDER` whose ``active`` flag lets emission sites skip
+  argument packing entirely (OBS01 enforces the gating discipline).
+* **Purely passive**: recording appends to a Python list and never
+  schedules, yields or otherwise touches the event wheel, so a run with
+  the recorder enabled is schedule-identical — and therefore
+  counter-identical — to the same run without it (the PR 5 bench gate
+  pins this).
+
+**Cross-signal correlation.**  Every event carries the ambient
+``TraceContext`` (``trace``/``span`` ids, 0 when tracing is off) and the
+``tick`` — the metric registry's sample count at emission time — so
+post-mortem tooling can join the event log with the span tree and the
+sampled timelines of the same run without timestamps alone.
+
+**Ring-buffer semantics.**  The buffer holds the most recent
+``capacity`` events; older ones are overwritten in place and counted in
+``dropped``.  Emission order is sim-time order (the clock is monotonic
+within a run), so eviction always discards a prefix — the survivors stay
+sorted by ``(t, seq)``.
+
+**Automatic dump.**  When constructed with ``dump_path``, emitting a
+dump-trigger event (fault injection, coherence violation) writes the
+full buffer to that JSONL path immediately, so the flight recording of a
+failing run survives even if the driver crashes before exporting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.obs.events import DUMP_TRIGGERS
+
+__all__ = ["FlightRecorder", "NullRecorder", "NULL_RECORDER", "ProtoEvent",
+           "DEFAULT_CAPACITY"]
+
+#: Default ring capacity: generous for post-mortems, bounded for soak runs.
+DEFAULT_CAPACITY = 65536
+
+
+class ProtoEvent:
+    """One recorded protocol event."""
+
+    __slots__ = ("seq", "t", "type", "node", "key", "trace", "span",
+                 "tick", "attrs")
+
+    def __init__(self, seq, t, type, node, key, trace, span, tick, attrs):
+        self.seq = seq
+        self.t = t
+        self.type = type
+        self.node = node
+        self.key = key
+        self.trace = trace
+        self.span = span
+        self.tick = tick
+        self.attrs = attrs
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "t": self.t,
+            "type": self.type,
+            "node": self.node,
+            "key": self.key,
+            "trace": self.trace,
+            "span": self.span,
+            "tick": self.tick,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ProtoEvent(#{self.seq} t={self.t} {self.type} "
+                f"node={self.node!r} key={self.key!r})")
+
+
+class FlightRecorder:
+    """Bounded in-memory protocol event log bound to one Simulator."""
+
+    active = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 dump_path: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError(f"recorder capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self.dump_path = dump_path
+        self._sim = None
+        self._buffer: list = []
+        self._head = 0          # overwrite cursor once the ring is full
+        self._next_seq = itertools.count(1)
+        #: Events overwritten by ring eviction.
+        self.dropped = 0
+        #: Automatic full dumps written (fault / violation triggers).
+        self.autodumps = 0
+
+    # -- wiring -------------------------------------------------------
+    def bind(self, sim) -> "FlightRecorder":
+        if self._sim is not None and self._sim is not sim:
+            raise ValueError(
+                "FlightRecorder is already bound to another Simulator")
+        self._sim = sim
+        return self
+
+    @property
+    def sim(self):
+        return self._sim
+
+    # -- recording ----------------------------------------------------
+    def emit(self, etype: str, node: str = "", key: str = "",
+             **attrs) -> None:
+        """Record one event, stamped with sim time, trace ids and tick.
+
+        Purely passive: one list append (or in-place overwrite), no
+        simulator interaction.  Callers gate on ``recorder.active`` so
+        the Null sink never evaluates the arguments.
+        """
+        sim = self._sim
+        if sim is None:
+            raise RuntimeError("FlightRecorder.emit() before bind(): attach "
+                               "the recorder via Simulator(obs=...)")
+        ctx = sim.tracer.current()
+        event = ProtoEvent(
+            seq=next(self._next_seq),
+            t=sim.now,
+            type=etype,
+            node=node,
+            key=key,
+            trace=ctx.trace_id if ctx is not None else 0,
+            span=ctx.span_id if ctx is not None else 0,
+            tick=sim.metrics.samples,
+            attrs=attrs,
+        )
+        buffer = self._buffer
+        if len(buffer) < self.capacity:
+            buffer.append(event)
+        else:
+            buffer[self._head] = event
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+        if etype in DUMP_TRIGGERS and self.dump_path is not None:
+            self._autodump()
+
+    # -- inspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def events(self) -> list:
+        """Recorded events, oldest first (sim-time / seq order)."""
+        buffer = self._buffer
+        head = self._head
+        if head == 0:
+            return list(buffer)
+        return buffer[head:] + buffer[:head]
+
+    def to_dicts(self) -> list:
+        """Events as JSON-ready dicts, oldest first."""
+        return [event.to_dict() for event in self.events()]
+
+    def clear(self) -> None:
+        self._buffer = []
+        self._head = 0
+
+    # -- dumping ------------------------------------------------------
+    def _autodump(self) -> None:
+        """Write the full ring to ``dump_path`` (fault/violation hook)."""
+        from repro.obs.export import export_jsonl
+
+        export_jsonl(self, self.dump_path)
+        self.autodumps += 1
+
+
+class NullRecorder:
+    """Inactive recorder: every operation is a no-op.
+
+    ``active`` is False so emission sites skip argument packing; code
+    that emits unconditionally still works and pays only the call.
+    """
+
+    active = False
+
+    def bind(self, sim) -> "NullRecorder":
+        return self
+
+    @property
+    def sim(self):
+        return None
+
+    capacity = 0
+    dump_path = None
+    dropped = 0
+    autodumps = 0
+
+    def emit(self, etype, node="", key="", **attrs) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def events(self) -> list:
+        return []
+
+    def to_dicts(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+
+#: Shared inactive recorder; the default for every Simulator.
+NULL_RECORDER = NullRecorder()

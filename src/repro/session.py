@@ -19,7 +19,12 @@ path string additionally exports a Chrome trace there when the session
 closes.  ``metrics=`` works the same way for time-series telemetry: pass
 ``True`` (or a :class:`~repro.telemetry.MetricsRegistry`) to attach a
 registry sampled every ``metrics_interval_ms`` of simulated time, or a
-path string to also export the JSONL timeline on close.
+path string to also export the JSONL timeline on close.  ``obs=``
+follows the same contract for the protocol-event flight recorder: pass
+``True`` (or a :class:`~repro.obs.FlightRecorder`) to record protocol
+events, or a path string to also dump the ring as JSONL on close — and,
+through the recorder's own auto-dump hook, the moment a fault is
+injected or the coherence checker flags a violation.
 """
 
 from __future__ import annotations
@@ -31,6 +36,8 @@ from typing import Optional
 from repro.cluster import Cluster
 from repro.config import SimConfig
 from repro.coord import CoordinationService
+from repro.obs import FlightRecorder
+from repro.obs import export_jsonl as _obs_export_jsonl
 from repro.schemes import build_scheme
 from repro.sim import Simulator
 from repro.telemetry import MetricsRegistry, Sampler
@@ -106,6 +113,7 @@ class Session:
         cores_per_node = kwargs.pop("cores_per_node", 8)
         trace = kwargs.pop("trace", None)
         metrics = kwargs.pop("metrics", None)
+        obs = kwargs.pop("obs", None)
         metrics_interval_ms = kwargs.pop("metrics_interval_ms", 100.0)
         config: Optional[SimConfig] = kwargs.pop("config", None)
         scheme_cfg = kwargs
@@ -120,7 +128,19 @@ class Session:
             registry = (metrics if isinstance(metrics, MetricsRegistry)
                         else MetricsRegistry())
         self.metrics: Optional[MetricsRegistry] = registry
-        self.sim = Simulator(seed=seed, tracer=tracer, metrics=registry)
+        self._obs = obs
+        # isinstance first: an empty FlightRecorder is falsy (len() == 0).
+        recorder = None
+        if isinstance(obs, FlightRecorder):
+            recorder = obs
+        elif isinstance(obs, str):
+            # Auto-dump to the same path on faults/violations too.
+            recorder = FlightRecorder(dump_path=obs)
+        elif obs:
+            recorder = FlightRecorder()
+        self.obs: Optional[FlightRecorder] = recorder
+        self.sim = Simulator(seed=seed, tracer=tracer, metrics=registry,
+                             obs=recorder)
         self.config = config or SimConfig(
             num_nodes=nodes, cores_per_node=cores_per_node)
         self.cluster = Cluster(self.sim, self.config)
@@ -200,14 +220,23 @@ class Session:
         else:
             raise ValueError(f"unknown metrics format {fmt!r}")
 
+    # -- flight recorder -----------------------------------------------------
+    def export_obs(self, path: str) -> None:
+        """Write the flight recorder's event ring to ``path`` (JSONL)."""
+        if self.obs is None:
+            raise RuntimeError("session was created without obs=...")
+        _obs_export_jsonl(self.obs, path)
+
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
-        """Finish the session; exports trace/timeline when requested."""
+        """Finish the session; exports trace/timeline/events as requested."""
         self.sampler.stop()
         if self.tracer is not None and isinstance(self._trace, str):
             self.export_trace(self._trace)
         if self.metrics is not None and isinstance(self._metrics, str):
             self.export_metrics(self._metrics)
+        if self.obs is not None and isinstance(self._obs, str):
+            self.export_obs(self._obs)
 
     def __enter__(self) -> "Session":
         return self

@@ -8,6 +8,7 @@ from typing import Iterable, Optional
 from repro.sim.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import RAW_WAIT, Process, ProcessGenerator
+from repro.obs.recorder import NULL_RECORDER
 from repro.sim.rng import RngRegistry
 from repro.sim.wheel import _MAX_FREE, EventWheel
 from repro.telemetry.registry import NULL_REGISTRY
@@ -30,7 +31,7 @@ class Simulator:
     relative order is exactly what the old heap scheduler produced.
     """
 
-    def __init__(self, seed: int = 0, tracer=None, metrics=None):
+    def __init__(self, seed: int = 0, tracer=None, metrics=None, obs=None):
         self._now = 0.0
         self._wheel = EventWheel()
         self._seq = 0
@@ -48,6 +49,9 @@ class Simulator:
         self.metrics = (
             metrics if metrics is not None else NULL_REGISTRY
         ).bind(self)
+        #: Flight recorder (repro.obs); the shared no-op recorder unless
+        #: one is attached, so emission sites can gate on obs.active.
+        self.obs = (obs if obs is not None else NULL_RECORDER).bind(self)
 
     @property
     def now(self) -> float:

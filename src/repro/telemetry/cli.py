@@ -6,6 +6,7 @@ Usage::
     repro-metrics out.jsonl --metric NAME      # one metric's timelines
     repro-metrics out.jsonl --anomalies        # SLO/anomaly report
     repro-metrics out.jsonl --format=json      # machine-readable summary
+    repro-metrics out.jsonl --since 500 --until 1500   # sim-time window
 
 Accepts JSONL and CSV timeline exports (auto-detected).  All times shown
 are simulated milliseconds.
@@ -24,6 +25,7 @@ from repro.cli_common import (
     EXIT_OK,
     EXIT_USAGE,
     common_parent,
+    in_window,
     output_stream,
 )
 from repro.telemetry.anomaly import detect_anomalies
@@ -42,7 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
                      "or CSV): per-metric timelines, a per-node "
                      "utilization summary, and a rule-based SLO/anomaly "
                      "report over simulated time."),
-        parents=[common_parent(formats=("text", "json"), out=True)],
+        parents=[common_parent(formats=("text", "json"), out=True,
+                               window=True)],
     )
     parser.add_argument("timeline", type=Path,
                         help="timeline file written by the telemetry "
@@ -143,6 +146,15 @@ def _run(args, out) -> int:
     if args.metric is not None:
         series_list = [series for series in series_list
                        if series["name"] == args.metric]
+
+    if args.since is not None or args.until is not None:
+        windowed = []
+        for series in series_list:
+            points = [point for point in series["points"]
+                      if in_window(point[0], args.since, args.until)]
+            if points:
+                windowed.append({**series, "points": points})
+        series_list = windowed
 
     anomalies = detect_anomalies(series_list,
                                  slo_latency_ms=args.slo_latency_ms)

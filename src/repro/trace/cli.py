@@ -5,6 +5,7 @@ Usage::
     repro-trace out.json                 # Fig. 1-style breakdown table
     repro-trace out.json --format=json   # machine-readable summary
     repro-trace out.json --ops           # only the per-op table
+    repro-trace out.json --since 500 --until 1500   # sim-time window
 
 Accepts both export formats (JSONL span records and Chrome trace_event
 documents) and auto-detects which one it was given.
@@ -18,7 +19,13 @@ import sys
 from pathlib import Path
 from typing import Optional
 
-from repro.cli_common import EXIT_OK, EXIT_USAGE, common_parent, output_stream
+from repro.cli_common import (
+    EXIT_OK,
+    EXIT_USAGE,
+    common_parent,
+    output_stream,
+    overlaps_window,
+)
 from repro.trace.export import load_trace
 from repro.trace.summary import (
     category_totals,
@@ -34,7 +41,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=("Summarize a repro.trace export (JSONL or Chrome "
                      "trace_event) into a Fig. 1-style latency-breakdown "
                      "table."),
-        parents=[common_parent(formats=("text", "json"), out=True)],
+        parents=[common_parent(formats=("text", "json"), out=True,
+                               window=True)],
     )
     parser.add_argument("trace", type=Path,
                         help="trace file written by Tracer export "
@@ -66,6 +74,12 @@ def _run(args, out) -> int:
         print(f"error: {args.trace} is not a repro trace export: {exc}",
               file=out)
         return EXIT_USAGE
+
+    if args.since is not None or args.until is not None:
+        spans = [span for span in spans
+                 if overlaps_window(span.get("start_ms", 0.0),
+                                    span.get("end_ms", 0.0),
+                                    args.since, args.until)]
 
     if args.format == "json":
         payload = {

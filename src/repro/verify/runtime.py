@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs.events import VERIFY_VIOLATION
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster import Cluster
     from repro.core import ConcordSystem
@@ -54,6 +56,14 @@ def check_coherence(
     storage = system.storage
     live = _live_agents(system, cluster)
     violations: list[str] = []
+    obs = system.sim.obs
+
+    def flag(key: str, node: str, message: str) -> None:
+        violations.append(message)
+        # A dump-trigger event: a recorder with a dump_path writes the
+        # flight recording out the moment the checker finds a violation.
+        if obs.active:
+            obs.emit(VERIFY_VIOLATION, node=node, key=key, detail=message)
 
     # -- no stale cached copies (write-through: cache == storage) -------
     for node_id, agent in live.items():
@@ -63,12 +73,12 @@ def check_coherence(
                 continue
             record = storage.peek(key)
             if record is None:
-                violations.append(
-                    f"{node_id}: caches {key!r} but storage has no record")
+                flag(key, node_id,
+                     f"{node_id}: caches {key!r} but storage has no record")
             elif entry.value != record.value:
-                violations.append(
-                    f"{node_id}: stale copy of {key!r} "
-                    f"(cached {entry.value!r} != stored {record.value!r})")
+                flag(key, node_id,
+                     f"{node_id}: stale copy of {key!r} "
+                     f"(cached {entry.value!r} != stored {record.value!r})")
 
     # -- directory entries: structure, liveness of sharers, homing ------
     homes_of: dict[str, list[str]] = {}
@@ -76,29 +86,29 @@ def check_coherence(
         for entry in agent.directory.entries():
             homes_of.setdefault(entry.key, []).append(node_id)
             if not entry.is_valid():
-                violations.append(
-                    f"{node_id}: directory entry for {entry.key!r} is "
-                    f"structurally invalid ({entry.state}, "
-                    f"{len(entry.sharers)} sharers)")
+                flag(entry.key, node_id,
+                     f"{node_id}: directory entry for {entry.key!r} is "
+                     f"structurally invalid ({entry.state}, "
+                     f"{len(entry.sharers)} sharers)")
             for sharer in sorted(entry.sharers):
                 if sharer not in live:
-                    violations.append(
-                        f"{node_id}: directory entry for {entry.key!r} "
-                        f"points at dead/ejected node {sharer!r}")
+                    flag(entry.key, node_id,
+                         f"{node_id}: directory entry for {entry.key!r} "
+                         f"points at dead/ejected node {sharer!r}")
                 elif sharer not in agent.ring.members:
-                    violations.append(
-                        f"{node_id}: directory entry for {entry.key!r} "
-                        f"lists {sharer!r}, not a ring member")
+                    flag(entry.key, node_id,
+                         f"{node_id}: directory entry for {entry.key!r} "
+                         f"lists {sharer!r}, not a ring member")
             if (agent.ring.members
                     and agent.ring.home(entry.key) != node_id):
-                violations.append(
-                    f"{node_id}: directory entry for {entry.key!r} parked "
-                    f"away from its home "
-                    f"{agent.ring.home(entry.key)!r}")
+                flag(entry.key, node_id,
+                     f"{node_id}: directory entry for {entry.key!r} parked "
+                     f"away from its home "
+                     f"{agent.ring.home(entry.key)!r}")
     for key, holders in homes_of.items():
         if len(holders) > 1:
-            violations.append(
-                f"duplicate directory entries for {key!r} at {holders}")
+            flag(key, "",
+                 f"duplicate directory entries for {key!r} at {holders}")
 
     return violations
 

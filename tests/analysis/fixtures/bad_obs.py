@@ -1,0 +1,47 @@
+"""Known-bad flight-recorder idioms; OBS01 must fire at the marked lines."""
+
+from repro.obs.events import CACHE_INSTALL
+
+
+class Emitter:
+    def __init__(self, obs):
+        self.obs = obs
+        self.sharers = {"node0", "node1"}
+
+    def literal_event_type(self):
+        self.obs.emit("cache.install", node="n0")              # line 12
+
+    def formatted_event_type(self, op):
+        if self.obs.active:
+            self.obs.emit(f"cache.{op}", node="n0")            # line 16
+
+    def interned_ok(self):
+        self.obs.emit(CACHE_INSTALL, node="n0")
+
+    def set_order_attr(self):
+        if self.obs.active:
+            self.obs.emit(CACHE_INSTALL,
+                          holders=list(self.sharers))          # line 24
+
+    def sorted_set_attr_ok(self):
+        if self.obs.active:
+            self.obs.emit(CACHE_INSTALL, holders=sorted(self.sharers))
+
+    def reduced_set_attr_ok(self):
+        if self.obs.active:
+            self.obs.emit(CACHE_INSTALL, holders=len(self.sharers))
+
+    def unguarded_expensive(self, entries):
+        self.obs.emit(CACHE_INSTALL, count=len(entries))       # line 35
+
+    def guarded_expensive_ok(self, entries):
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.emit(CACHE_INSTALL, count=len(entries))
+
+    def unguarded_cheap_ok(self, node_id):
+        self.obs.emit(CACHE_INSTALL, node=node_id)
+
+    def unrelated_emitter_not_flagged(self, signal):
+        # .emit() on a non-recorder receiver is not OBS01's business.
+        signal.emit("clicked", x=1)

@@ -296,6 +296,47 @@ class TestBenchRules:
         assert [(f.rule, f.line) for f in report.findings] == [("BEN01", 7)]
 
 
+class TestObsRules:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return Analyzer().run([FIXTURES / "bad_obs.py"])
+
+    def test_literal_event_type_flagged(self, report):
+        assert ("OBS01", 12) in keys(report)
+
+    def test_formatted_event_type_flagged(self, report):
+        assert ("OBS01", 16) in keys(report)
+
+    def test_interned_constant_clean(self, report):
+        assert not any(f.rule == "OBS01"
+                       and f.symbol == "Emitter.interned_ok"
+                       for f in report.findings)
+
+    def test_set_materializing_attr_flagged(self, report):
+        assert ("OBS01", 24) in keys(report)
+
+    def test_order_safe_set_attrs_clean(self, report):
+        for symbol in ("Emitter.sorted_set_attr_ok",
+                       "Emitter.reduced_set_attr_ok"):
+            assert not any(f.rule == "OBS01" and f.symbol == symbol
+                           for f in report.findings)
+
+    def test_unguarded_expensive_args_flagged(self, report):
+        assert ("OBS01", 35) in keys(report)
+
+    def test_guarded_and_cheap_emits_clean(self, report):
+        for symbol in ("Emitter.guarded_expensive_ok",
+                       "Emitter.unguarded_cheap_ok"):
+            assert not any(f.rule == "OBS01" and f.symbol == symbol
+                           for f in report.findings)
+
+    def test_non_recorder_receiver_clean(self, report):
+        assert not any(
+            f.rule == "OBS01"
+            and f.symbol == "Emitter.unrelated_emitter_not_flagged"
+            for f in report.findings)
+
+
 def test_select_restricts_rules():
     report = run_on("bad_determinism.py", select=["DET02"])
     assert {f.rule for f in report.findings} == {"DET02"}

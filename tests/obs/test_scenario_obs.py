@@ -1,0 +1,81 @@
+"""Fault scenarios with obs=: fingerprint neutrality and auto-dump."""
+
+import pytest
+
+from repro.faults import FaultPlan, run_fault_scenario
+from repro.obs import load_events, loads_events
+from repro.obs.events import FAULT_INJECT
+
+NODES = [f"node{i}" for i in range(4)]
+DURATION_MS = 2500.0
+RPS = 16.0
+HORIZON_MS = 1500.0
+SEED = 21
+
+
+def _plan():
+    return FaultPlan.random(
+        seed=SEED, node_ids=NODES, horizon_ms=HORIZON_MS,
+        crashes=1, restart=True, drops=1, delays=0, brownouts=0,
+    )
+
+
+def _run(obs):
+    return run_fault_scenario(
+        _plan(), seed=SEED, num_nodes=len(NODES),
+        duration_ms=DURATION_MS, rps=RPS, obs=obs,
+    )
+
+
+@pytest.fixture(scope="module")
+def obs_on():
+    return _run(obs=True)
+
+
+@pytest.fixture(scope="module")
+def obs_off():
+    return _run(obs=None)
+
+
+class TestFingerprintNeutrality:
+    def test_recorder_does_not_perturb_the_run(self, obs_on, obs_off):
+        # The recorder is purely passive: same plan, same seed, same
+        # fingerprint — counters, telemetry bytes, violations — with and
+        # without it attached.
+        assert obs_on.fingerprint() == obs_off.fingerprint()
+
+    def test_obs_jsonl_only_on_request(self, obs_on, obs_off):
+        assert obs_off.obs_jsonl == ""
+        assert obs_on.obs_jsonl != ""
+
+
+class TestRecording:
+    def test_obs_jsonl_parses_and_covers_the_faults(self, obs_on):
+        events = loads_events(obs_on.obs_jsonl)
+        assert events
+        injected = [e for e in events if e["type"] == FAULT_INJECT]
+        assert len(injected) == len(obs_on.applied)
+        kinds = [e["attrs"]["kind"] for e in injected]
+        assert [kind for _t, kind, _detail in obs_on.applied] == kinds
+
+    def test_events_time_ordered(self, obs_on):
+        events = loads_events(obs_on.obs_jsonl)
+        stamps = [(e["t"], e["seq"]) for e in events]
+        assert stamps == sorted(stamps)
+
+    def test_replay_is_byte_identical(self, obs_on):
+        assert _run(obs=True).obs_jsonl == obs_on.obs_jsonl
+
+
+class TestAutoDump:
+    def test_dump_path_written_at_first_fault(self, tmp_path, obs_on):
+        target = tmp_path / "flight.jsonl"
+        outcome = _run(obs=str(target))
+        assert outcome.fingerprint() == obs_on.fingerprint()
+        assert target.exists()
+        # The on-disk dump is the final autodump: a prefix of the full
+        # recording, ending at a dump-trigger event.
+        dumped = load_events(target)
+        assert dumped and dumped[-1]["type"] == FAULT_INJECT
+        full = loads_events(outcome.obs_jsonl)
+        assert dumped == full[:len(dumped)]

@@ -1,0 +1,105 @@
+"""merge_timeline: ordering, window filtering, counts, renderers."""
+
+from repro.obs.events import CACHE_INSTALL, FAULT_INJECT
+from repro.obs.timeline import merge_timeline, render_html, render_text
+
+
+def _event(seq, t, etype, node="n0", key="k", trace=0, span=0, tick=0,
+           **attrs):
+    return {"seq": seq, "t": t, "type": etype, "node": node, "key": key,
+            "trace": trace, "span": span, "tick": tick, "attrs": attrs}
+
+
+def _span(span_id, start, end, name="read", trace_id=1, **attrs):
+    return {"span_id": span_id, "trace_id": trace_id, "name": name,
+            "category": "op", "start_ms": start, "end_ms": end,
+            "parent_id": None, "attrs": attrs}
+
+
+def _series(points, name="m"):
+    return {"name": name, "labels": {}, "points": points}
+
+
+EVENTS = [
+    _event(1, 10.0, CACHE_INSTALL, state="S"),
+    _event(2, 50.0, FAULT_INJECT, node="", key="", kind="NodeCrash"),
+    _event(3, 90.0, CACHE_INSTALL, state="E"),
+]
+SPANS = [_span(7, 5.0, 60.0), _span(8, 70.0, 80.0)]
+SERIES = [_series([[10.0, 1.0], [50.0, 2.0]]),
+          _series([[50.0, 4.0]], name="m2")]
+
+
+class TestMerge:
+    def test_rows_ordered_by_time_then_source(self):
+        timeline = merge_timeline(EVENTS, spans=SPANS, series=SERIES)
+        order = [(row["t"], row["source"]) for row in timeline["rows"]]
+        assert order == sorted(
+            order, key=lambda pair: (pair[0],
+                                     {"metric": 0, "span": 1,
+                                      "event": 2}[pair[1]]))
+        # Same instant: the metric tick precedes the event it stamped.
+        at_10 = [row["source"] for row in timeline["rows"]
+                 if row["t"] == 10.0]
+        assert at_10 == ["metric", "event"]
+
+    def test_counts(self):
+        timeline = merge_timeline(EVENTS, spans=SPANS, series=SERIES)
+        assert timeline["counts"] == {"events": 3, "spans": 2, "ticks": 2}
+
+    def test_metric_instants_deduplicate_across_series(self):
+        timeline = merge_timeline([], series=SERIES)
+        metric_rows = [row for row in timeline["rows"]
+                       if row["source"] == "metric"]
+        assert [row["t"] for row in metric_rows] == [10.0, 50.0]
+        assert [row["tick"] for row in metric_rows] == [1, 2]
+        assert [row["points"] for row in metric_rows] == [1, 2]
+
+    def test_window_points_inside_spans_overlapping(self):
+        timeline = merge_timeline(EVENTS, spans=SPANS, series=SERIES,
+                                  since=40.0, until=65.0)
+        assert timeline["window"] == [40.0, 65.0]
+        events = [row["seq"] for row in timeline["rows"]
+                  if row["source"] == "event"]
+        assert events == [2]
+        # Span 7 overlaps [40, 65] even though it starts at 5.0.
+        spans = [row["seq"] for row in timeline["rows"]
+                 if row["source"] == "span"]
+        assert spans == [7]
+        ticks = [row["t"] for row in timeline["rows"]
+                 if row["source"] == "metric"]
+        assert ticks == [50.0]
+
+    def test_empty_inputs(self):
+        timeline = merge_timeline([])
+        assert timeline["rows"] == []
+        assert timeline["counts"] == {"events": 0, "spans": 0, "ticks": 0}
+
+
+class TestRenderers:
+    def test_text_has_header_and_one_line_per_row(self):
+        timeline = merge_timeline(EVENTS, spans=SPANS, series=SERIES)
+        text = render_text(timeline, title="tl")
+        lines = text.splitlines()
+        assert lines[0].startswith(
+            "tl: window=[start, end]ms events=3 spans=2 metric_ticks=2")
+        assert len(lines) == 2 + len(timeline["rows"])
+        assert any("fault.inject" in line and "kind=NodeCrash" in line
+                   for line in lines)
+
+    def test_text_window_bounds_in_header(self):
+        timeline = merge_timeline(EVENTS, since=40.0, until=65.0)
+        assert "window=[40.000, 65.000]ms" in render_text(timeline)
+
+    def test_html_is_self_contained_table(self):
+        timeline = merge_timeline(EVENTS, spans=SPANS, series=SERIES)
+        html = render_html(timeline, title="t<l")
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.endswith("</table></body></html>\n")
+        assert "t&lt;l" in html  # title is escaped
+        assert html.count('<tr class="') == len(timeline["rows"])
+
+    def test_event_attrs_render_sorted(self):
+        timeline = merge_timeline(
+            [_event(1, 1.0, CACHE_INSTALL, z=1, a=2)])
+        assert "a=2 z=1" in render_text(timeline)
