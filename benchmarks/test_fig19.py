@@ -1,0 +1,25 @@
+"""Benchmark: sharded directory under faults, by topology (fig19 ext)."""
+
+from repro.experiments import fig19_topology
+
+
+def test_fig19(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig19_topology.run, kwargs={"scale": scale}, rounds=1, iterations=1)
+    show(result)
+    rows = {r["topology"]: r for r in result.rows()}
+    assert set(rows) == {"flat", "shard4", "shard4rep", "region2"}
+    for row in rows.values():
+        # Sharding changes where directory state lives, never whether it
+        # is coherent: zero stale copies, no dual-home entries.
+        assert row["violations"] == 0
+        assert row["completion_ratio"] > 0.9
+    # Replica chains make the leader crash an actual failover; without
+    # replication the crash cold-rebuilds and no mirror adoption happens.
+    assert rows["shard4rep"]["failovers"] >= 1
+    assert rows["region2"]["failovers"] >= 1
+    assert rows["flat"]["failovers"] == 0
+    # Sharded cells re-home shards when the crashed leader leaves and
+    # rejoins the chain.
+    assert rows["shard4"]["rehomed"] >= 1
+    assert rows["shard4rep"]["rehomed"] >= 1

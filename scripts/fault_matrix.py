@@ -23,10 +23,16 @@ recorder (provably fingerprint-neutral; the bench gate pins it), and on
 failure its full dump lands next to the failing plan as
 ``flight_seed{N}.jsonl`` — ready for ``repro-inspect timeline``.
 
+With ``--topology`` the same randomized schedule runs against a named
+preset from :mod:`repro.shard.topologies` — crashes are re-targeted at
+a shard *leader* (the shard index cycles with the seed) and regional
+presets additionally partition one region mid-run, so the nightly
+matrix sweeps the failure modes sharding introduces.
+
 Usage::
 
     PYTHONPATH=src python scripts/fault_matrix.py [--seed N]
-        [--artifacts DIR] [--skip-subprocess] [--obs]
+        [--topology NAME] [--artifacts DIR] [--skip-subprocess] [--obs]
 """
 
 import argparse
@@ -34,13 +40,16 @@ import json
 import os
 import subprocess
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.faults.plan import FaultPlan  # noqa: E402
+from repro.faults.plan import FaultPlan, RegionPartition  # noqa: E402
 from repro.faults.scenario import run_fault_scenario  # noqa: E402
+from repro.shard.router import ShardRouter  # noqa: E402
+from repro.shard.topologies import TOPOLOGIES  # noqa: E402
 
 NUM_NODES = 6
 DURATION_MS = 8000.0
@@ -53,32 +62,55 @@ MARKER = "===TELEMETRY==="
 REPLAY_SNIPPET = """\
 import json, sys
 from repro.faults.plan import FaultPlan
+from repro.shard.topologies import TOPOLOGIES
 from repro.faults.scenario import run_fault_scenario
 
 plan = FaultPlan.from_json(sys.argv[1])
+topology = TOPOLOGIES[sys.argv[2]]
 out = run_fault_scenario(plan, seed=plan.seed, num_nodes={num_nodes},
-                         duration_ms={duration}, rps={rps})
+                         duration_ms={duration}, rps={rps},
+                         **topology.scenario_kwargs())
 print({marker!r})
 sys.stdout.write(out.telemetry_jsonl)
 """
 
 
-def build_plan(seed: int) -> FaultPlan:
+def build_plan(seed: int, topology: str = "flat") -> FaultPlan:
     node_ids = [f"node{i}" for i in range(NUM_NODES)]
-    return FaultPlan.random(
+    plan = FaultPlan.random(
         seed=seed, node_ids=node_ids, horizon_ms=DURATION_MS,
         crashes=1, restart=True, drops=1, delays=1, brownouts=1,
     )
+    topo = TOPOLOGIES[topology]
+    if topo.shards is None:
+        return plan
+    # Shard-aware targeting: aim every crash/restart at a shard leader
+    # (which shard cycles with the seed, so the nightly sweep visits
+    # different leaders) instead of the random victim.
+    router = ShardRouter(node_ids, num_shards=topo.shards,
+                         replication=topo.replication)
+    leader = router.leader_of(seed % topo.shards)
+    events = [
+        replace(event, node=leader)
+        if event.kind in ("NodeCrash", "NodeRestart") else event
+        for event in plan.events
+    ]
+    if topo.regions is not None:
+        region = f"region{seed % topo.regions}"
+        events.append(RegionPartition(
+            at_ms=0.45 * DURATION_MS, duration_ms=600.0, region=region))
+    return FaultPlan(events=tuple(events), seed=seed)
 
 
-def subprocess_telemetry(plan: FaultPlan, hashseed: str) -> str:
+def subprocess_telemetry(plan: FaultPlan, topology: str,
+                         hashseed: str) -> str:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = hashseed
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     snippet = REPLAY_SNIPPET.format(
         num_nodes=NUM_NODES, duration=DURATION_MS, rps=RPS, marker=MARKER)
     proc = subprocess.run(
-        [sys.executable, "-c", snippet, plan.to_json()],
+        [sys.executable, "-c", snippet, plan.to_json(), topology],
         env=env, capture_output=True, text=True, timeout=600,
     )
     if proc.returncode != 0:
@@ -88,20 +120,23 @@ def subprocess_telemetry(plan: FaultPlan, hashseed: str) -> str:
 
 
 def check_seed(seed: int, skip_subprocess: bool,
-               obs: bool = False) -> tuple:
+               obs: bool = False, topology: str = "flat") -> tuple:
     """Run the matrix cell for one seed.
 
     Returns ``(problems, obs_jsonl)`` — the flight-recorder dump is ""
     unless ``obs`` was requested.
     """
     problems = []
-    plan = build_plan(seed)
-    print(f"[seed {seed}] plan: {', '.join(plan.kinds())}")
+    plan = build_plan(seed, topology)
+    kwargs = TOPOLOGIES[topology].scenario_kwargs()
+    print(f"[seed {seed}/{topology}] plan: {', '.join(plan.kinds())}")
 
     first = run_fault_scenario(plan, seed=seed, num_nodes=NUM_NODES,
-                               duration_ms=DURATION_MS, rps=RPS, obs=obs)
+                               duration_ms=DURATION_MS, rps=RPS, obs=obs,
+                               **kwargs)
     second = run_fault_scenario(plan, seed=seed, num_nodes=NUM_NODES,
-                                duration_ms=DURATION_MS, rps=RPS)
+                                duration_ms=DURATION_MS, rps=RPS,
+                                **kwargs)
     if first.fingerprint() != second.fingerprint():
         problems.append("in-process replay diverged (same seed, same plan)")
 
@@ -119,15 +154,15 @@ def check_seed(seed: int, skip_subprocess: bool,
         problems.append("no requests completed")
 
     if not skip_subprocess:
-        tele0 = subprocess_telemetry(plan, "0")
-        tele1 = subprocess_telemetry(plan, "1")
+        tele0 = subprocess_telemetry(plan, topology, "0")
+        tele1 = subprocess_telemetry(plan, topology, "1")
         if tele0 != tele1:
             problems.append("telemetry differs between PYTHONHASHSEED 0 and 1")
         if tele0 != first.telemetry_jsonl:
             problems.append("subprocess telemetry differs from in-process run")
 
     status = "ok" if not problems else "FAIL"
-    print(f"[seed {seed}] completed={first.completed} "
+    print(f"[seed {seed}/{topology}] completed={first.completed} "
           f"failures_detected={len(first.failures_detected)} "
           f"recoveries={first.recoveries_completed} "
           f"violations={len(first.violations)} -> {status}")
@@ -138,6 +173,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=0,
                         help="fault-plan seed (default 0)")
+    parser.add_argument("--topology", default="flat",
+                        choices=sorted(TOPOLOGIES),
+                        help="topology preset to run the plan against "
+                             "(default flat)")
     parser.add_argument("--artifacts", default="fault-artifacts",
                         help="directory for failing plans/reports")
     parser.add_argument("--skip-subprocess", action="store_true",
@@ -149,25 +188,27 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     problems, obs_jsonl = check_seed(args.seed, args.skip_subprocess,
-                                     obs=args.obs)
+                                     obs=args.obs, topology=args.topology)
     if not problems:
         return 0
 
     artifacts = Path(args.artifacts)
     artifacts.mkdir(parents=True, exist_ok=True)
-    plan = build_plan(args.seed)
-    plan.save(artifacts / f"failing_plan_seed{args.seed}.json")
+    cell = f"seed{args.seed}_{args.topology}"
+    plan = build_plan(args.seed, args.topology)
+    plan.save(artifacts / f"failing_plan_{cell}.json")
     if obs_jsonl:
-        flight_path = artifacts / f"flight_seed{args.seed}.jsonl"
+        flight_path = artifacts / f"flight_{cell}.jsonl"
         flight_path.write_text(obs_jsonl, encoding="utf-8")
     report = {
         "seed": args.seed,
+        "topology": args.topology,
         "num_nodes": NUM_NODES,
         "duration_ms": DURATION_MS,
         "rps": RPS,
         "problems": problems,
     }
-    report_path = artifacts / f"report_seed{args.seed}.json"
+    report_path = artifacts / f"report_{cell}.json"
     with open(report_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Topology matrix: every topology's smoke plan must replay identically.
+
+For the given topology cell this script:
+
+1. loads the named preset from :mod:`repro.shard.topologies` and its
+   canonical smoke plan (crash the shard-0 leader, partition a region —
+   whatever the topology adds),
+2. runs the scenario twice in-process and compares the full outcome
+   fingerprint (request counts, failure declarations, injector log,
+   coherence verdict, telemetry bytes, shard table, re-home counters),
+3. re-runs it in subprocesses under PYTHONHASHSEED=0 and =1 and
+   byte-compares the full fingerprints (not just telemetry — the shard
+   table and re-home counters must be hash-seed-independent too),
+4. asserts the run ends coherent (zero invariant violations).
+
+On any failure the plan, a report, and the divergent fingerprint dumps
+land in ``--artifacts`` (CI uploads them), so the failing cell replays
+locally with::
+
+    PYTHONPATH=src python scripts/topology_matrix.py --topology NAME
+
+Usage::
+
+    PYTHONPATH=src python scripts/topology_matrix.py [--topology NAME]
+        [--seed N] [--artifacts DIR] [--skip-subprocess] [--obs]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.shard.topologies import (  # noqa: E402
+    TOPOLOGIES,
+    run_topology_scenario,
+    smoke_plan,
+)
+
+#: Emitted by the subprocess replay so the parent can extract the
+#: fingerprint repr from stdout regardless of warnings/log noise.
+MARKER = "===FINGERPRINT==="
+
+REPLAY_SNIPPET = """\
+import sys
+from repro.faults.plan import FaultPlan
+from repro.shard.topologies import run_topology_scenario
+
+plan = FaultPlan.from_json(sys.argv[2])
+out = run_topology_scenario(sys.argv[1], seed=int(sys.argv[3]), plan=plan)
+print({marker!r})
+sys.stdout.write(repr(out.fingerprint()))
+"""
+
+
+def subprocess_fingerprint(topology: str, plan, seed: int,
+                           hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    snippet = REPLAY_SNIPPET.format(marker=MARKER)
+    proc = subprocess.run(
+        [sys.executable, "-c", snippet, topology, plan.to_json(), str(seed)],
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"replay under PYTHONHASHSEED={hashseed} failed:\n{proc.stderr}")
+    return proc.stdout.split(MARKER + "\n", 1)[1]
+
+
+def check_cell(topology: str, seed: int, skip_subprocess: bool,
+               obs: bool = False) -> tuple:
+    """Run the matrix cell for one topology.
+
+    Returns ``(problems, fingerprints, obs_jsonl)`` — ``fingerprints``
+    maps label -> fingerprint repr for divergence dumps.
+    """
+    problems = []
+    fingerprints = {}
+    plan = smoke_plan(topology)
+    print(f"[{topology}] plan: {', '.join(plan.kinds())}")
+
+    first = run_topology_scenario(topology, seed=seed, plan=plan, obs=obs)
+    second = run_topology_scenario(topology, seed=seed, plan=plan)
+    fingerprints["inprocess_a"] = repr(first.fingerprint())
+    fingerprints["inprocess_b"] = repr(second.fingerprint())
+    if first.fingerprint() != second.fingerprint():
+        problems.append("in-process replay diverged (same seed, same plan)")
+
+    if first.violations:
+        problems.append(
+            "coherence violations after recovery: "
+            + "; ".join(first.violations))
+    if first.completed == 0:
+        problems.append("no requests completed")
+    if TOPOLOGIES[topology].shards is not None and not first.shard_table:
+        problems.append("sharded topology produced an empty shard table")
+
+    if not skip_subprocess:
+        fp0 = subprocess_fingerprint(topology, plan, seed, "0")
+        fp1 = subprocess_fingerprint(topology, plan, seed, "1")
+        fingerprints["hashseed0"] = fp0
+        fingerprints["hashseed1"] = fp1
+        if fp0 != fp1:
+            problems.append(
+                "fingerprint differs between PYTHONHASHSEED 0 and 1")
+        if fp0 != fingerprints["inprocess_a"]:
+            problems.append(
+                "subprocess fingerprint differs from in-process run")
+
+    status = "ok" if not problems else "FAIL"
+    print(f"[{topology}] completed={first.completed} "
+          f"failovers={first.shard_failovers} "
+          f"rehomed={first.shards_rehomed} "
+          f"violations={len(first.violations)} -> {status}")
+    return problems, fingerprints, first.obs_jsonl
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--topology", default="flat",
+                        choices=sorted(TOPOLOGIES),
+                        help="matrix cell to run (default flat)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed (default 0)")
+    parser.add_argument("--artifacts", default="topology-artifacts",
+                        help="directory for failing plans/reports")
+    parser.add_argument("--skip-subprocess", action="store_true",
+                        help="skip the PYTHONHASHSEED subprocess replays")
+    parser.add_argument("--obs", action="store_true",
+                        help="record protocol events; on failure the "
+                             "flight-recorder dump is written next to "
+                             "the failing plan")
+    args = parser.parse_args(argv)
+
+    problems, fingerprints, obs_jsonl = check_cell(
+        args.topology, args.seed, args.skip_subprocess, obs=args.obs)
+    if not problems:
+        return 0
+
+    artifacts = Path(args.artifacts)
+    artifacts.mkdir(parents=True, exist_ok=True)
+    cell = f"{args.topology}_seed{args.seed}"
+    smoke_plan(args.topology).save(artifacts / f"failing_plan_{cell}.json")
+    for label, dump in sorted(fingerprints.items()):
+        (artifacts / f"fingerprint_{cell}_{label}.txt").write_text(
+            dump, encoding="utf-8")
+    if obs_jsonl:
+        (artifacts / f"flight_{cell}.jsonl").write_text(
+            obs_jsonl, encoding="utf-8")
+    report = {
+        "topology": args.topology,
+        "seed": args.seed,
+        "problems": problems,
+    }
+    with open(artifacts / f"report_{cell}.json", "w",
+              encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    print(f"artifacts written to {artifacts}/", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,10 @@ OP_COVERAGE = {
     "fetch_downgrade": ("Read",),
     "invalidate": ("Write",),
     "external_write": ("Write",),
+    # Shard-replica mirroring: entry snapshots fan out on every
+    # directory mutation (reads create entries too) and the mirror is
+    # consumed when a follower adopts a failed leader's shards.
+    "dir_replicate": ("Read", "Write", "RecoverOnFail"),
 }
 
 #: Model transitions that drive membership/recovery rather than one RPC.

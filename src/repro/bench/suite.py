@@ -37,7 +37,7 @@ from repro.obs import FlightRecorder
 
 __all__ = ["DEFAULT_SEED", "SUITES", "fig08_point", "fig08_point_obs",
            "fig13_churn_point", "fig13_churn_point_obs", "load_suite",
-           "scale_point", "scale_suite", "tier1_suite"]
+           "scale_point", "scale_suite", "tier1_suite", "topology_point"]
 
 DEFAULT_SEED = 1009
 
@@ -176,6 +176,31 @@ def scale_point(seed: int = DEFAULT_SEED, num_nodes: int = 100,
     }
 
 
+def topology_point(topology: str, seed: int = DEFAULT_SEED) -> dict:
+    """One fault-free run of a named topology matrix cell.
+
+    Exercises the routing layer the topology adds — shard resolution,
+    replica mirroring, cross-region latency — without any injected
+    faults, so the counters isolate steady-state topology overhead.
+    Every returned key is a simulated counter and gates bit-exactly.
+    """
+    from repro.faults.plan import FaultPlan
+    from repro.shard.topologies import DURATION_MS, run_topology_scenario
+
+    with quiesce_gc():
+        outcome = run_topology_scenario(
+            topology, seed=seed, plan=FaultPlan(events=()))
+    return {
+        "simulated_ms": DURATION_MS,
+        "requests_completed": outcome.completed,
+        "simulated_rps": round(outcome.completed / (DURATION_MS / 1000.0), 2),
+        "shards": len(outcome.shard_table),
+        "shards_rehomed": outcome.shards_rehomed,
+        "shard_failovers": outcome.shard_failovers,
+        "violations": len(outcome.violations),
+    }
+
+
 def tier1_suite(seed: int = DEFAULT_SEED) -> List[JobSpec]:
     """The CI perf-gate suite."""
     return [
@@ -187,6 +212,15 @@ def tier1_suite(seed: int = DEFAULT_SEED) -> List[JobSpec]:
                 target="repro.bench.suite:fig08_point_obs", seed=seed),
         JobSpec(name="fig13_churn_point_obs",
                 target="repro.bench.suite:fig13_churn_point_obs", seed=seed),
+        JobSpec(name="topo_flat",
+                target="repro.bench.suite:topology_point",
+                args={"topology": "flat"}, seed=seed),
+        JobSpec(name="topo_shard4",
+                target="repro.bench.suite:topology_point",
+                args={"topology": "shard4"}, seed=seed),
+        JobSpec(name="topo_region2",
+                target="repro.bench.suite:topology_point",
+                args={"topology": "region2"}, seed=seed),
     ]
 
 

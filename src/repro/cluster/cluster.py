@@ -25,8 +25,10 @@ class Cluster:
     def __init__(self, sim: "Simulator", config: Optional[SimConfig] = None):
         self.sim = sim
         self.config = config or SimConfig()
-        self.network = Network(sim, self.config.latency)
-        self.storage = GlobalStorage(sim, self.config.latency)
+        self.network = Network(sim, self.config.latency,
+                               topology=self.config.regions)
+        self.storage = GlobalStorage(sim, self.config.latency,
+                                     topology=self.config.regions)
         self.nodes: dict[str, Node] = {}
         for index in range(self.config.num_nodes):
             node_id = f"node{index}"

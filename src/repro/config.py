@@ -122,6 +122,13 @@ class SimConfig:
     #: Latency model shared by all components.
     latency: LatencyModel = field(default_factory=LatencyModel)
 
+    #: Optional :class:`~repro.net.regions.RegionTopology` layering a
+    #: multi-region network model over the cluster: cross-region messages
+    #: and storage operations pay the region pair's extra RTT on top of
+    #: the base latency model.  ``None`` keeps the flat single-region
+    #: fabric.
+    regions: object = None
+
     #: Root RNG seed; every component derives a named substream.
     seed: int = 0x5EED
 

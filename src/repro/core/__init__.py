@@ -9,7 +9,7 @@ Public surface:
 - :class:`~repro.core.directory.DataDirectory` -- per-home directory.
 """
 
-from repro.core.hashring import ConsistentHashRing
+from repro.core.hashring import ConsistentHashRing, EmptyRingError
 from repro.core.directory import DataDirectory, DirectoryEntry
 from repro.core.concord import ConcordSystem
 
@@ -18,4 +18,5 @@ __all__ = [
     "ConsistentHashRing",
     "DataDirectory",
     "DirectoryEntry",
+    "EmptyRingError",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.caching.base import AccessContext, CacheEntry, EXCLUSIVE, LruCache, SHARED
-from repro.core.directory import DataDirectory
+from repro.core.directory import DataDirectory, ENTRY_WIRE_BYTES
 from repro.metrics import OpKind
 from repro.obs.events import (
     BARRIER_LIFT,
@@ -104,6 +104,12 @@ class CacheAgent:
         #: True once this agent learned it was (possibly falsely) declared
         #: failed; it flushes and rejoins before serving again.
         self.ejected = False
+        #: Async directory mirror held as a shard *follower*:
+        #: key -> (state, sharers tuple).  Fed by fire-and-forget
+        #: ``dir_replicate`` notifies from the shard leader; consumed on
+        #: failover adoption.  May lag arbitrarily — adoption soundness
+        #: never depends on its freshness (see ConcordSystem._shard_failover).
+        self.dir_mirror: dict[str, tuple] = {}
         #: Telemetry counters (sampled by repro.telemetry when enabled).
         self.invalidations_sent = 0
         self.invalidations_received = 0
@@ -118,6 +124,7 @@ class CacheAgent:
             "fetch_downgrade": self._handle_fetch_downgrade,
             "invalidate": self._handle_invalidate,
             "external_write": self._handle_external_write,
+            "dir_replicate": self._handle_dir_replicate,
         }
         for method, handler in handlers.items():
             self.endpoint.register_handler(method, handler)
@@ -207,29 +214,10 @@ class CacheAgent:
                 and self.system.estate_writes):
             # Local write hit in E: update locally, write straight to
             # storage, bypassing the home (Section III-C2).
-            lock = self._lock(self._owner_locks, key)
-            yield lock.acquire()
-            try:
-                version = yield from self.system.storage.write(
-                    key, value, writer=self.node_id)
-                # Update the cached copy only after the write is durable,
-                # and only if no later storage version landed locally in
-                # the meantime (a racing write's reply may have replaced
-                # the entry, or an invalidation may have removed it).
-                current = self.cache.get(key)
-                if current is not None and current.version <= version:
-                    prev = current.version
-                    current.value = value
-                    current.size_bytes = sizeof(value)
-                    current.version = version
-                    obs = self.sim.obs
-                    if obs.active:
-                        obs.emit(CACHE_UPDATE, node=self.node_id, key=key,
-                                 version=version, prev=prev)
-                self.system.stats.invalidations_per_write.record(0)
-            finally:
-                lock.release()
-            return OpKind.LOCAL_WRITE_HIT
+            applied = yield from self._estate_write(key, value)
+            if applied:
+                return OpKind.LOCAL_WRITE_HIT
+            # Exclusivity was lost while queued; take the home path.
 
         had_local_copy = entry is not None  # S state: still a local hit
         kind, cacheable, version = yield from self._write_via_home(key, value, ctx)
@@ -251,6 +239,42 @@ class CacheAgent:
             return OpKind.LOCAL_WRITE_HIT
         return kind
 
+    def _estate_write(self, key: str, value: object):
+        """Direct-to-storage write while holding E (Section III-C2).
+
+        Returns True once applied, or False when the writer queued on
+        the owner lock outlived its exclusivity (an invalidation,
+        downgrade, or recovery landed while it waited) — writing storage
+        directly without E would skip the sharers the home still tracks,
+        so the caller must fall back to the home path.
+        """
+        lock = self._lock(self._owner_locks, key)
+        yield lock.acquire()
+        try:
+            held = self.cache.get(key)
+            if held is None or held.state != EXCLUSIVE:
+                return False
+            version = yield from self.system.storage.write(
+                key, value, writer=self.node_id)
+            # Update the cached copy only after the write is durable,
+            # and only if no later storage version landed locally in
+            # the meantime (a racing write's reply may have replaced
+            # the entry, or an invalidation may have removed it).
+            current = self.cache.get(key)
+            if current is not None and current.version <= version:
+                prev = current.version
+                current.value = value
+                current.size_bytes = sizeof(value)
+                current.version = version
+                obs = self.sim.obs
+                if obs.active:
+                    obs.emit(CACHE_UPDATE, node=self.node_id, key=key,
+                             version=version, prev=prev)
+            self.system.stats.invalidations_per_write.record(0)
+            return True
+        finally:
+            lock.release()
+
     # ------------------------------------------------------------------
     # Requester-side routing with barriers and retries
     # ------------------------------------------------------------------
@@ -259,9 +283,14 @@ class CacheAgent:
         for _attempt in range(MAX_ATTEMPTS):
             yield from self._barrier_wait(key)
             home = self.ring.home(key)
+            epoch = self.epoch
             if home == self.node_id:
                 try:
-                    return (yield from self._home_read(key, self.node_id, fn))
+                    reply = yield from self._home_read(key, self.node_id, fn)
+                    if self.epoch != epoch:
+                        value, state, dir_hit, _ = reply
+                        return value, state, dir_hit, False
+                    return reply
                 except NotHome:
                     yield self.sim.timeout(RETRY_DELAY_MS)
                     continue
@@ -272,6 +301,14 @@ class CacheAgent:
                     timeout=self.system.config.rpc_timeout_ms,
                     trace=INHERIT,
                 )
+                if self.epoch != epoch or self.ring.home(key) != home:
+                    # The membership changed (or the key re-homed) while
+                    # the grant was in flight; the registration the home
+                    # recorded for us may already have been purged, so
+                    # the copy must not be cached — but the value itself
+                    # is still good.
+                    value, state, dir_hit, _ = reply
+                    return value, state, dir_hit, False
                 return reply
             except RpcTimeout:
                 yield from self._peer_unreachable(home)
@@ -284,9 +321,14 @@ class CacheAgent:
         for _attempt in range(MAX_ATTEMPTS):
             yield from self._barrier_wait(key)
             home = self.ring.home(key)
+            epoch = self.epoch
             if home == self.node_id:
                 try:
-                    return (yield from self._home_write(key, value, self.node_id, fn))
+                    kind, cacheable, version = yield from self._home_write(
+                        key, value, self.node_id, fn)
+                    if cacheable and self.epoch != epoch:
+                        cacheable = False
+                    return kind, cacheable, version
                 except NotHome:
                     yield self.sim.timeout(RETRY_DELAY_MS)
                     continue
@@ -298,6 +340,11 @@ class CacheAgent:
                     timeout=self.system.config.rpc_timeout_ms,
                     trace=INHERIT,
                 )
+                if cacheable and (self.epoch != epoch
+                                  or self.ring.home(key) != home):
+                    # Membership changed mid-write: the write is durable,
+                    # but the exclusivity the old home granted is void.
+                    cacheable = False
                 return OpKind(kind_name), cacheable, version
             except RpcTimeout:
                 yield from self._peer_unreachable(home)
@@ -323,6 +370,7 @@ class CacheAgent:
         for _attempt in range(MAX_ATTEMPTS):
             yield from self._barrier_wait(key)
             home = self.ring.home(key)
+            epoch = self.epoch
             try:
                 if home == self.node_id:
                     value, cacheable = yield from self._home_rfo(
@@ -350,13 +398,22 @@ class CacheAgent:
             except RpcTimeout:
                 yield from self._peer_unreachable(home)
                 continue
-            if self._key_barred(key):
+            if (self._key_barred(key) or self.epoch != epoch
+                    or self.ring.home(key) != home):
                 # The home failed (or the key re-homed) while the grant
                 # was in flight; the ownership it conferred is void.
                 # Re-acquire once the barrier lifts.
                 continue
-            if cacheable:
-                self._install(key, value, EXCLUSIVE, ctx, src="rfo")
+            if not cacheable:
+                # The home lost its homeship mid-RFO and never recorded
+                # us as owner.  Unlike a plain write, RFO exists *only*
+                # for the ownership — returning an untracked value would
+                # let the txn layer write in E-state behind the new
+                # home's back.  Re-acquire from the current home.
+                has_local = self.cache.peek(key) is not None
+                yield self.sim.timeout(RETRY_DELAY_MS)
+                continue
+            self._install(key, value, EXCLUSIVE, ctx, src="rfo")
             return value
         raise ProtocolError(f"rfo({key!r}) exhausted retries at {self.node_id}")
 
@@ -402,10 +459,12 @@ class CacheAgent:
             if not requester_has_copy and not had_shared_copy:
                 # After all invalidations acked, storage holds the latest
                 # committed value (write-through + owner-lock ordering).
-                value, _version = yield from self.system.storage.read(key)
+                value, _version = yield from self.system.storage.read(
+                    key, reader=self.node_id)
             if not self._still_home(key, epoch):
                 return value, False
             self.directory.set_exclusive(key, requester)
+            self._replicate_entry(key)
             return value, True
         finally:
             lock.release()
@@ -480,12 +539,14 @@ class CacheAgent:
             entry = self.directory.get(key)
             if entry is None:
                 # Read miss: fetch from storage, requester becomes E owner.
-                value, _version = yield from self.system.storage.read(key)
+                value, _version = yield from self.system.storage.read(
+                    key, reader=self.node_id)
                 if value is None:
                     return None, EXCLUSIVE, False, False
                 if not self._still_home(key, epoch):
                     return value, EXCLUSIVE, False, False
                 self.directory.set_exclusive(key, requester)
+                self._replicate_entry(key)
                 return value, EXCLUSIVE, False, True
 
             self._observe_consumer(key, requester, fn)
@@ -494,7 +555,8 @@ class CacheAgent:
                 if owner == requester:
                     # Requester evicted silently but is still registered;
                     # storage is current (write-through).
-                    value, _version = yield from self.system.storage.read(key)
+                    value, _version = yield from self.system.storage.read(
+                        key, reader=self.node_id)
                     cacheable = self._still_home(key, epoch)
                     return value, EXCLUSIVE, True, cacheable
                 value = yield from self._fetch_from_owner(key, owner)
@@ -504,12 +566,15 @@ class CacheAgent:
                     # Owner downgraded to S; both are sharers now.
                     entry.state = SHARED
                     entry.sharers.add(requester)
+                    self._replicate_entry(key)
                     return value, SHARED, True, True
                 # Owner evicted (or died): storage copy is current.
-                value, _version = yield from self.system.storage.read(key)
+                value, _version = yield from self.system.storage.read(
+                    key, reader=self.node_id)
                 if not self._still_home(key, epoch):
                     return value, EXCLUSIVE, True, False
                 self.directory.set_exclusive(key, requester)
+                self._replicate_entry(key)
                 return value, EXCLUSIVE, True, True
 
             # Shared: serve from the home's own cache if present, else storage.
@@ -517,10 +582,12 @@ class CacheAgent:
             if local is not None:
                 value = local.value
             else:
-                value, _version = yield from self.system.storage.read(key)
+                value, _version = yield from self.system.storage.read(
+                    key, reader=self.node_id)
             if not self._still_home(key, epoch):
                 return value, SHARED, True, False
             entry.sharers.add(requester)
+            self._replicate_entry(key)
             return value, SHARED, True, True
         finally:
             lock.release()
@@ -557,6 +624,7 @@ class CacheAgent:
                 if not self._still_home(key, epoch):
                     return OpKind.WRITE_MISS, False, version
                 self.directory.set_exclusive(key, requester)
+                self._replicate_entry(key)
                 return OpKind.WRITE_MISS, True, version
 
             if entry.state == EXCLUSIVE and entry.owner != requester:
@@ -592,6 +660,7 @@ class CacheAgent:
             if not self._still_home(key, epoch):
                 return OpKind.REMOTE_WRITE_HIT, False, version
             self.directory.set_exclusive(key, requester)
+            self._replicate_entry(key)
             # If the home itself is the writer its cache copy stays E; any
             # other local copy was invalidated above.
             return OpKind.REMOTE_WRITE_HIT, True, version
@@ -804,11 +873,54 @@ class CacheAgent:
                 yield from self._invalidate_sharers(key, victims)
                 self._invalidate_local(key)
                 self.directory.remove(key)
+                self._replicate_entry(key)
             else:
                 self._invalidate_local(key)
             return Reply("ack", size_bytes=1)
         finally:
             lock.release()
+
+    # ------------------------------------------------------------------
+    # Shard-follower directory mirroring (sharded systems, replication>1)
+    # ------------------------------------------------------------------
+    def _replicate_entry(self, key: str) -> None:
+        """Mirror ``key``'s directory entry to its shard's followers.
+
+        Asynchronous by design (fire-and-forget ``notify``, no sender
+        yield): the mirror may lag the directory arbitrarily, and
+        failover adoption stays sound anyway because the recovery sweep
+        evicts every copy homed at a dead leader first.  On flat or
+        unreplicated systems this is a two-attribute-load no-op, keeping
+        their schedules byte-identical.
+        """
+        system = self.system
+        if system.replication < 2 or system.shard_manager is None:
+            return
+        followers = self.ring.followers(key)
+        if not followers:
+            return
+        entry = self.directory.peek(key)
+        if entry is None:
+            payload = (key, None, ())
+        else:
+            payload = (key, entry.state, tuple(sorted(entry.sharers)))
+        members = self.ring.members
+        for follower in followers:
+            if follower == self.node_id or follower not in members:
+                continue
+            self.endpoint.notify(
+                f"{follower}/concord-{self.app}", "dir_replicate", payload,
+                size_bytes=ENTRY_WIRE_BYTES, trace=INHERIT)
+
+    def _handle_dir_replicate(self, endpoint, src, args):
+        """Apply one mirrored entry snapshot (follower side)."""
+        key, state, sharers = args
+        if state is None:
+            self.dir_mirror.pop(key, None)
+        else:
+            self.dir_mirror[key] = (state, sharers)
+        return None
+        yield  # pragma: no cover - generator marker
 
     # ------------------------------------------------------------------
     # Barriers (recovery and domain changes)
@@ -849,6 +961,11 @@ class CacheAgent:
     def _install(self, key: str, value: object, state: str, ctx=None, *,
                  version: int = 0, src: str = "") -> None:
         """Cache a fetched/written value, respecting the capacity budget."""
+        if self.ejected:
+            # The domain wrote this instance off and pruned it from every
+            # sharer set; a reply landing after the ejection must not
+            # plant a copy nobody tracks.  (eject() already flushed.)
+            return
         self.refresh_capacity()
         size = sizeof(value)
         if size > self.cache.capacity_bytes:
@@ -893,6 +1010,7 @@ class CacheAgent:
         self.cache.clear()
         self.directory = DataDirectory(self.node_id, tracer=self.sim.tracer,
                                        obs=self.sim.obs)
+        self.dir_mirror.clear()
         self._last_writer.clear()
         if self.node_id in self.ring.members:
             self.ring.remove(self.node_id)

@@ -16,6 +16,7 @@ from repro.caching.base import AccessContext, StorageAPI, register_scheme_metric
 from repro.config import MB
 from repro.coord.service import CoordinationService, MembershipEvent, ping_handler
 from repro.core.agent import RETRY_DELAY_MS, CacheAgent
+from repro.core.directory import ENTRY_WIRE_BYTES, DirectoryEntry
 from repro.core.domain import keys_moving_to_joiner, new_homes_for_leaver, ring_with
 from repro.core.hashring import ConsistentHashRing
 from repro.core.recovery import RecoveryTracker
@@ -23,6 +24,8 @@ from repro.metrics import AccessStats
 from repro.net.rpc import DEFAULT_RPC_TIMEOUT_MS, INHERIT, Endpoint, Reply
 from repro.obs.events import (
     DOMAIN_CHANGE,
+    MEMBER_JOIN,
+    MEMBER_LEAVE,
     RECOVERY_COMPLETE,
     RECOVERY_SURVIVOR,
 )
@@ -36,11 +39,18 @@ if TYPE_CHECKING:  # pragma: no cover
 DEFAULT_CAPACITY = 64 * MB
 
 #: Approximate wire size of one marshalled directory entry.
-DIR_ENTRY_WIRE_BYTES = 48
+DIR_ENTRY_WIRE_BYTES = ENTRY_WIRE_BYTES
 
 #: Restart re-admission polling cadence and bound (~60 s simulated).
 RESTART_POLL_MS = 25.0
 RESTART_POLL_LIMIT = 2400
+
+#: Explicit shard re-home cost charged in sim time when a surviving
+#: agent takes over leadership of a shard (shard-table reconfiguration
+#: plus routing-epoch bump), per shard gained.
+SHARD_REHOME_MS = 1.5
+#: Per mirrored directory entry adopted by a new shard leader.
+ADOPT_ENTRY_MS = 0.02
 
 
 class AppController:
@@ -94,6 +104,9 @@ class AppController:
             return
         self.ring.remove(member)
         self.system.ring_template.remove(member)
+        manager = self.system.shard_manager
+        if manager is not None:
+            manager.record_membership_change(self.ring, member, "failed")
         survivors = set(self.ring.members)
         tracker = self._recoveries.setdefault(member, RecoveryTracker(member))
         for pending in self._recoveries.values():
@@ -181,12 +194,21 @@ class AppController:
                 for node_id in participants
             ]
             yield self.sim.all_of(prepare_calls)
-            # Phase 2: everyone atomically switches to the new ring.
+            # Phase 2: everyone atomically switches to the new ring.  The
+            # commit carries the authoritative roster as of commit time:
+            # members may have been declared failed since the prepare
+            # snapshot was taken, and a not-yet-member joiner receives no
+            # failure notifications, so it must not trust its
+            # prepare-time view of the membership.
+            if kind == "join":
+                roster = sorted(self.ring.members | {member})
+            else:
+                roster = sorted(self.ring.members - {member})
             commit_calls = [
                 self.sim.spawn(
                     self.endpoint.call(
                         f"{node_id}/concord-{self.app}", "domain_commit",
-                        (kind, member), size_bytes=32,
+                        (kind, member, roster), size_bytes=32,
                         timeout=DEFAULT_RPC_TIMEOUT_MS,
                         trace=INHERIT,
                     ),
@@ -199,9 +221,15 @@ class AppController:
                 self.ring.add(member)
             else:
                 self.ring.remove(member)
+            manager = self.system.shard_manager
+            if manager is not None:
+                manager.record_membership_change(self.ring, member, kind)
             obs = self.sim.obs
             if obs.active:
                 obs.emit(DOMAIN_CHANGE, member=member, kind=kind,
+                         members=len(self.ring.members))
+                event = MEMBER_JOIN if kind == "join" else MEMBER_LEAVE
+                obs.emit(event, member=member, app=self.app,
                          members=len(self.ring.members))
         finally:
             self._domain_busy = False
@@ -256,6 +284,8 @@ class ConcordSystem(StorageAPI):
         estate_writes: bool = True,
         parallel_invalidations: bool = True,
         recovery_lease_ms: Optional[float] = None,
+        shards: Optional[int] = None,
+        replication: int = 1,
     ):
         self.cluster = cluster
         self.sim = cluster.sim
@@ -276,12 +306,27 @@ class ConcordSystem(StorageAPI):
         #: survivor has acked (the fig18 availability comparison).
         self.recovery_lease_ms = recovery_lease_ms
         members = list(node_ids) if node_ids is not None else cluster.node_ids
-        self.ring_template = ConsistentHashRing(members, virtual_nodes)
+        #: Directory replication degree per shard (chain length); >1 only
+        #: meaningful with sharding.
+        self.replication = replication
+        if shards is not None:
+            from repro.shard.router import ShardRouter  # lazy: avoid cycle
+
+            self.ring_template = ShardRouter(
+                members, num_shards=shards, replication=replication,
+                virtual_nodes=virtual_nodes)
+        else:
+            self.ring_template = ConsistentHashRing(members, virtual_nodes)
         self._stats = AccessStats()
         #: Hook for placement learning (set by repro.placement).
         self.pct_observer: Optional[Callable[[str, str], None]] = None
 
         self.controller = AppController(self)
+        self.shard_manager = None
+        if shards is not None:
+            from repro.shard.manager import ShardManager  # lazy: avoid cycle
+
+            self.shard_manager = ShardManager(self, self.controller.ring)
         self.agents: dict[str, CacheAgent] = {}
         for node_id in members:
             self._bootstrap_agent(node_id)
@@ -438,13 +483,20 @@ class ConcordSystem(StorageAPI):
                         daemon=True,
                     )
             else:
-                self._agent_recover(agent, event.member)
+                yield from self._agent_recover(agent, event.member)
             return None
             yield  # pragma: no cover - generator marker
         return handler
 
-    def _agent_recover(self, agent: CacheAgent, failed_member: str) -> None:
-        """Local recovery steps at one surviving agent (Section III-F)."""
+    def _agent_recover(self, agent: CacheAgent, failed_member: str):
+        """Local recovery steps at one surviving agent (Section III-F).
+
+        A generator: flat systems never reach a yield (the handler's
+        ``yield from`` runs it inline), but on a sharded system an agent
+        that inherits shard leadership pays an explicit re-home cost in
+        sim time before acking — extending the barrier window by the
+        reconfiguration it models.
+        """
         if failed_member in agent.ring.members:
             tracer = self.sim.tracer
             if tracer.active:
@@ -459,13 +511,78 @@ class ConcordSystem(StorageAPI):
             agent.raise_barrier(failed_member, snapshot)
             agent.evict_keys_homed_at(failed_member, snapshot)
             agent.directory.remove_sharer_everywhere(failed_member)
-            agent.ring.remove(failed_member)
+            # The removal must land before the failover pause: the new
+            # membership is already fact, and an interrupted failover
+            # must not resurrect the failed member's ring slot.
+            agent.ring.remove(failed_member)  # noqa: INT01
             agent.member_removed(failed_member)
+            if self.shard_manager is not None:
+                yield from self._shard_failover(agent, failed_member, snapshot)
         agent.endpoint.notify(
             self.controller.endpoint.address, "recovery_ack",
             (failed_member, agent.node_id), size_bytes=16,
             trace=INHERIT,
         )
+
+    def _shard_failover(self, agent: CacheAgent, failed_member: str,
+                        snapshot):
+        """Take over shards the failed member led, adopting mirrors.
+
+        The new leader of each failed-over shard is the next live replica
+        in the shard's chain — a pure function of the membership set, so
+        every survivor agrees without an election round.  Adoption of the
+        async directory mirror is *sound regardless of mirror staleness*:
+        the recovery sweep already evicted every copy homed at the dead
+        leader, so a sharer the mirror missed holds no copy, and an extra
+        sharer is the conservative superset the protocol tolerates
+        everywhere (silent evictions, Section III-C2).
+        """
+        router = agent.ring
+        gained = [
+            shard for shard in range(router.num_shards)
+            if snapshot.chain_of(shard)
+            and snapshot.chain_of(shard)[0] == failed_member
+            and router.chain_of(shard)
+            and router.chain_of(shard)[0] == agent.node_id
+        ]
+        if not gained:
+            return
+        entries = []
+        if self.replication > 1:
+            gained_set = set(gained)
+            entries = [
+                (key, state, sharers)
+                for key, (state, sharers) in sorted(agent.dir_mirror.items())
+                if router.shard_of(key) in gained_set
+            ]
+        cost = SHARD_REHOME_MS * len(gained) + ADOPT_ENTRY_MS * len(entries)
+        epoch = agent.epoch
+        yield self.sim.timeout(cost)
+        if agent.epoch != epoch or agent.ejected:
+            # The membership moved again while this takeover was being
+            # charged for; leadership may already belong to someone else,
+            # so installing the adopted entries now would park them away
+            # from their true home (or duplicate the new leader's).
+            return
+        router = agent.ring  # the ring object is replaced on rejoin
+        live = router.members
+        from repro.caching.base import SHARED  # local: avoid wide import
+
+        for key, state, sharers in entries:
+            if not router.chain_of(router.shard_of(key)) or \
+                    router.chain_of(router.shard_of(key))[0] != agent.node_id:
+                continue  # this shard moved on during the pause
+            agent.dir_mirror.pop(key, None)
+            pruned = {s for s in sharers
+                      if s != failed_member and s in live}
+            if not pruned:
+                continue
+            adopted_state = state if len(pruned) == len(sharers) else SHARED
+            agent.directory.install(DirectoryEntry(
+                key=key, state=adopted_state, sharers=pruned))
+        if self.shard_manager is not None:
+            self.shard_manager.record_adoption(
+                agent.node_id, gained, len(entries), cost)
 
     def _rejoin(self, agent: CacheAgent):
         """Re-admit a falsely-ejected agent through the join protocol."""
@@ -498,8 +615,7 @@ class ConcordSystem(StorageAPI):
             # (Re)build the joiner's ring view from the authoritative
             # member list and block its keys until commit.
             agent.lift_barrier(joiner)
-            agent.ring = ConsistentHashRing(
-                participants, self.ring_template.virtual_nodes)
+            agent.ring = self.ring_template.with_members(participants)
             agent.raise_barrier(joiner, agent.ring.copy())
             return
         new_ring = ring_with(agent.ring, joiner)
@@ -544,16 +660,24 @@ class ConcordSystem(StorageAPI):
 
     def _make_domain_commit_handler(self, agent: CacheAgent):
         def handler(endpoint, src, args):
-            kind, member = args
+            kind, member, roster = args
             if kind == "join":
-                agent.ring.add(member)
-                agent.epoch += 1
                 if member == agent.node_id:
+                    # Rebuild from the commit-time roster rather than
+                    # incrementing the prepare-time view: members that
+                    # failed while this join was in flight were never
+                    # announced to the (not-yet-member) joiner.
+                    agent.ring = self.ring_template.with_members(roster)
+                    agent.epoch += 1
                     agent.ejected = False  # rejoin complete
+                else:
+                    agent.ring.add(member)
+                    agent.epoch += 1
             else:
                 agent.ring.remove(member)
                 agent.member_removed(member)
             agent.lift_barrier(member)
+            self._sweep_strays(agent)
             return Reply("committed", size_bytes=1)
             yield  # pragma: no cover - generator marker
         return handler
@@ -565,6 +689,60 @@ class ConcordSystem(StorageAPI):
             return Reply("installed", size_bytes=1)
             yield  # pragma: no cover - generator marker
         return handler
+
+    def _sweep_strays(self, agent: CacheAgent) -> None:
+        """Re-home directory entries ``agent`` no longer homes.
+
+        The prepare phase transfers the entries that exist when the
+        barrier goes up, but a shard failover can *adopt* mirror entries
+        into the directory while a domain change is still in flight —
+        those escape the transfer and would park at a non-home forever.
+        Sweeping after every commit restores the entries-live-at-their-
+        home invariant; on a converged ring the sweep finds nothing.
+        """
+        if agent.ejected or not agent.ring.members:
+            return
+        stray = [key for key in agent.directory.keys()
+                 if agent.ring.home(key) != agent.node_id]
+        if stray:
+            self.sim.spawn(
+                self._forward_strays(agent, stray),
+                name=f"concord-strays:{self.app}:{agent.node_id}",
+                daemon=True)
+
+    def _forward_strays(self, agent: CacheAgent, keys: list):
+        from repro.net.rpc import RpcError
+
+        entries, release = yield from agent.pop_directory_entries_locked(keys)
+        keep: list = []
+        try:
+            if agent.ejected or not agent.ring.members:
+                return  # the domain wrote us off; these entries are dead
+            by_home: dict[str, list] = {}
+            for entry in entries:
+                by_home.setdefault(agent.ring.home(entry.key), []).append(entry)
+            # Keys a newer membership change re-homed back to us while
+            # the sweep was quiescing them stay local (reinstalled in
+            # the finally so an interrupt cannot drop them).
+            keep = by_home.pop(agent.node_id, [])
+            for home, group in sorted(by_home.items()):
+                try:
+                    yield from agent.endpoint.call(
+                        f"{home}/concord-{self.app}", "dir_install", group,
+                        size_bytes=DIR_ENTRY_WIRE_BYTES * len(group),
+                        timeout=DEFAULT_RPC_TIMEOUT_MS,
+                        trace=INHERIT,
+                    )
+                except RpcError:
+                    # Unreachable home: it is (about to be) declared
+                    # failed and recovery rebuilds its directory state,
+                    # so the stale entries die with the attempt instead
+                    # of parking here.
+                    pass
+        finally:
+            for entry in keep:
+                agent.directory.install(entry)
+            release()
 
     # -- external writes ----------------------------------------------------------
     def _on_storage_write(self, key: str, value: object, version: int,

@@ -25,6 +25,10 @@ from repro.obs.events import (
     DIR_TRANSFER,
 )
 
+#: Approximate wire size of one marshalled directory entry (used for
+#: domain-change transfers and follower replication snapshots alike).
+ENTRY_WIRE_BYTES = 48
+
 
 @dataclass
 class DirectoryEntry:
@@ -112,6 +116,10 @@ class DataDirectory:
                            state=entry.state if entry is not None else "miss",
                            sharers=len(entry.sharers) if entry else 0)
         return entry
+
+    def peek(self, key: str) -> Optional[DirectoryEntry]:
+        """Trace-free lookup (replication snapshots, invariant checks)."""
+        return self._entries.get(key)
 
     def keys(self) -> list[str]:
         return list(self._entries.keys())

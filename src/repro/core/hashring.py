@@ -13,6 +13,15 @@ import hashlib
 from typing import Iterable, Optional
 
 
+class EmptyRingError(LookupError):
+    """A lookup or mutation needed members but the ring has none.
+
+    Subclasses :class:`LookupError` so existing ``except LookupError``
+    call sites keep working; the dedicated type lets callers distinguish
+    "ring drained" from an ordinary missing-key lookup.
+    """
+
+
 def _hash(value: str) -> int:
     """Stable 64-bit position on the ring."""
     return int.from_bytes(hashlib.md5(value.encode()).digest()[:8], "big")
@@ -83,7 +92,15 @@ class ConsistentHashRing:
             self._owners[position] = member
 
     def remove(self, member: str) -> None:
-        """Remove ``member``; idempotent."""
+        """Remove ``member``; idempotent on a non-empty ring.
+
+        Removing from an *empty* ring raises :class:`EmptyRingError`: it
+        always indicates the caller lost track of membership, and the old
+        silent no-op let such bugs surface later as misrouted keys.
+        """
+        if not self._members:
+            raise EmptyRingError(
+                f"cannot remove {member!r}: hash ring is empty")
         if member not in self._members:
             return
         self._members.remove(member)
@@ -100,6 +117,15 @@ class ConsistentHashRing:
         """An independent ring with the same members."""
         return ConsistentHashRing(self._members, self.virtual_nodes)
 
+    def with_members(self, members: Iterable[str]) -> "ConsistentHashRing":
+        """A new ring over ``members`` with this ring's parameters.
+
+        Polymorphic constructor: router-like ring implementations override
+        this so joiners rebuild the *same kind* of topology (sharded or
+        flat) from a participant list.
+        """
+        return ConsistentHashRing(members, self.virtual_nodes)
+
     # -- lookups -----------------------------------------------------------
     def home(self, key: str) -> str:
         """The member owning ``key`` (first clockwise from the key's hash)."""
@@ -107,7 +133,7 @@ class ConsistentHashRing:
         if member is not None:
             return member
         if not self._positions:
-            raise LookupError("hash ring is empty")
+            raise EmptyRingError("hash ring is empty")
         position = _hash_cached(key)
         index = bisect.bisect_right(self._positions, position)
         if index == len(self._positions):
@@ -115,6 +141,32 @@ class ConsistentHashRing:
         member = self._owners[self._positions[index]]
         self._home_cache[key] = member
         return member
+
+    def preference_list(self, key: str, n: int) -> tuple[str, ...]:
+        """The first ``n`` *distinct* members clockwise from ``key``.
+
+        Position 0 is ``home(key)``; the rest are the natural replica
+        chain for the key (Dynamo-style preference list).  Because member
+        removal deletes only the removed member's virtual nodes, the
+        surviving entries keep their relative order — so chains evolve by
+        dropping dead members in place, which makes "next in chain"
+        failover a pure function of the membership set.
+        """
+        if not self._positions:
+            raise EmptyRingError("hash ring is empty")
+        position = _hash_cached(key)
+        index = bisect.bisect_right(self._positions, position)
+        chain: list[str] = []
+        seen: set[str] = set()
+        count = len(self._positions)
+        for step in range(count):
+            owner = self._owners[self._positions[(index + step) % count]]
+            if owner not in seen:
+                seen.add(owner)
+                chain.append(owner)
+                if len(chain) == n:
+                    break
+        return tuple(chain)
 
     def successor(self, member: str) -> Optional[str]:
         """The member a departing ``member``'s keys re-home to.
@@ -130,7 +182,19 @@ class ConsistentHashRing:
         return without.home(f"{member}#0")
 
     def rehomed_keys(self, keys: Iterable[str], member: str) -> dict[str, str]:
-        """For each key homed at ``member``, its new home once ``member`` leaves."""
+        """For each key homed at ``member``, its new home once ``member`` leaves.
+
+        Raises :class:`EmptyRingError` if the ring is empty or removing
+        ``member`` would drain it — there is no "new home" to report, and
+        silently returning an empty mapping would misroute every key.
+        """
+        if not self._members:
+            raise EmptyRingError(
+                f"cannot re-home keys from {member!r}: hash ring is empty")
+        if self._members == {member}:
+            raise EmptyRingError(
+                f"cannot re-home keys from {member!r}: removing the last "
+                "member leaves the ring empty")
         without = self.copy()
         without.remove(member)
         return {

@@ -44,6 +44,7 @@ from repro.experiments import (
     fig16_placement,
     fig17_apta,
     fig18_availability,
+    fig19_topology,
     tab1_sharers,
     tab3_read_mix,
     verify_protocol,
@@ -78,6 +79,7 @@ EXPERIMENTS = {
     "fig16": fig16_placement.run,
     "fig17": fig17_apta.run,
     "fig18": fig18_availability.run,
+    "fig19": fig19_topology.run,
     "fig08": fig08_throughput.run,
 }
 

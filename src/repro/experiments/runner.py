@@ -86,6 +86,13 @@ class MixedRunConfig:
     #: Optional :class:`~repro.faults.FaultPlan` replayed during the run
     #: (times are absolute simulated time, warmup included).
     faults: object = None
+    #: Directory sharding (Concord schemes only): number of consistent-
+    #: hash shards the home role is partitioned over (None = ring homes).
+    shards: Optional[int] = None
+    #: Replica-chain depth per shard (leader + followers).
+    replication: int = 1
+    #: Optional :class:`~repro.net.RegionTopology` for multi-region runs.
+    regions: object = None
 
     def cpu_ms_per_request(self) -> float:
         """Average CPU demand of one request across the app mix."""
@@ -155,6 +162,8 @@ def _make_schemes(config, cluster, coord):
         ofc_shared_capacity=config.ofc_shared_capacity,
         read_only_annotations=config.read_only_annotations,
         num_memory_nodes=config.num_nodes,
+        shards=config.shards,
+        replication=config.replication,
     )
 
 
@@ -188,7 +197,7 @@ def run_mixed_workload(config: MixedRunConfig) -> MixedRunResult:
     latency = replace(LatencyModel(), agent_service_ms=config.agent_service_ms)
     sim_config = SimConfig(
         num_nodes=config.num_nodes, cores_per_node=config.cores_per_node,
-        latency=latency)
+        latency=latency, regions=config.regions)
     cluster = Cluster(sim, sim_config)
     coord = CoordinationService(cluster.network, sim_config)
     spec = scheme_spec(config.scheme)

@@ -18,6 +18,7 @@ from repro.faults.plan import (
     NetworkPartition,
     NodeCrash,
     NodeRestart,
+    RegionPartition,
     StorageBrownout,
 )
 
@@ -31,6 +32,7 @@ __all__ = [
     "NetworkPartition",
     "NodeCrash",
     "NodeRestart",
+    "RegionPartition",
     "ScenarioOutcome",
     "StorageBrownout",
     "run_fault_scenario",

@@ -33,6 +33,7 @@ from repro.faults.plan import (
     NetworkPartition,
     NodeCrash,
     NodeRestart,
+    RegionPartition,
     StorageBrownout,
 )
 from repro.obs.events import FAULT_INJECT
@@ -111,6 +112,18 @@ class FaultInjector:
         elif isinstance(event, NetworkPartition):
             rules.add_partition(event.groups, now, now + event.duration_ms)
             detail = "|".join(",".join(group) for group in event.groups)
+        elif isinstance(event, RegionPartition):
+            topology = self.cluster.config.regions
+            if topology is None:
+                raise ValueError(
+                    f"RegionPartition({event.region!r}) needs a cluster "
+                    "with SimConfig.regions set")
+            isolated = topology.nodes_in(event.region)
+            rest = tuple(node for node in self.cluster.node_ids
+                         if node not in isolated)
+            rules.add_partition((isolated, rest), now,
+                                now + event.duration_ms)
+            detail = event.region
         elif isinstance(event, MessageDrop):
             rules.add_drop(now, now + event.duration_ms, event.probability,
                            src=event.src, dst=event.dst)

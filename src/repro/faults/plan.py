@@ -63,6 +63,22 @@ class NetworkPartition(FaultEvent):
 
 
 @dataclass(frozen=True)
+class RegionPartition(FaultEvent):
+    """Sever traffic between ``region`` and the rest of the cluster.
+
+    Topology-aware variant of :class:`NetworkPartition`: the node groups
+    are resolved at injection time from the cluster's
+    :class:`~repro.net.regions.RegionTopology` (``SimConfig.regions``),
+    so one plan replays against any node count.  Injecting into a
+    cluster without a region topology is a plan/config mismatch and
+    raises.
+    """
+
+    duration_ms: float = 0.0
+    region: str = ""
+
+
+@dataclass(frozen=True)
 class MessageDrop(FaultEvent):
     """Drop messages with ``probability`` during the window.
 
@@ -99,8 +115,8 @@ class StorageBrownout(FaultEvent):
 #: JSON ``kind`` tag -> event class (the wire registry for replay).
 EVENT_TYPES = {
     cls.__name__: cls
-    for cls in (NodeCrash, NodeRestart, NetworkPartition, MessageDrop,
-                MessageDelay, StorageBrownout)
+    for cls in (NodeCrash, NodeRestart, NetworkPartition, RegionPartition,
+                MessageDrop, MessageDelay, StorageBrownout)
 }
 
 

@@ -54,6 +54,12 @@ class ScenarioOutcome:
     #: change what the fingerprint measures, and obs-on runs are
     #: fingerprint-compared against obs-off runs to prove it.
     obs_jsonl: str = ""
+    #: Final shard leader table, one chain per shard (() for flat runs).
+    shard_table: tuple = ()
+    #: Shards that changed leaders during the run (re-homes + failovers).
+    shards_rehomed: int = 0
+    #: Leader-loss failovers among those re-homes.
+    shard_failovers: int = 0
 
     def fingerprint(self) -> tuple:
         """Order-stable digest for replay equality assertions."""
@@ -62,6 +68,7 @@ class ScenarioOutcome:
             tuple(self.failures_detected), self.recoveries_completed,
             tuple(self.applied), tuple(self.violations),
             self.telemetry_jsonl,
+            self.shard_table, self.shards_rehomed, self.shard_failovers,
         )
 
 
@@ -74,6 +81,10 @@ def run_fault_scenario(
     app_name: str = "SocNet",
     recovery_lease_ms=None,
     obs=None,
+    shards=None,
+    replication: int = 1,
+    regions=None,
+    settle_ms: float = SETTLE_MS,
 ) -> ScenarioOutcome:
     """Run the canonical scenario once and capture its outcome.
 
@@ -81,7 +92,20 @@ def run_fault_scenario(
     ring (exported into ``ScenarioOutcome.obs_jsonl``), a path string
     for a recorder that also auto-dumps there on every injected fault,
     or a ready :class:`FlightRecorder`.
+
+    ``shards``/``replication`` run the sharded-directory topology;
+    ``regions`` accepts a :class:`~repro.net.RegionTopology` or an int
+    (nodes split round-robin over that many regions).  ``settle_ms``
+    stretches the post-load drain — region partitions need a longer one
+    because unreachability reports trail the RPC timeout (~5 s) and the
+    resulting eject/rejoin churn must finish before the checker runs.
     """
+    if isinstance(regions, int):
+        from repro.net import RegionTopology
+
+        regions = RegionTopology.even(
+            [f"node{i}" for i in range(num_nodes)],
+            regions=tuple(f"region{i}" for i in range(regions)))
     # isinstance first: an empty FlightRecorder is falsy (len() == 0).
     recorder = None
     if isinstance(obs, FlightRecorder):
@@ -96,12 +120,14 @@ def run_fault_scenario(
         num_nodes=num_nodes, cores_per_node=2,
         # Fast detection keeps recovery inside the settle window.
         heartbeat_interval_ms=200.0, heartbeat_misses=3,
+        regions=regions,
     )
     cluster = Cluster(sim, config)
     coord = CoordinationService(cluster.network, config)
     profile = ALL_PROFILES[app_name]
     concord = ConcordSystem(cluster, app=app_name, coord=coord,
-                            recovery_lease_ms=recovery_lease_ms)
+                            recovery_lease_ms=recovery_lease_ms,
+                            shards=shards, replication=replication)
     preload_storage(cluster.storage, profile)
     platform = FaasPlatform(cluster, scheduler=CasScheduler())
     app = platform.deploy(build_app(profile), concord)
@@ -114,8 +140,13 @@ def run_fault_scenario(
     sampler.start()
     sim.spawn(platform.open_loop(app_name, rps, duration_ms, factory),
               name="load")
-    sim.run(until=duration_ms + SETTLE_MS)
+    sim.run(until=duration_ms + settle_ms)
     sampler.stop()
+
+    manager = concord.shard_manager
+    shard_table = ()
+    if manager is not None:
+        shard_table = concord.controller.ring.table()
 
     return ScenarioOutcome(
         plan=plan,
@@ -129,4 +160,8 @@ def run_fault_scenario(
         violations=check_coherence(concord, cluster),
         telemetry_jsonl=jsonl_dumps(registry),
         obs_jsonl=obs_jsonl_dumps(recorder) if recorder is not None else "",
+        shard_table=shard_table,
+        shards_rehomed=manager.rehomes_total if manager is not None else 0,
+        shard_failovers=(manager.failovers_total
+                        if manager is not None else 0),
     )

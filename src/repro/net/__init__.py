@@ -1,6 +1,7 @@
 """Internode message fabric and RPC layer."""
 
 from repro.net.fabric import Message, Network, NetworkStats
+from repro.net.regions import RegionTopology
 from repro.net.rpc import Endpoint, Reply, RpcError, RpcTimeout, UnreachableError
 from repro.net.sizes import sizeof
 
@@ -9,6 +10,7 @@ __all__ = [
     "Message",
     "Network",
     "NetworkStats",
+    "RegionTopology",
     "Reply",
     "RpcError",
     "RpcTimeout",

@@ -167,9 +167,17 @@ class Network:
     with zero network latency (in-memory hand-off).
     """
 
-    def __init__(self, sim: "Simulator", latency: Optional[LatencyModel] = None):
+    def __init__(self, sim: "Simulator", latency: Optional[LatencyModel] = None,
+                 topology=None):
         self.sim = sim
         self.latency = latency or LatencyModel()
+        #: Optional :class:`~repro.net.regions.RegionTopology`: adds half
+        #: the region pair's extra RTT to each cross-region hop.  ``None``
+        #: (and any single-region topology) is byte-identical to the
+        #: flat fabric.
+        self.topology = topology
+        #: Ordered (src_region, dst_region) -> cross-region message count.
+        self.cross_region: dict[tuple[str, str], int] = {}
         self._endpoints: dict[str, "Endpoint"] = {}
         self._down_nodes: set[str] = set()
         #: Per (src_node, dst_node) pair: the latest delivery timestamp
@@ -204,6 +212,24 @@ class Network:
                 "Messages dropped at crashed or torn-down endpoints.",
                 labelnames=(),
             ).set_callback(lambda: stats.dropped)
+        if topology is not None:
+            for src_region in topology.regions:
+                for dst_region in topology.regions:
+                    if src_region != dst_region:
+                        self.cross_region[(src_region, dst_region)] = 0
+            if metrics.active:
+                counter = metrics.counter(
+                    "net_cross_region_messages_total",
+                    "Messages crossing a region boundary.",
+                    labelnames=("src_region", "dst_region"),
+                )
+                for pair in self.cross_region:
+                    counter.set_callback(
+                        self._cross_region_callback(pair),
+                        src_region=pair[0], dst_region=pair[1])
+
+    def _cross_region_callback(self, pair: tuple):
+        return lambda: self.cross_region[pair]
 
     # -- membership --------------------------------------------------------
     def register(self, endpoint: "Endpoint") -> None:
@@ -260,9 +286,14 @@ class Network:
     # -- transmission --------------------------------------------------------
     def transit_time(self, src: str, dst: str, size_bytes: int) -> float:
         """One-way latency for a ``size_bytes`` message from src to dst."""
-        if self.node_of(src) == self.node_of(dst):
+        src_node = self.node_of(src)
+        dst_node = self.node_of(dst)
+        if src_node == dst_node:
             return 0.0
-        return self.latency.one_way(size_bytes)
+        delay = self.latency.one_way(size_bytes)
+        if self.topology is not None:
+            delay += self.topology.extra_one_way_ms(src_node, dst_node)
+        return delay
 
     def send(self, message: Message) -> None:
         """Put ``message`` on the wire (delivery is asynchronous)."""
@@ -298,6 +329,13 @@ class Network:
             delay = extra
         else:
             delay = self.latency.one_way(message.size_bytes) + extra
+            topology = self.topology
+            if topology is not None:
+                src_region = topology.region_of(src_node)
+                dst_region = topology.region_of(dst_node)
+                if src_region != dst_region:
+                    delay += topology.extra_rtt_ms(src_region, dst_region) / 2.0
+                    self.cross_region[(src_region, dst_region)] += 1
         # Messages between the same pair of nodes never overtake each
         # other (gRPC over one TCP connection): a later send is delivered
         # no earlier than every previous one.

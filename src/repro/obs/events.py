@@ -59,7 +59,15 @@ RECOVERY_SURVIVOR = "recovery.survivor"
 RECOVERY_COMPLETE = "recovery.complete"
 DOMAIN_CHANGE = "domain.change"
 MEMBER_EJECT = "member.eject"
+MEMBER_JOIN = "member.join"
+MEMBER_LEAVE = "member.leave"
 PEER_UNREACHABLE = "peer.unreachable"
+
+# -- sharded directory topologies ------------------------------------------
+SHARD_REHOME = "shard.rehome"          # voluntary leader change (join/leave)
+SHARD_FAILOVER = "shard.failover"      # crash-driven leader change
+SHARD_ADOPT = "shard.adopt"            # new leader adopted mirrored entries
+SHARD_SPLIT = "shard.split"            # linear-hash shard-count doubling
 
 # -- FaaS control plane ----------------------------------------------------
 SCHED_WARM = "sched.warm"
@@ -78,7 +86,9 @@ EVENT_TYPES = frozenset({
     INV_SEND, INV_RECV,
     RPC_TIMEOUT, RPC_RESET,
     BARRIER_RAISE, BARRIER_LIFT, RECOVERY_SURVIVOR, RECOVERY_COMPLETE,
-    DOMAIN_CHANGE, MEMBER_EJECT, PEER_UNREACHABLE,
+    DOMAIN_CHANGE, MEMBER_EJECT, MEMBER_JOIN, MEMBER_LEAVE,
+    PEER_UNREACHABLE,
+    SHARD_REHOME, SHARD_FAILOVER, SHARD_ADOPT, SHARD_SPLIT,
     SCHED_WARM, SCHED_COLD, REQ_RESCHEDULE,
     FAULT_INJECT, VERIFY_VIOLATION,
 })

@@ -90,8 +90,14 @@ def _preload_storage_tier(scheme, profile):
 @register_scheme("concord", scheduler="cas")
 @register_scheme("concord-nocas")
 def build_concord(cluster, coord, app, *, capacity=None, storage=None,
-                  estate_writes=True, parallel_invalidations=True, **_):
-    """Concord's distributed-coherence cache (CAS scheduling optional)."""
+                  estate_writes=True, parallel_invalidations=True,
+                  shards=None, replication=1, **_):
+    """Concord's distributed-coherence cache (CAS scheduling optional).
+
+    ``shards=N`` partitions the directory role over N consistent-hash
+    shards; ``replication=R`` keeps R-deep replica chains per shard
+    (leader + R-1 async followers).
+    """
     from repro.core import ConcordSystem
 
     return ConcordSystem(
@@ -99,6 +105,7 @@ def build_concord(cluster, coord, app, *, capacity=None, storage=None,
         capacity_override=capacity,
         estate_writes=estate_writes,
         parallel_invalidations=parallel_invalidations,
+        shards=shards, replication=replication,
     )
 
 

@@ -115,8 +115,18 @@ class Session:
         metrics = kwargs.pop("metrics", None)
         obs = kwargs.pop("obs", None)
         metrics_interval_ms = kwargs.pop("metrics_interval_ms", 100.0)
+        regions = kwargs.pop("regions", None)
         config: Optional[SimConfig] = kwargs.pop("config", None)
         scheme_cfg = kwargs
+        if regions is not None and config is not None:
+            raise TypeError(
+                "pass regions= via the SimConfig when config= is given")
+        if isinstance(regions, int):
+            from repro.net import RegionTopology
+
+            regions = RegionTopology.even(
+                [f"node{i}" for i in range(nodes)],
+                regions=tuple(f"region{i}" for i in range(regions)))
         self._trace = trace
         tracer = None
         if trace:
@@ -142,7 +152,7 @@ class Session:
         self.sim = Simulator(seed=seed, tracer=tracer, metrics=registry,
                              obs=recorder)
         self.config = config or SimConfig(
-            num_nodes=nodes, cores_per_node=cores_per_node)
+            num_nodes=nodes, cores_per_node=cores_per_node, regions=regions)
         self.cluster = Cluster(self.sim, self.config)
         self.coord = CoordinationService(self.cluster.network, self.config)
         self.scheme = scheme

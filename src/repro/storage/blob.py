@@ -71,10 +71,17 @@ class GlobalStorage:
         sim: "Simulator",
         latency: Optional[LatencyModel] = None,
         name: str = "storage",
+        topology=None,
     ):
         self.sim = sim
         self.latency = latency or LatencyModel()
         self.name = name
+        #: Optional :class:`~repro.net.regions.RegionTopology`: callers
+        #: outside the storage region pay the pair's full extra RTT per
+        #: operation (the blob service lives somewhere specific).
+        self.topology = topology
+        #: Operations that paid a cross-region penalty.
+        self.cross_region_ops = 0
         self._data: dict[str, StorageRecord] = {}
         self._listeners: list[WriteListener] = []
         self.stats = StorageStats()
@@ -114,6 +121,13 @@ class GlobalStorage:
                 "Current latency multiplier (1.0 = healthy).",
                 labelnames=("store",),
             ).set_callback(lambda: self.brownout_factor(), store=name)
+            if topology is not None:
+                metrics.counter(
+                    "storage_cross_region_ops_total",
+                    "Storage operations paying a cross-region round trip.",
+                    labelnames=("store", "region"),
+                ).set_callback(lambda: self.cross_region_ops, store=name,
+                               region=topology.storage_region)
 
     # -- fault injection ----------------------------------------------------
     def set_brownout(self, factor: float, until_ms: float) -> None:
@@ -131,6 +145,17 @@ class GlobalStorage:
 
     def _delay(self, base_ms: float) -> float:
         return base_ms * self.brownout_factor()
+
+    def _region_extra(self, caller: str) -> float:
+        """Extra round-trip cost for ``caller`` (node id or endpoint
+        address) reaching this store; counts cross-region ops."""
+        if self.topology is None or not caller:
+            return 0.0
+        node = caller.split("/", 1)[0]
+        extra = self.topology.storage_extra_ms(node)
+        if extra > 0.0:
+            self.cross_region_ops += 1
+        return extra
 
     # -- synchronous setup / inspection (no simulated latency) -------------
     def preload(self, items: dict[str, object]) -> None:
@@ -169,18 +194,21 @@ class GlobalStorage:
         finally:
             self._inflight -= 1
 
-    def read(self, key: str):
+    def read(self, key: str, reader: str = ""):
         """Read ``key``: yields, returns ``(value, version)``.
 
         A missing key returns ``(None, 0)`` — serverless storage APIs are
-        key-value and idempotent (paper Section II-B).
+        key-value and idempotent (paper Section II-B).  ``reader`` tags
+        the caller for the multi-region latency model; untagged reads are
+        treated as in-region.
         """
-        return (yield from self._traced("read", key, self._read(key)))
+        return (yield from self._traced("read", key, self._read(key, reader)))
 
-    def _read(self, key: str):
+    def _read(self, key: str, reader: str = ""):
         record = self._data.get(key)
         size = sizeof(record.value) if record else 0
-        yield self.sim.sleep(self._delay(self.latency.storage_read(size)))
+        yield self.sim.sleep(self._delay(self.latency.storage_read(size))
+                             + self._region_extra(reader))
         self.stats.reads += 1
         self.stats.read_bytes += size
         # Re-read after the latency: a concurrent write may have landed.
@@ -202,7 +230,8 @@ class GlobalStorage:
 
     def _write(self, key: str, value: object, writer: str):
         size = sizeof(value)
-        yield self.sim.sleep(self._delay(self.latency.storage_write(size)))
+        yield self.sim.sleep(self._delay(self.latency.storage_write(size))
+                             + self._region_extra(writer))
         self.stats.writes += 1
         self.stats.write_bytes += size
         record = self._data.get(key)
@@ -226,7 +255,8 @@ class GlobalStorage:
 
     def _compare_and_swap(self, key, value, expected_version, writer):
         size = sizeof(value)
-        yield self.sim.sleep(self._delay(self.latency.storage_write(size)))
+        yield self.sim.sleep(self._delay(self.latency.storage_write(size))
+                             + self._region_extra(writer))
         self.stats.writes += 1
         record = self._data.get(key)
         current = record.version if record else 0
@@ -239,12 +269,13 @@ class GlobalStorage:
             listener(key, value, version, writer)
         return (True, version)
 
-    def read_version(self, key: str):
+    def read_version(self, key: str, reader: str = ""):
         """Fetch only the version number of ``key`` (Faa$T fallback path)."""
         return (yield from self._traced("read_version", key,
-                                        self._read_version(key)))
+                                        self._read_version(key, reader)))
 
-    def _read_version(self, key: str):
-        yield self.sim.sleep(self._delay(self.latency.storage_read(8)))
+    def _read_version(self, key: str, reader: str = ""):
+        yield self.sim.sleep(self._delay(self.latency.storage_read(8))
+                             + self._region_extra(reader))
         self.stats.reads += 1
         return self.version_of(key)

@@ -19,7 +19,7 @@ def test_shipped_tree_fully_covered():
 def test_agent_op_extraction_matches_protocol():
     ops = protocol_surface.agent_ops()
     assert ops == {"read", "write", "rfo", "fetch_downgrade",
-                   "invalidate", "external_write"}
+                   "invalidate", "external_write", "dir_replicate"}
 
 
 def test_model_event_extraction():

@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.core import ConsistentHashRing
 from repro.core.domain import keys_moving_to_joiner, new_homes_for_leaver
+from repro.core.hashring import EmptyRingError
 
 
 MEMBERS = [f"node{i}" for i in range(8)]
@@ -55,6 +56,42 @@ class TestBasics:
         expected = len(KEYS) / len(MEMBERS)
         assert all(count > expected * 0.3 for count in counts.values())
         assert all(count < expected * 3.0 for count in counts.values())
+
+
+class TestEmptyRing:
+    """Empty-ring operations raise loudly instead of silently no-oping.
+
+    Regression: ``remove`` on an empty ring used to be a silent no-op
+    and ``rehomed_keys`` returned ``{}``, so a caller that lost track of
+    membership only failed later, as misrouted keys.
+    """
+
+    def test_remove_on_empty_ring_raises(self):
+        with pytest.raises(EmptyRingError):
+            ConsistentHashRing().remove("ghost")
+
+    def test_remove_nonmember_on_populated_ring_stays_idempotent(self):
+        ring = ConsistentHashRing(["a"])
+        ring.remove("ghost")  # no-op: the ring itself is fine
+        assert "a" in ring
+
+    def test_rehomed_keys_on_empty_ring_raises(self):
+        with pytest.raises(EmptyRingError):
+            ConsistentHashRing().rehomed_keys(KEYS, "ghost")
+
+    def test_rehomed_keys_for_last_member_raises(self):
+        with pytest.raises(EmptyRingError):
+            ConsistentHashRing(["solo"]).rehomed_keys(KEYS, "solo")
+
+    def test_lookups_on_empty_ring_raise(self):
+        with pytest.raises(EmptyRingError):
+            ConsistentHashRing().home("k")
+        with pytest.raises(EmptyRingError):
+            ConsistentHashRing().preference_list("k", 2)
+
+    def test_empty_ring_error_is_a_lookup_error(self):
+        # Existing ``except LookupError`` call sites must keep working.
+        assert issubclass(EmptyRingError, LookupError)
 
 
 class TestMinimalDisruption:
@@ -129,3 +166,39 @@ def test_consistent_hashing_stability_property(members, leaver_index, keys):
     for key in keys:
         if before[key] != leaver:
             assert ring.home(key) == before[key]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    members=st.sets(st.sampled_from(MEMBERS), min_size=1),
+    keys=st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=30),
+)
+def test_addition_moves_only_arc_keys_property(members, keys):
+    """Adding a member only re-homes keys onto the joiner — every key it
+    does not steal keeps its old home (the minimal-disruption half of
+    consistent hashing, for joins)."""
+    ring = ConsistentHashRing(members)
+    before = {k: ring.home(k) for k in keys}
+    ring.add("joiner")
+    for key in keys:
+        after = ring.home(key)
+        assert after == before[key] or after == "joiner"
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    members=st.sets(st.sampled_from(MEMBERS), min_size=2),
+    leaver_index=st.integers(min_value=0, max_value=7),
+    keys=st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=30),
+)
+def test_remove_add_round_trip_property(members, leaver_index, keys):
+    """Removing a member and adding it back restores every home exactly:
+    the ring is a pure function of its membership set, with no history
+    dependence from the churn."""
+    ring = ConsistentHashRing(members)
+    leaver = sorted(members)[leaver_index % len(members)]
+    before = {k: ring.home(k) for k in keys}
+    ring.remove(leaver)
+    ring.add(leaver)
+    assert {k: ring.home(k) for k in keys} == before
+    assert ring.members == set(members)

@@ -73,8 +73,8 @@ class TestSerialization:
 
     def test_registry_covers_every_event_class(self):
         assert set(EVENT_TYPES) == {
-            "NodeCrash", "NodeRestart", "NetworkPartition", "MessageDrop",
-            "MessageDelay", "StorageBrownout",
+            "NodeCrash", "NodeRestart", "NetworkPartition", "RegionPartition",
+            "MessageDrop", "MessageDelay", "StorageBrownout",
         }
 
 

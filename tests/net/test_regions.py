@@ -1,0 +1,69 @@
+"""Unit tests for the multi-region topology and RTT matrix."""
+
+import pytest
+
+from repro.net.regions import RegionTopology
+
+NODES = [f"node{i}" for i in range(6)]
+
+
+class TestConstruction:
+    def test_even_round_robins_nodes(self):
+        topo = RegionTopology.even(NODES, regions=("east", "west"))
+        assert topo.nodes_in("east") == ("node0", "node2", "node4")
+        assert topo.nodes_in("west") == ("node1", "node3", "node5")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegionTopology((), {})
+        with pytest.raises(ValueError):
+            RegionTopology(("a", "a"), {})
+        with pytest.raises(ValueError):
+            RegionTopology(("a",), {"n": "ghost"})
+        with pytest.raises(ValueError):
+            RegionTopology(("a", "b"), {}, extra_rtt_ms=-1.0)
+        with pytest.raises(ValueError):
+            RegionTopology(("a", "b"), {}, storage_region="ghost")
+        with pytest.raises(ValueError):
+            RegionTopology(("a", "b"), {},
+                           extra_rtt_ms={("a", "ghost"): 10.0})
+
+    def test_matrix_is_symmetric(self):
+        topo = RegionTopology(
+            ("a", "b", "c"), {},
+            extra_rtt_ms={("a", "b"): 40.0, ("b", "c"): 80.0})
+        assert topo.extra_rtt_ms("a", "b") == topo.extra_rtt_ms("b", "a") == 40.0
+        assert topo.extra_rtt_ms("c", "b") == 80.0
+        # Unlisted pairs cost nothing extra.
+        assert topo.extra_rtt_ms("a", "c") == 0.0
+
+
+class TestCosts:
+    def test_intra_region_is_exactly_free(self):
+        """The zero-extra guarantee that keeps single-region runs
+        byte-identical to runs with no topology at all."""
+        topo = RegionTopology.even(NODES, regions=("east", "west"))
+        assert topo.extra_rtt_ms("east", "east") == 0.0
+        assert topo.extra_one_way_ms("node0", "node2") == 0.0
+        assert topo.storage_extra_ms("node0") == 0.0
+
+    def test_cross_region_pays_half_rtt_each_way(self):
+        topo = RegionTopology.even(NODES, extra_rtt_ms=60.0)
+        assert topo.extra_one_way_ms("node0", "node1") == 30.0
+        assert topo.extra_one_way_ms("node1", "node0") == 30.0
+
+    def test_storage_pays_full_rtt_from_remote_region(self):
+        topo = RegionTopology.even(NODES, extra_rtt_ms=60.0)
+        # Storage defaults to the first region ("east" = node0's).
+        assert topo.storage_extra_ms("node1") == 60.0
+
+    def test_control_plane_resolves_to_default_region(self):
+        topo = RegionTopology.even(NODES, extra_rtt_ms=60.0)
+        assert topo.region_of("coordinator") == "east"
+        assert topo.extra_one_way_ms("coordinator", "node0") == 0.0
+        assert topo.extra_one_way_ms("coordinator", "node1") == 30.0
+
+    def test_nodes_in_unknown_region_raises(self):
+        topo = RegionTopology.even(NODES)
+        with pytest.raises(ValueError):
+            topo.nodes_in("ghost")
