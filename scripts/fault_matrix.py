@@ -31,8 +31,16 @@ matrix sweeps the failure modes sharding introduces.
 
 Usage::
 
+With ``--scheme`` the scenario runs any registered caching scheme
+instead of Concord — the nightly matrix sweeps the zoo catalogue so
+every shipped scheme is exercised (and its own invariants verified)
+under randomized crash/recovery schedules.
+
+Usage::
+
     PYTHONPATH=src python scripts/fault_matrix.py [--seed N]
-        [--topology NAME] [--artifacts DIR] [--skip-subprocess] [--obs]
+        [--topology NAME] [--scheme NAME] [--artifacts DIR]
+        [--skip-subprocess] [--obs]
 """
 
 import argparse
@@ -48,6 +56,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.faults.plan import FaultPlan, RegionPartition  # noqa: E402
 from repro.faults.scenario import run_fault_scenario  # noqa: E402
+from repro.schemes import available_names  # noqa: E402
 from repro.shard.router import ShardRouter  # noqa: E402
 from repro.shard.topologies import TOPOLOGIES  # noqa: E402
 
@@ -69,6 +78,7 @@ plan = FaultPlan.from_json(sys.argv[1])
 topology = TOPOLOGIES[sys.argv[2]]
 out = run_fault_scenario(plan, seed=plan.seed, num_nodes={num_nodes},
                          duration_ms={duration}, rps={rps},
+                         scheme=sys.argv[3],
                          **topology.scenario_kwargs())
 print({marker!r})
 sys.stdout.write(out.telemetry_jsonl)
@@ -103,14 +113,14 @@ def build_plan(seed: int, topology: str = "flat") -> FaultPlan:
 
 
 def subprocess_telemetry(plan: FaultPlan, topology: str,
-                         hashseed: str) -> str:
+                         hashseed: str, scheme: str = "concord") -> str:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = hashseed
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     snippet = REPLAY_SNIPPET.format(
         num_nodes=NUM_NODES, duration=DURATION_MS, rps=RPS, marker=MARKER)
     proc = subprocess.run(
-        [sys.executable, "-c", snippet, plan.to_json(), topology],
+        [sys.executable, "-c", snippet, plan.to_json(), topology, scheme],
         env=env, capture_output=True, text=True, timeout=600,
     )
     if proc.returncode != 0:
@@ -120,7 +130,8 @@ def subprocess_telemetry(plan: FaultPlan, topology: str,
 
 
 def check_seed(seed: int, skip_subprocess: bool,
-               obs: bool = False, topology: str = "flat") -> tuple:
+               obs: bool = False, topology: str = "flat",
+               scheme: str = "concord") -> tuple:
     """Run the matrix cell for one seed.
 
     Returns ``(problems, obs_jsonl)`` — the flight-recorder dump is ""
@@ -129,14 +140,14 @@ def check_seed(seed: int, skip_subprocess: bool,
     problems = []
     plan = build_plan(seed, topology)
     kwargs = TOPOLOGIES[topology].scenario_kwargs()
-    print(f"[seed {seed}/{topology}] plan: {', '.join(plan.kinds())}")
+    print(f"[seed {seed}/{topology}/{scheme}] plan: {', '.join(plan.kinds())}")
 
     first = run_fault_scenario(plan, seed=seed, num_nodes=NUM_NODES,
                                duration_ms=DURATION_MS, rps=RPS, obs=obs,
-                               **kwargs)
+                               scheme=scheme, **kwargs)
     second = run_fault_scenario(plan, seed=seed, num_nodes=NUM_NODES,
                                 duration_ms=DURATION_MS, rps=RPS,
-                                **kwargs)
+                                scheme=scheme, **kwargs)
     if first.fingerprint() != second.fingerprint():
         problems.append("in-process replay diverged (same seed, same plan)")
 
@@ -148,21 +159,21 @@ def check_seed(seed: int, skip_subprocess: bool,
             "declared failed")
     if first.violations:
         problems.append(
-            "coherence violations after recovery: "
+            "invariant violations after recovery: "
             + "; ".join(first.violations))
     if first.completed == 0:
         problems.append("no requests completed")
 
     if not skip_subprocess:
-        tele0 = subprocess_telemetry(plan, topology, "0")
-        tele1 = subprocess_telemetry(plan, topology, "1")
+        tele0 = subprocess_telemetry(plan, topology, "0", scheme)
+        tele1 = subprocess_telemetry(plan, topology, "1", scheme)
         if tele0 != tele1:
             problems.append("telemetry differs between PYTHONHASHSEED 0 and 1")
         if tele0 != first.telemetry_jsonl:
             problems.append("subprocess telemetry differs from in-process run")
 
     status = "ok" if not problems else "FAIL"
-    print(f"[seed {seed}/{topology}] completed={first.completed} "
+    print(f"[seed {seed}/{topology}/{scheme}] completed={first.completed} "
           f"failures_detected={len(first.failures_detected)} "
           f"recoveries={first.recoveries_completed} "
           f"violations={len(first.violations)} -> {status}")
@@ -177,6 +188,9 @@ def main(argv=None) -> int:
                         choices=sorted(TOPOLOGIES),
                         help="topology preset to run the plan against "
                              "(default flat)")
+    parser.add_argument("--scheme", default="concord",
+                        choices=available_names(),
+                        help="caching scheme under test (default concord)")
     parser.add_argument("--artifacts", default="fault-artifacts",
                         help="directory for failing plans/reports")
     parser.add_argument("--skip-subprocess", action="store_true",
@@ -188,13 +202,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     problems, obs_jsonl = check_seed(args.seed, args.skip_subprocess,
-                                     obs=args.obs, topology=args.topology)
+                                     obs=args.obs, topology=args.topology,
+                                     scheme=args.scheme)
     if not problems:
         return 0
 
     artifacts = Path(args.artifacts)
     artifacts.mkdir(parents=True, exist_ok=True)
-    cell = f"seed{args.seed}_{args.topology}"
+    cell = f"seed{args.seed}_{args.topology}_{args.scheme}"
     plan = build_plan(args.seed, args.topology)
     plan.save(artifacts / f"failing_plan_{cell}.json")
     if obs_jsonl:
@@ -203,6 +218,7 @@ def main(argv=None) -> int:
     report = {
         "seed": args.seed,
         "topology": args.topology,
+        "scheme": args.scheme,
         "num_nodes": NUM_NODES,
         "duration_ms": DURATION_MS,
         "rps": RPS,

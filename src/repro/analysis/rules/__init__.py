@@ -11,10 +11,11 @@ from repro.analysis.rules import (
     determinism,
     obs,
     protocol,
+    schemes,
     simprocess,
     telemetry,
     tracing,
 )
 
 __all__ = ["atomicity", "bench", "determinism", "obs", "protocol",
-           "simprocess", "telemetry", "tracing"]
+           "schemes", "simprocess", "telemetry", "tracing"]

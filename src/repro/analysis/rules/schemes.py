@@ -1,0 +1,136 @@
+"""Scheme-registry rules (SCH*).
+
+The scheme registry (:mod:`repro.schemes`) is the single place where
+caching schemes are named, described and built; every scheme class
+promises a declared consistency level (the catalogue column, and what
+the scheme-dispatched invariant checker verifies).  Two idioms break
+that quietly:
+
+- **Undeclared consistency.**  A ``StorageAPI`` subclass that never
+  assigns ``consistency`` in its class body inherits the abstract
+  default ("") — the catalogue shows "?" and the shootout cannot say
+  what the scheme's checker is supposed to prove.
+- **Registry bypass.**  Instantiating a scheme class directly (outside
+  the registry's builder modules) skips the scheduler preference,
+  prepare/preload hooks and shared-instance semantics recorded in its
+  :class:`~repro.schemes.SchemeSpec`; experiments built that way drift
+  from what ``build_scheme`` would have produced.
+
+The subclass closure is computed by name over the analyzed tree, so the
+rule needs no imports of the checked code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.engine import Finding, ModuleInfo, ProjectRule, register
+
+#: The abstract root of every caching scheme.
+_ROOT_CLASS = "StorageAPI"
+
+
+def _base_names(node: ast.ClassDef) -> Iterable[str]:
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            yield base.id
+        elif isinstance(base, ast.Attribute):
+            yield base.attr
+
+
+def _declares_consistency(node: ast.ClassDef) -> bool:
+    """Whether the class body assigns ``consistency`` a string literal."""
+    for statement in node.body:
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+            value = statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            targets = [statement.target]
+            value = statement.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "consistency":
+                return (isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)
+                        and bool(value.value))
+    return False
+
+
+def _in_schemes_package(module: ModuleInfo) -> bool:
+    return "schemes" in module.display_path.split("/")
+
+
+@register
+class SchemeDisciplineRule(ProjectRule):
+    """SCH01: schemes declare consistency; construction via registry."""
+
+    id = "SCH01"
+    name = "scheme-discipline"
+    description = (
+        "every concrete StorageAPI subclass must declare its "
+        "consistency level as a string literal in its class body "
+        "(underscore-prefixed helper bases are exempt), and scheme "
+        "classes must be instantiated only inside the registry's "
+        "builder modules (repro/schemes/) — everywhere else goes "
+        "through build_scheme()/build_scheme_map()"
+    )
+
+    def check_project(self, modules: List[ModuleInfo]) -> Iterable[Finding]:
+        # Pass 1: the StorageAPI subclass closure, by class name.
+        class_defs: list[tuple[ModuleInfo, ast.ClassDef]] = []
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    class_defs.append((module, node))
+        scheme_classes = {_ROOT_CLASS}
+        changed = True
+        while changed:
+            changed = False
+            for _module, node in class_defs:
+                if node.name in scheme_classes:
+                    continue
+                if any(base in scheme_classes
+                       for base in _base_names(node)):
+                    scheme_classes.add(node.name)
+                    changed = True
+
+        # Pass 2a: consistency declarations on concrete scheme classes.
+        for module, node in class_defs:
+            if (node.name not in scheme_classes
+                    or node.name == _ROOT_CLASS
+                    or node.name.startswith("_")):
+                continue
+            if not _declares_consistency(node):
+                yield self.finding(
+                    module, node,
+                    f"scheme class {node.name!r} does not declare its "
+                    "consistency level: assign a non-empty string "
+                    "literal to `consistency` in the class body (e.g. "
+                    '`consistency = "eventual"`) so catalogues and the '
+                    "invariant dispatcher know what the scheme promises")
+
+        # Pass 2b: direct instantiation outside the registry package.
+        concrete = scheme_classes - {_ROOT_CLASS}
+        for module in modules:
+            if _in_schemes_package(module):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if isinstance(func, ast.Name):
+                    name = func.id
+                elif isinstance(func, ast.Attribute):
+                    name = func.attr
+                else:
+                    continue
+                if name in concrete:
+                    yield self.finding(
+                        module, node,
+                        f"scheme class {name!r} instantiated directly: "
+                        "construct schemes through repro.schemes."
+                        "build_scheme()/build_scheme_map() so the "
+                        "registered scheduler, prepare/preload hooks "
+                        "and shared-instance semantics apply")

@@ -141,6 +141,9 @@ class AptaSystem(StorageAPI):
     """The Apta caching layer over compute + memory nodes."""
 
     name = "apta"
+    #: Memory-tier writes are eager but invalidations flush lazily in
+    #: batches, so compute caches may serve stale data for one batch.
+    consistency = "eventual"
 
     def __init__(
         self,

@@ -7,6 +7,7 @@ Usage::
                     [--wall-threshold 0.25] [--strict-wall] [--seed N]
     repro-bench compare CURRENT BASELINE [--wall-threshold] [--strict-wall]
     repro-bench history BENCH_*.json ...
+    repro-bench schemes
 
 Exit codes: 0 clean; 1 gate failure (failed jobs, simulated-counter
 drift, missing benchmarks — or wall regressions under ``--strict-wall``;
@@ -72,6 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
     hist_p = sub.add_parser(
         "history", help="wall-time trend across BENCH reports")
     hist_p.add_argument("reports", nargs="+", help="BENCH_*.json files")
+
+    sub.add_parser(
+        "schemes",
+        help="print the registered caching-scheme catalogue")
     return parser
 
 
@@ -151,6 +156,16 @@ def _cmd_history(args) -> int:
     return 0
 
 
+def _cmd_schemes() -> int:
+    from repro.schemes import available  # heavy: imports the simulator
+
+    catalogue = available()
+    width = max(len(name) for name, _ in catalogue)
+    for name, description in catalogue:
+        print(f"{name.ljust(width)}  {description}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -158,6 +173,8 @@ def main(argv=None) -> int:
             return _cmd_run(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "schemes":
+            return _cmd_schemes()
         return _cmd_history(args)
     except (OSError, ValueError) as exc:
         print(f"repro-bench: {exc}", file=sys.stderr)

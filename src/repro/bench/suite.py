@@ -37,7 +37,8 @@ from repro.obs import FlightRecorder
 
 __all__ = ["DEFAULT_SEED", "SUITES", "fig08_point", "fig08_point_obs",
            "fig13_churn_point", "fig13_churn_point_obs", "load_suite",
-           "scale_point", "scale_suite", "tier1_suite", "topology_point"]
+           "scale_point", "scale_suite", "scheme_point", "tier1_suite",
+           "topology_point"]
 
 DEFAULT_SEED = 1009
 
@@ -201,6 +202,39 @@ def topology_point(topology: str, seed: int = DEFAULT_SEED) -> dict:
     }
 
 
+def scheme_point(scheme: str, seed: int = DEFAULT_SEED) -> dict:
+    """One fault-free canonical-scenario run of a zoo scheme.
+
+    Exercises a scheme's full data path (per-node caches, flush daemons,
+    replication fan-out, pull syncs) under the standard single-app
+    Poisson load, plus the scheme's own invariant checker at the end.
+    Every returned key is a simulated counter and gates bit-exactly;
+    scheme-specific counters (flushes, syncs, migrations) ride along so
+    a regression in the scheme's *internal* traffic pattern gates too.
+    """
+    from repro.faults.plan import FaultPlan
+    from repro.faults.scenario import run_fault_scenario
+
+    duration_ms = 4000.0
+    with quiesce_gc():
+        outcome = run_fault_scenario(
+            FaultPlan(events=()), seed=seed, num_nodes=6,
+            duration_ms=duration_ms, rps=30.0, scheme=scheme,
+            settle_ms=2000.0)
+    counters = {
+        "simulated_ms": duration_ms,
+        "requests_completed": outcome.completed,
+        "simulated_rps": round(outcome.completed / (duration_ms / 1000.0), 2),
+        "violations": len(outcome.violations),
+    }
+    system = outcome.system
+    for attribute in ("writes_enqueued", "writes_flushed", "writes_lost",
+                      "syncs", "sync_failures", "migrations"):
+        if hasattr(system, attribute):
+            counters[attribute] = getattr(system, attribute)
+    return counters
+
+
 def tier1_suite(seed: int = DEFAULT_SEED) -> List[JobSpec]:
     """The CI perf-gate suite."""
     return [
@@ -221,6 +255,12 @@ def tier1_suite(seed: int = DEFAULT_SEED) -> List[JobSpec]:
         JobSpec(name="topo_region2",
                 target="repro.bench.suite:topology_point",
                 args={"topology": "region2"}, seed=seed),
+        JobSpec(name="scheme_wb",
+                target="repro.bench.suite:scheme_point",
+                args={"scheme": "write-behind"}, seed=seed),
+        JobSpec(name="scheme_causal",
+                target="repro.bench.suite:scheme_point",
+                args={"scheme": "causal"}, seed=seed),
     ]
 
 

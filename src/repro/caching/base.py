@@ -214,6 +214,11 @@ class StorageAPI(abc.ABC):
 
     #: Scheme name for reporting.
     name: str = "abstract"
+    #: The consistency level the scheme guarantees, for catalogues and
+    #: the scheme-dispatched invariant checker.  Every concrete scheme
+    #: must declare its own (the SCH01 analysis rule enforces this):
+    #: e.g. "sequential", "eventual", "bounded-staleness", "causal".
+    consistency: str = ""
 
     def read(self, node_id: str, key: str, ctx: Optional[object] = None) -> Generator:
         """Read ``key`` from the perspective of ``node_id``; returns value.

@@ -107,6 +107,8 @@ class FaastSystem(StorageAPI):
     """Per-application Faa$T caching layer."""
 
     name = "faast"
+    #: Reads validate cached versions against the key's home.
+    consistency = "version-checked"
 
     def __init__(
         self,

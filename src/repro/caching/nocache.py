@@ -19,6 +19,8 @@ class DirectStorage(StorageAPI):
     """Every operation goes straight to global storage."""
 
     name = "nocache"
+    #: Every access is a storage round trip; storage is linearizable.
+    consistency = "strong"
 
     def __init__(self, cluster: "Cluster"):
         self.cluster = cluster

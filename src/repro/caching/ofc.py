@@ -77,6 +77,8 @@ class OfcSystem(StorageAPI):
     """Cluster-wide OFC caching layer."""
 
     name = "ofc"
+    #: Single-copy: every key lives at exactly one ring home.
+    consistency = "single-copy"
 
     def __init__(self, cluster: "Cluster", capacity_per_node: int = 64 * MB):
         self.cluster = cluster

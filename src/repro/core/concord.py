@@ -270,6 +270,8 @@ class ConcordSystem(StorageAPI):
     """Per-application Concord distributed cache."""
 
     name = "concord"
+    #: E/S/I directory coherence with write-through (paper Section III).
+    consistency = "sequential"
 
     def __init__(
         self,

@@ -45,6 +45,7 @@ from repro.experiments import (
     fig17_apta,
     fig18_availability,
     fig19_topology,
+    fig20_scheme_shootout,
     tab1_sharers,
     tab3_read_mix,
     verify_protocol,
@@ -80,6 +81,7 @@ EXPERIMENTS = {
     "fig17": fig17_apta.run,
     "fig18": fig18_availability.run,
     "fig19": fig19_topology.run,
+    "fig20": fig20_scheme_shootout.run,
     "fig08": fig08_throughput.run,
 }
 

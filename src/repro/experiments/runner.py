@@ -93,6 +93,11 @@ class MixedRunConfig:
     replication: int = 1
     #: Optional :class:`~repro.net.RegionTopology` for multi-region runs.
     regions: object = None
+    #: Extra scheme-specific configuration splatted into the scheme
+    #: builder (e.g. ``{"ttl_ms": 200.0}`` for read-through-ttl or
+    #: ``{"wb_buffer_entries": 16}`` for write-behind); keys meant for
+    #: other schemes are ignored by the builders.
+    scheme_cfg: dict = field(default_factory=dict)
 
     def cpu_ms_per_request(self) -> float:
         """Average CPU demand of one request across the app mix."""
@@ -148,6 +153,10 @@ class MixedRunResult:
     obs: object = None
     #: (sim_time, kind, detail) fault events applied (config.faults only).
     fault_log: list = field(default_factory=list)
+    #: app -> the StorageAPI instance that served it (shared schemes map
+    #: every app to the same object).  For post-run inspection — scheme
+    #: invariant checks, staleness logs, loss counters.
+    schemes: dict = field(default_factory=dict)
 
     def mean_latency(self) -> float:
         values = [s.mean_latency_ms for s in self.per_app.values() if s.completed]
@@ -164,6 +173,7 @@ def _make_schemes(config, cluster, coord):
         num_memory_nodes=config.num_nodes,
         shards=config.shards,
         replication=config.replication,
+        **config.scheme_cfg,
     )
 
 
@@ -206,13 +216,16 @@ def run_mixed_workload(config: MixedRunConfig) -> MixedRunResult:
         cluster, scheduler=make_scheduler(config.scheme, schemes))
     injector = None
     if config.faults is not None:
-        concord_systems: list = []
+        # Any scheme exposing restart_instance participates in node
+        # recovery (Concord agents, the zoo schemes); dedup by identity
+        # because shared schemes appear once per app.
+        restartable: list = []
         for scheme in schemes.values():
-            if (isinstance(scheme, ConcordSystem)
-                    and not any(scheme is seen for seen in concord_systems)):
-                concord_systems.append(scheme)
+            if (hasattr(scheme, "restart_instance")
+                    and not any(scheme is seen for seen in restartable)):
+                restartable.append(scheme)
         injector = FaultInjector(
-            cluster, config.faults, systems=concord_systems,
+            cluster, config.faults, systems=restartable,
             platform=platform)
         injector.start()
 
@@ -312,6 +325,7 @@ def run_mixed_workload(config: MixedRunConfig) -> MixedRunResult:
     if registry is not None and isinstance(config.metrics, str):
         export_metrics_jsonl(registry, config.metrics)
     result.obs = recorder
+    result.schemes = schemes
     if injector is not None:
         result.fault_log = list(injector.applied)
     return result

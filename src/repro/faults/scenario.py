@@ -1,11 +1,12 @@
 """A canonical fault scenario: one app under load with faults injected.
 
 Shared by the replay-determinism tests and the CI fault matrix
-(``scripts/fault_matrix.py``): build a small Concord deployment, drive
-Poisson load through the FaaS platform, replay a :class:`FaultPlan`, let
-recovery settle, then capture everything a byte-level replay comparison
-needs — the canonical telemetry export, the coherence-invariant
-verdict, and the failure/recovery counters.
+(``scripts/fault_matrix.py``): build a small single-app deployment of
+any registered scheme (Concord by default), drive Poisson load through
+the FaaS platform, replay a :class:`FaultPlan`, let recovery settle,
+then capture everything a byte-level replay comparison needs — the
+canonical telemetry export, the scheme-dispatched invariant verdict,
+and the failure/recovery counters.
 """
 
 from __future__ import annotations
@@ -15,15 +16,15 @@ from dataclasses import dataclass, field
 from repro.cluster import Cluster
 from repro.config import SimConfig
 from repro.coord import CoordinationService
-from repro.core import ConcordSystem
-from repro.faas import CasScheduler, FaasPlatform
+from repro.faas import FaasPlatform
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.obs import FlightRecorder
 from repro.obs import jsonl_dumps as obs_jsonl_dumps
+from repro.schemes import build_scheme, make_scheduler, scheme_spec
 from repro.sim import Simulator
 from repro.telemetry import MetricsRegistry, Sampler, jsonl_dumps
-from repro.verify import check_coherence
+from repro.verify import check_scheme_invariants
 from repro.workloads import ALL_PROFILES, build_app, entity_inputs_factory
 from repro.workloads.profiles import preload_storage
 
@@ -60,6 +61,9 @@ class ScenarioOutcome:
     shards_rehomed: int = 0
     #: Leader-loss failovers among those re-homes.
     shard_failovers: int = 0
+    #: The scheme instance under test (NOT part of the fingerprint;
+    #: experiments read loss counters / staleness logs off it post-run).
+    system: object = None
 
     def fingerprint(self) -> tuple:
         """Order-stable digest for replay equality assertions."""
@@ -85,6 +89,8 @@ def run_fault_scenario(
     replication: int = 1,
     regions=None,
     settle_ms: float = SETTLE_MS,
+    scheme: str = "concord",
+    scheme_cfg: dict = None,
 ) -> ScenarioOutcome:
     """Run the canonical scenario once and capture its outcome.
 
@@ -99,6 +105,11 @@ def run_fault_scenario(
     stretches the post-load drain — region partitions need a longer one
     because unreachability reports trail the RPC timeout (~5 s) and the
     resulting eject/rejoin churn must finish before the checker runs.
+
+    ``scheme`` selects any registered scheme (the CI fault matrix races
+    the whole catalogue through here); ``scheme_cfg`` passes extra
+    builder keywords.  Concord-specific outcome fields (recoveries,
+    shard table) stay at their zero defaults for other schemes.
     """
     if isinstance(regions, int):
         from repro.net import RegionTopology
@@ -125,16 +136,25 @@ def run_fault_scenario(
     cluster = Cluster(sim, config)
     coord = CoordinationService(cluster.network, config)
     profile = ALL_PROFILES[app_name]
-    concord = ConcordSystem(cluster, app=app_name, coord=coord,
-                            recovery_lease_ms=recovery_lease_ms,
-                            shards=shards, replication=replication)
+    system = build_scheme(
+        scheme, cluster, coord, app_name,
+        recovery_lease_ms=recovery_lease_ms,
+        shards=shards, replication=replication,
+        **(scheme_cfg or {}),
+    )
     preload_storage(cluster.storage, profile)
-    platform = FaasPlatform(cluster, scheduler=CasScheduler())
-    app = platform.deploy(build_app(profile), concord)
+    spec = scheme_spec(scheme)
+    if spec.preload is not None:
+        # Schemes acting as the terminal store prime themselves too.
+        spec.preload(system, profile)
+    platform = FaasPlatform(
+        cluster, scheduler=make_scheduler(scheme, {app_name: system}))
+    app = platform.deploy(build_app(profile), system)
     factory = entity_inputs_factory(profile, sim)
 
+    restartable = (system,) if hasattr(system, "restart_instance") else ()
     injector = FaultInjector(
-        cluster, plan, systems=(concord,), platform=platform)
+        cluster, plan, systems=restartable, platform=platform)
     injector.start()
     sampler = Sampler(sim, interval_ms=100.0)
     sampler.start()
@@ -143,10 +163,13 @@ def run_fault_scenario(
     sim.run(until=duration_ms + settle_ms)
     sampler.stop()
 
-    manager = concord.shard_manager
+    manager = getattr(system, "shard_manager", None)
     shard_table = ()
     if manager is not None:
-        shard_table = concord.controller.ring.table()
+        shard_table = system.controller.ring.table()
+    controller = getattr(system, "controller", None)
+    recoveries = (controller.recoveries_completed
+                  if controller is not None else 0)
 
     return ScenarioOutcome(
         plan=plan,
@@ -155,13 +178,14 @@ def run_fault_scenario(
         failed=app.requests_failed,
         rescheduled=app.requests_rescheduled,
         failures_detected=list(coord.failures_detected),
-        recoveries_completed=concord.controller.recoveries_completed,
+        recoveries_completed=recoveries,
         applied=list(injector.applied),
-        violations=check_coherence(concord, cluster),
+        violations=check_scheme_invariants(system, cluster),
         telemetry_jsonl=jsonl_dumps(registry),
         obs_jsonl=obs_jsonl_dumps(recorder) if recorder is not None else "",
         shard_table=shard_table,
         shards_rehomed=manager.rehomes_total if manager is not None else 0,
         shard_failovers=(manager.failovers_total
                         if manager is not None else 0),
+        system=system,
     )

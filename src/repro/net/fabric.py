@@ -35,6 +35,10 @@ class Message:
     #: TraceContext travelling with the request so the serving side joins
     #: the caller's span tree (None when tracing is off / for responses).
     trace: Optional[object] = None
+    #: Scheme-level metadata piggybacked on the message (e.g. the causal
+    #: scheme's vector clocks).  Opaque to the fabric; callers that care
+    #: about wire realism must fold its size into ``size_bytes``.
+    meta: Optional[object] = None
 
 
 #: address -> node id memo for :meth:`Network.node_of`.  Addresses are

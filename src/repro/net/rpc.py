@@ -71,10 +71,16 @@ class UnreachableError(RpcError):
 
 @dataclass
 class Reply:
-    """A handler's response value plus its wire size."""
+    """A handler's response value plus its wire size.
+
+    ``meta`` piggybacks scheme-level metadata on the response message
+    (the causal scheme's vector clocks); callers retrieve it by passing
+    ``with_meta=True`` to :meth:`Endpoint.call`.
+    """
 
     value: object
     size_bytes: Optional[int] = None
+    meta: Optional[object] = None
 
     def wire_size(self) -> int:
         return self.size_bytes if self.size_bytes is not None else sizeof(self.value)
@@ -118,7 +124,7 @@ class _RpcWaiter(Event):
     ``response.triggered`` check, verbatim.
     """
 
-    __slots__ = ("resp_done", "resp_value", "resp_exc")
+    __slots__ = ("resp_done", "resp_value", "resp_exc", "resp_meta")
 
     def __init__(self, sim):
         self.sim = sim
@@ -132,6 +138,8 @@ class _RpcWaiter(Event):
         self.resp_done = False
         self.resp_value = None
         self.resp_exc: Optional[BaseException] = None
+        #: Metadata piggybacked on the response (Reply.meta), if any.
+        self.resp_meta = None
 
     def _fire(self, _arg=None) -> None:
         """Second hop of response delivery (the old AnyOf hop's slot)."""
@@ -178,6 +186,9 @@ class Endpoint:
         self.service = service
         self.address = f"{node_id}/{service}"
         self._handlers: dict[str, Handler] = {}
+        #: Methods whose handler takes the request's piggybacked metadata
+        #: as a fourth argument (dict used as a set; membership only).
+        self._meta_handlers: dict = {}
         #: method -> interned handler-process name "rpc:<addr>:<method>".
         self._spawn_names: dict[str, str] = {}
         self._pending: dict[int, "_RpcWaiter"] = {}
@@ -235,9 +246,18 @@ class Endpoint:
         self.network.unregister(self.address)
 
     # -- server side ---------------------------------------------------------
-    def register_handler(self, method: str, handler: Handler) -> None:
-        """Register the generator function serving ``method``."""
+    def register_handler(self, method: str, handler: Handler,
+                         meta: bool = False) -> None:
+        """Register the generator function serving ``method``.
+
+        With ``meta=True`` the handler receives the request's piggybacked
+        metadata as a fourth argument: ``handler(endpoint, src, args,
+        meta)``.  Handlers return metadata to the caller via
+        :class:`Reply`'s ``meta`` field.
+        """
         self._handlers[method] = handler
+        if meta:
+            self._meta_handlers[method] = None
 
     def kill_inflight_handlers(self) -> None:
         """Interrupt every running handler (crash semantics)."""
@@ -280,6 +300,7 @@ class Endpoint:
                     waiter.resp_exc = payload.exception
                 else:
                     waiter.resp_value = payload
+                    waiter.resp_meta = message.meta
                 # Recorded even when the deadline already fired this tick:
                 # the caller resumes later in the tick and must see the
                 # response (the old response event fired independently of
@@ -341,18 +362,25 @@ class Endpoint:
                         yield self.sim.sleep(self.service_time_ms)
                 finally:
                     self._server.release()
-            result = yield from handler(self, message.src, message.payload[1])
+            if message.kind in self._meta_handlers:
+                result = yield from handler(
+                    self, message.src, message.payload[1], message.meta)
+            else:
+                result = yield from handler(
+                    self, message.src, message.payload[1])
         except Interrupt:
             return  # crashed mid-handling; no response ever leaves
         except RpcError as exc:
             self._respond(message, _RemoteFailure(exc), 0)
             return
         if isinstance(result, Reply):
-            self._respond(message, result.value, result.wire_size())
+            self._respond(message, result.value, result.wire_size(),
+                          meta=result.meta)
         else:
             self._respond(message, result, sizeof(result))
 
-    def _respond(self, request: Message, value: object, size_bytes: int) -> None:
+    def _respond(self, request: Message, value: object, size_bytes: int,
+                 meta: Optional[object] = None) -> None:
         if request.request_id is None:
             return  # one-way notify: nobody is waiting
         kind = request.kind
@@ -368,6 +396,7 @@ class Endpoint:
             size_bytes=size_bytes,
             request_id=request.request_id,
             is_response=True,
+            meta=meta,
         ))
 
     # -- client side ---------------------------------------------------------
@@ -379,8 +408,16 @@ class Endpoint:
         size_bytes: Optional[int] = None,
         timeout: Optional[float] = None,
         trace=INHERIT,
+        meta: Optional[object] = None,
+        with_meta: bool = False,
     ):
         """Issue an RPC; yields from a generator returning the response.
+
+        ``meta`` piggybacks scheme-level metadata on the request (the
+        handler sees it when registered with ``meta=True``); with
+        ``with_meta=True`` the call returns ``(value, reply_meta)``
+        instead of the bare value, where ``reply_meta`` is whatever the
+        handler attached to its :class:`Reply` (None otherwise).
 
         Usage inside a process::
 
@@ -421,6 +458,7 @@ class Endpoint:
                                 else sizeof(args)),
                     request_id=request_id,
                     trace=ctx,
+                    meta=meta,
                 ))
                 limit = (timeout if timeout is not None
                          else DEFAULT_RPC_TIMEOUT_MS)
@@ -437,6 +475,8 @@ class Endpoint:
                         # first): the old code raised it from
                         # response.value; re-raise it here unchanged.
                         raise exc
+                    if with_meta:
+                        return waiter.resp_value, waiter.resp_meta
                     return waiter.resp_value
                 self.timeouts += 1
                 obs = sim.obs
@@ -465,12 +505,14 @@ class Endpoint:
         args: object = None,
         size_bytes: Optional[int] = None,
         trace=INHERIT,
+        meta: Optional[object] = None,
     ) -> None:
         """Fire-and-forget one-way message (no response expected).
 
         ``trace`` works as in :meth:`call`: the resolved TraceContext
         rides along so the receiving handler joins the span tree, but no
-        client span is opened (there is nothing to wait for).
+        client span is opened (there is nothing to wait for).  ``meta``
+        piggybacks scheme metadata exactly as in :meth:`call`.
         """
         tracer = self.sim.tracer
         ctx = tracer.resolve(trace) if tracer.active else None
@@ -482,4 +524,5 @@ class Endpoint:
             size_bytes=size_bytes if size_bytes is not None else sizeof(args),
             request_id=None,
             trace=ctx,
+            meta=meta,
         ))

@@ -12,6 +12,12 @@ The taxonomy mirrors the protocol layers (DESIGN.md §13):
 ``cache.*``
     Cache-line lifecycle on one node: E/S installs, in-place E-state
     updates, downgrades to S, invalidations, capacity evictions.
+``cache.flush.*`` / ``cache.ttl.*``
+    Production-cache write pipelines (scheme zoo): write-behind dirty
+    buffering, flush-to-durable, loss-on-crash, and TTL expiries.
+``causal.*``
+    The causally consistent scheme: vector-clock-tagged writes, session
+    migration between nodes, and sync rounds closing vc gaps.
 ``dir.*``
     Directory ownership and sharer-set changes at a key's home.
 ``inv.*``
@@ -63,6 +69,17 @@ MEMBER_JOIN = "member.join"
 MEMBER_LEAVE = "member.leave"
 PEER_UNREACHABLE = "peer.unreachable"
 
+# -- write-behind flush pipeline (scheme zoo) ------------------------------
+CACHE_FLUSH_ENQUEUE = "cache.flush.enqueue"  # write parked in dirty buffer
+CACHE_FLUSH_WRITE = "cache.flush.write"      # dirty entry made durable
+CACHE_FLUSH_LOST = "cache.flush.lost"        # dirty entry lost to a crash
+CACHE_TTL_EXPIRE = "cache.ttl.expire"        # TTL lapsed; entry refetched
+
+# -- causal scheme (vector-clock metadata, session migration) ---------------
+CAUSAL_WRITE = "causal.write"                # write tagged with a vc
+CAUSAL_MIGRATE = "causal.migrate"            # session moved between nodes
+CAUSAL_SYNC = "causal.sync"                  # pull round to close a vc gap
+
 # -- sharded directory topologies ------------------------------------------
 SHARD_REHOME = "shard.rehome"          # voluntary leader change (join/leave)
 SHARD_FAILOVER = "shard.failover"      # crash-driven leader change
@@ -82,6 +99,9 @@ VERIFY_VIOLATION = "verify.violation"
 EVENT_TYPES = frozenset({
     CACHE_INSTALL, CACHE_UPDATE, CACHE_DOWNGRADE, CACHE_INVALIDATE,
     CACHE_EVICT,
+    CACHE_FLUSH_ENQUEUE, CACHE_FLUSH_WRITE, CACHE_FLUSH_LOST,
+    CACHE_TTL_EXPIRE,
+    CAUSAL_WRITE, CAUSAL_MIGRATE, CAUSAL_SYNC,
     DIR_EXCLUSIVE, DIR_SHARER, DIR_REMOVE, DIR_TRANSFER, DIR_PRUNE,
     INV_SEND, INV_RECV,
     RPC_TIMEOUT, RPC_RESET,

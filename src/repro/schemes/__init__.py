@@ -12,8 +12,12 @@ scheme's scheduler preference and whether one instance is shared across
 applications; optional ``prepare``/``preload`` hooks cover per-run setup
 (Concord's memory tier) and working-set priming (Apta's terminal store).
 
-The built-in schemes live in :mod:`repro.schemes.builtin`, imported at
-the bottom of this module for its registration side effects.
+The paper's schemes live in :mod:`repro.schemes.builtin` and the
+production cache-consistency families (write-through, write-behind,
+read-through TTL, causal) in :mod:`repro.schemes.zoo`; both are
+imported at the bottom of this module for their registration side
+effects.  :func:`available` returns the ``(name, description)``
+catalogue CLIs print; :exc:`UnknownSchemeError` lists it too.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ __all__ = [
     "SchemeSpec",
     "UnknownSchemeError",
     "available",
+    "available_names",
     "build_scheme",
     "build_scheme_map",
     "make_scheduler",
@@ -49,6 +54,8 @@ class SchemeSpec:
 
     name: str
     builder: Callable
+    #: One-line human description printed by ``available()`` catalogues.
+    description: str = ""
     #: Which FaaS scheduler the scheme wants: "locality", "cas" or "apta".
     scheduler: str = "locality"
     #: True when one instance serves every application (OFC's shared cache).
@@ -68,6 +75,7 @@ _REGISTRY: dict[str, SchemeSpec] = {}
 def register_scheme(
     name: str,
     *,
+    description: str = "",
     scheduler: str = "locality",
     shared: bool = False,
     prepare: Optional[Callable] = None,
@@ -77,14 +85,20 @@ def register_scheme(
 
     Returns the builder unchanged so one function can serve several
     names (``concord`` / ``concord-nocas`` differ only in scheduler).
+    ``description`` is the one-liner :func:`available` catalogues show;
+    it falls back to the builder's docstring first line.
     """
 
     def decorate(builder: Callable) -> Callable:
         if name in _REGISTRY:
             raise ValueError(f"scheme {name!r} is already registered")
+        doc = description
+        if not doc and builder.__doc__:
+            doc = builder.__doc__.strip().splitlines()[0]
         _REGISTRY[name] = SchemeSpec(
-            name=name, builder=builder, scheduler=scheduler,
-            shared=shared, prepare=prepare, preload=preload,
+            name=name, builder=builder, description=doc,
+            scheduler=scheduler, shared=shared, prepare=prepare,
+            preload=preload,
         )
         return builder
 
@@ -97,12 +111,19 @@ def registered_schemes() -> tuple:
 
 
 def available() -> tuple:
-    """All registered scheme names, sorted — the user-facing catalogue.
+    """Sorted ``(name, description)`` pairs — the user-facing catalogue.
 
     This is the supported way for experiments, CLIs and docs to discover
     what ``scheme=`` accepts; constructing scheme objects directly
-    (bypassing :func:`build_scheme`) is not.
+    (bypassing :func:`build_scheme`) is not.  Use
+    :func:`available_names` when only the names matter.
     """
+    return tuple((name, _REGISTRY[name].description)
+                 for name in sorted(_REGISTRY))
+
+
+def available_names() -> tuple:
+    """All registered scheme names, sorted."""
     return tuple(sorted(_REGISTRY))
 
 
@@ -174,3 +195,4 @@ def make_scheduler(name: str, schemes: dict):
 
 # Import for registration side effects (populates _REGISTRY).
 from repro.schemes import builtin as _builtin  # noqa: E402,F401
+from repro.schemes import zoo as _zoo  # noqa: E402,F401

@@ -91,12 +91,13 @@ def _preload_storage_tier(scheme, profile):
 @register_scheme("concord-nocas")
 def build_concord(cluster, coord, app, *, capacity=None, storage=None,
                   estate_writes=True, parallel_invalidations=True,
-                  shards=None, replication=1, **_):
+                  shards=None, replication=1, recovery_lease_ms=None, **_):
     """Concord's distributed-coherence cache (CAS scheduling optional).
 
     ``shards=N`` partitions the directory role over N consistent-hash
     shards; ``replication=R`` keeps R-deep replica chains per shard
-    (leader + R-1 async followers).
+    (leader + R-1 async followers).  ``recovery_lease_ms`` bounds how
+    long a recovering directory blocks before falling back to storage.
     """
     from repro.core import ConcordSystem
 
@@ -106,6 +107,7 @@ def build_concord(cluster, coord, app, *, capacity=None, storage=None,
         estate_writes=estate_writes,
         parallel_invalidations=parallel_invalidations,
         shards=shards, replication=replication,
+        recovery_lease_ms=recovery_lease_ms,
     )
 
 

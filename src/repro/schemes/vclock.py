@@ -1,0 +1,136 @@
+"""Vector clocks for the causally consistent scheme.
+
+A :class:`VectorClock` maps node ids to per-node write counters and
+captures the happens-before partial order: clock ``a`` happened before
+``b`` iff ``b`` dominates ``a`` componentwise and differs somewhere.
+Clocks here are *immutable* — every operation returns a new clock — so
+they can ride RPC metadata, live in cache entries, and key verification
+histories without defensive copies.
+
+Determinism: the internal mapping is a plain dict, but every externally
+visible ordering (``items``, ``as_tuple``, ``repr``) is sorted by node
+id, so no output ever depends on insertion or hash order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Tuple
+
+__all__ = ["VectorClock", "ZERO"]
+
+
+class VectorClock:
+    """An immutable node-id -> counter map under the pointwise order."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: Optional[Mapping[str, int]] = None):
+        # Zero components are dropped so logically equal clocks compare
+        # equal regardless of which nodes they have ever mentioned.
+        self._clock = ({node: count for node, count in clock.items()
+                        if count > 0} if clock else {})
+
+    # -- inspection -----------------------------------------------------
+    def get(self, node: str) -> int:
+        return self._clock.get(node, 0)
+
+    def items(self) -> Tuple[Tuple[str, int], ...]:
+        """The non-zero components, sorted by node id."""
+        return tuple(sorted(self._clock.items()))
+
+    def as_tuple(self) -> Tuple[Tuple[str, int], ...]:
+        """Canonical hashable form (sorted items) for fingerprints."""
+        return self.items()
+
+    def nodes(self) -> Tuple[str, ...]:
+        """Node ids with a non-zero component, sorted."""
+        return tuple(sorted(self._clock))
+
+    @property
+    def total(self) -> int:
+        """Sum of all components (a Lamport-style scalar bound)."""
+        return sum(self._clock.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._clock)
+
+    def __len__(self) -> int:
+        return len(self._clock)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._clock == other._clock
+
+    def __hash__(self) -> int:
+        return hash(self.items())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{node}:{count}"
+                          for node, count in self.items())
+        return f"VectorClock({{{inner}}})"
+
+    # -- algebra --------------------------------------------------------
+    def increment(self, node: str) -> "VectorClock":
+        """A new clock with ``node``'s component advanced by one."""
+        merged = dict(self._clock)
+        merged[node] = merged.get(node, 0) + 1
+        return VectorClock(merged)
+
+    def advance(self, node: str, count: int) -> "VectorClock":
+        """A new clock whose ``node`` component is at least ``count``."""
+        if count <= self.get(node):
+            return self
+        merged = dict(self._clock)
+        merged[node] = count
+        return VectorClock(merged)
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """The pointwise maximum (least upper bound) of the two clocks."""
+        if not other._clock:
+            return self
+        if not self._clock:
+            return other
+        merged = dict(self._clock)
+        for node, count in other._clock.items():
+            if count > merged.get(node, 0):
+                merged[node] = count
+        return VectorClock(merged)
+
+    # -- order ----------------------------------------------------------
+    def dominates(self, other: "VectorClock") -> bool:
+        """Pointwise ``self >= other`` (reflexive)."""
+        for node, count in other._clock.items():
+            if self._clock.get(node, 0) < count:
+                return False
+        return True
+
+    def precedes(self, other: "VectorClock") -> bool:
+        """Strict happens-before: ``self < other`` in the partial order."""
+        return other.dominates(self) and self._clock != other._clock
+
+    def concurrent(self, other: "VectorClock") -> bool:
+        """Neither clock dominates the other (and they differ)."""
+        return not self.dominates(other) and not other.dominates(self)
+
+    def compare(self, other: "VectorClock") -> Optional[int]:
+        """-1 / 0 / +1 for before / equal / after; None when concurrent."""
+        forward = self.dominates(other)
+        backward = other.dominates(self)
+        if forward and backward:
+            return 0
+        if backward:
+            return -1
+        if forward:
+            return 1
+        return None
+
+    # -- construction helpers -------------------------------------------
+    @classmethod
+    def of(cls, pairs: Iterable[Tuple[str, int]]) -> "VectorClock":
+        """Build from ``(node, count)`` pairs (later pairs win)."""
+        return cls(dict(pairs))
+
+
+#: The empty clock (bottom of the partial order); share it freely.
+ZERO = VectorClock()

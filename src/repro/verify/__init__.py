@@ -16,6 +16,11 @@ Modelled events, as in the paper: Local/Remote Read/Write Hit, Read/Write
 Miss, DataEvict, NodeFail, RecoverOnFail, DomainChange.
 """
 
+from repro.verify.causal import (
+    CausalOp,
+    check_bounded_staleness,
+    check_session_guarantees,
+)
 from repro.verify.model import (
     CheckReport,
     ModelChecker,
@@ -28,14 +33,19 @@ from repro.verify.runtime import (
     assert_coherent,
     check_coherence,
 )
+from repro.verify.schemes import check_scheme_invariants
 
 __all__ = [
+    "CausalOp",
     "CheckReport",
     "CoherenceViolation",
     "ModelChecker",
     "ModelConfig",
     "ModelState",
     "assert_coherent",
+    "check_bounded_staleness",
     "check_coherence",
+    "check_scheme_invariants",
+    "check_session_guarantees",
     "enabled_transitions",
 ]

@@ -1,0 +1,166 @@
+"""Causal-consistency and bounded-staleness invariants.
+
+The runtime coherence checker (:mod:`repro.verify.runtime`) asks "does
+every cache equal storage?" — the right question for Concord's
+write-through E/S/I protocol, and the wrong one for the scheme zoo's
+weaker families.  This module checks what *those* schemes promise:
+
+- :func:`check_session_guarantees` verifies the classic session
+  guarantees over an operation history recorded by the causal scheme:
+  **read-your-writes** (a session never reads a key older than its own
+  last write to it), **monotonic reads** (per-session per-key read
+  versions never regress), and **writes-follow-reads** (every write's
+  vector clock dominates the clocks of all values the session read
+  before it) — all of which must hold *across client migration*, since
+  the history spans nodes.
+
+- :func:`check_bounded_staleness` verifies the TTL scheme's contract: a
+  read may serve a superseded value, but never one that had been
+  superseded for longer than the TTL before the read was served.
+
+Both take plain data (histories, logs), so planted-violation tests can
+fabricate inputs and prove the checkers fire; both are what
+:func:`repro.verify.check_scheme_invariants` dispatches to for the zoo
+schemes.
+
+Vector clocks are duck-typed (anything with ``dominates``/``merge``)
+so this module imports nothing from :mod:`repro.schemes` — the schemes
+import *us*, and a cycle here would break registry population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = [
+    "CausalOp",
+    "check_bounded_staleness",
+    "check_session_guarantees",
+]
+
+
+@dataclass(frozen=True)
+class CausalOp:
+    """One operation in a session-guarantee history.
+
+    ``vc`` is the vector clock of the *value*: for a write, the clock
+    the write was tagged with; for a read, the clock of the write whose
+    value was observed (``None`` when unknown — e.g. a durable-storage
+    fallback read, which carries a version but no clock; such reads
+    still participate in the per-key checks).
+    """
+
+    op: str            # "r" or "w"
+    t_ms: float
+    session: str       # client identity (function name)
+    node: str          # node the operation executed on
+    key: str
+    version: int       # storage version observed / produced
+    vc: Optional[object] = None
+
+
+class _SessionState:
+    """Per-session tracking for one pass over the history."""
+
+    __slots__ = ("written", "read", "seen_vc", "last_node")
+
+    def __init__(self):
+        self.written: dict = {}   # key -> max version this session wrote
+        self.read: dict = {}      # key -> max version this session read
+        self.seen_vc = None       # merge of vcs of values read so far
+        self.last_node = None
+
+
+def check_session_guarantees(history: Iterable[CausalOp]) -> list:
+    """All session-guarantee violations in ``history``, in order.
+
+    The history must be in execution order (the causal scheme appends
+    at serve time, so simulated-time order).  Returns human-readable
+    violation strings; an empty list means every session was served
+    read-your-writes, monotonic reads, and writes-follow-reads —
+    including operations that migrated between nodes mid-session.
+    """
+    violations: list = []
+    sessions: dict = {}
+    for op in history:
+        state = sessions.get(op.session)
+        if state is None:
+            state = _SessionState()
+            sessions[op.session] = state
+        migrated = (state.last_node is not None
+                    and state.last_node != op.node)
+        where = (f"on {op.node}" + (" after migrating "
+                                    f"from {state.last_node}"
+                                    if migrated else ""))
+        if op.op == "w":
+            state.written[op.key] = max(
+                state.written.get(op.key, 0), op.version)
+            # Writes-follow-reads: the write's clock must dominate the
+            # clock of every value this session has read.
+            if (op.vc is not None and state.seen_vc is not None
+                    and not op.vc.dominates(state.seen_vc)):
+                violations.append(
+                    f"writes-follow-reads: session {op.session!r} wrote "
+                    f"{op.key!r} {where} with clock {op.vc!r} that does "
+                    f"not dominate its read past {state.seen_vc!r}")
+        elif op.op == "r":
+            own = state.written.get(op.key, 0)
+            if op.version < own:
+                violations.append(
+                    f"read-your-writes: session {op.session!r} read "
+                    f"{op.key!r} v{op.version} {where} after writing "
+                    f"v{own}")
+            prev = state.read.get(op.key, 0)
+            if op.version < prev:
+                violations.append(
+                    f"monotonic-reads: session {op.session!r} read "
+                    f"{op.key!r} v{op.version} {where} after reading "
+                    f"v{prev}")
+            state.read[op.key] = max(prev, op.version)
+            if op.vc is not None:
+                state.seen_vc = (op.vc if state.seen_vc is None
+                                 else state.seen_vc.merge(op.vc))
+        else:
+            violations.append(f"malformed history op {op.op!r} "
+                              f"(session {op.session!r}, key {op.key!r})")
+        state.last_node = op.node
+    return violations
+
+
+def check_bounded_staleness(reads: Iterable, writes: Iterable,
+                            ttl_ms: float) -> list:
+    """Bounded-staleness violations for a TTL scheme.
+
+    ``reads`` holds ``(t_ms, node, key, version)`` per served read;
+    ``writes`` holds ``(t_ms, key, version)`` per storage commit.  A
+    read violates the bound when a strictly newer version of its key
+    had already been durable for more than ``ttl_ms`` when the read was
+    served: the freshness lease only permits serving values superseded
+    *within* the last TTL window.
+    """
+    # key -> sorted (commit_ms, version) commits (append order is commit
+    # order, but sort defensively: fabricated test logs may interleave).
+    commits: dict = {}
+    for t_ms, key, version in writes:
+        commits.setdefault(key, []).append((t_ms, version))
+    for log in commits.values():
+        log.sort()
+    violations: list = []
+    for t_ms, node, key, version in reads:
+        log = commits.get(key)
+        if not log:
+            continue
+        deadline = t_ms - ttl_ms
+        # Find the earliest commit that superseded the served version.
+        for commit_ms, commit_version in log:
+            if commit_version <= version:
+                continue
+            if commit_ms < deadline:
+                violations.append(
+                    f"bounded-staleness: {node} served {key!r} "
+                    f"v{version} at t={t_ms:.3f} though v{commit_version}"
+                    f" committed at t={commit_ms:.3f}, "
+                    f"{t_ms - commit_ms:.3f}ms earlier (ttl {ttl_ms}ms)")
+            break  # later commits of newer versions are even later
+    return violations

@@ -1,0 +1,40 @@
+"""Scheme-dispatched invariant checking.
+
+``check_coherence`` knows Concord's invariants; the zoo schemes carry
+their own (version anchors, dirty-buffer accounting, session
+guarantees, staleness bounds) as a ``verify_invariants(cluster)``
+method.  This dispatcher gives fault scenarios and experiments one
+entry point that does the right thing for whatever scheme is under
+test — so "run the catalogue under a crash plan and verify each" is a
+one-liner.
+
+Dispatch is structural, not imported: a scheme that defines
+``verify_invariants`` is asked directly; a Concord system (recognised
+by its ``agents``/``controller`` shape) goes through the runtime
+coherence checker; anything else (e.g. ``nocache``, which holds no
+state to violate) passes vacuously.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.verify.runtime import check_coherence
+
+__all__ = ["check_scheme_invariants"]
+
+
+def check_scheme_invariants(scheme, cluster: Optional[object] = None,
+                            strict_tracking: Optional[bool] = None) -> list:
+    """All invariant violations for ``scheme`` at quiescence.
+
+    Returns Concord's coherence violations, a zoo scheme's own
+    ``verify_invariants`` result, or ``[]`` for stateless schemes.
+    ``strict_tracking`` is forwarded to the Concord checker only.
+    """
+    verify = getattr(scheme, "verify_invariants", None)
+    if verify is not None:
+        return verify(cluster)
+    if hasattr(scheme, "agents") and hasattr(scheme, "controller"):
+        return check_coherence(scheme, cluster, strict_tracking)
+    return []

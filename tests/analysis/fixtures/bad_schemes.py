@@ -1,0 +1,34 @@
+"""Known-bad fixture for the SCH* scheme-discipline rules."""
+
+
+class StorageAPI:
+    """Stand-in root; the real one lives in repro.caching.base."""
+
+    consistency = ""
+
+
+class _HelperBase(StorageAPI):
+    """Underscore-prefixed helper base: exempt from the declaration rule."""
+
+
+class BareScheme(_HelperBase):  # line 14: SCH01 (no consistency declared)
+    """Concrete scheme (via the helper base) with no consistency level."""
+
+    def read(self, node_id, key):
+        return None
+
+
+class TtlScheme(StorageAPI):
+    """Declared consistency: clean on the declaration check."""
+
+    consistency = "bounded-staleness"
+
+
+class EmptyLevelScheme(StorageAPI):  # line 27: SCH01 (empty string literal)
+    consistency = ""
+
+
+def build_experiment(cluster):
+    scheme = BareScheme()  # line 32: SCH01 (direct construction)
+    other = TtlScheme()  # line 33: SCH01 (direct construction)
+    return scheme, other

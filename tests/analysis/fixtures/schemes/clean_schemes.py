@@ -1,0 +1,25 @@
+"""Clean twin of ``bad_schemes.py``.
+
+Lives under a ``schemes/`` directory, so direct construction is the
+registry-builder idiom SCH01 permits; every concrete scheme class
+declares its consistency level.
+"""
+
+
+class StorageAPI:
+    """Stand-in root; the real one lives in repro.caching.base."""
+
+    consistency = ""
+
+
+class _HelperBase(StorageAPI):
+    """Underscore-prefixed helper base: exempt from the declaration rule."""
+
+
+class RegisteredScheme(_HelperBase):
+    consistency = "eventual"
+
+
+def build_registered(cluster, coord, app, **_):
+    """Builder in a schemes/ module: direct construction is allowed."""
+    return RegisteredScheme()

@@ -337,6 +337,37 @@ class TestObsRules:
             for f in report.findings)
 
 
+class TestSchemeRules:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return Analyzer().run([FIXTURES / "bad_schemes.py"])
+
+    def test_missing_consistency_flagged(self, report):
+        assert ("SCH01", 14) in keys(report)
+
+    def test_empty_consistency_literal_flagged(self, report):
+        assert ("SCH01", 27) in keys(report)
+
+    def test_declared_scheme_class_clean(self, report):
+        assert not any(f.rule == "SCH01" and f.symbol == "TtlScheme"
+                       for f in report.findings)
+
+    def test_helper_base_exempt(self, report):
+        assert not any(f.rule == "SCH01" and f.symbol == "_HelperBase"
+                       for f in report.findings)
+
+    def test_direct_construction_flagged(self, report):
+        # Both instantiations in build_experiment — the scheme lives in
+        # the same module, but the module is not under a schemes/ dir.
+        assert ("SCH01", 32) in keys(report)
+        assert ("SCH01", 33) in keys(report)
+
+    def test_builder_module_construction_allowed(self):
+        report = Analyzer().run(
+            [FIXTURES / "schemes" / "clean_schemes.py"])
+        assert not any(f.rule == "SCH01" for f in report.findings)
+
+
 def test_select_restricts_rules():
     report = run_on("bad_determinism.py", select=["DET02"])
     assert {f.rule for f in report.findings} == {"DET02"}

@@ -1,0 +1,80 @@
+"""fig20 scheme shootout: catalogue coverage and hash-seed identity."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fig20_scheme_shootout import run
+from repro.schemes import available_names
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SCRIPT = """
+import sys
+from repro.experiments.fig20_scheme_shootout import run
+
+sys.stdout.write(run(scale=0.25, seed=11).render())
+"""
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(scale=0.25, seed=11)
+
+
+class TestShootout:
+    def test_every_registered_scheme_raced(self, result):
+        assert [row["scheme"] for row in result.rows()] == list(
+            available_names())
+
+    def test_zoo_schemes_present(self, result):
+        raced = {row["scheme"] for row in result.rows()}
+        assert {"write-through", "write-behind", "read-through-ttl",
+                "causal"} <= raced
+
+    def test_consistency_column_is_the_declared_level(self, result):
+        levels = {row["scheme"]: row["consistency"]
+                  for row in result.rows()}
+        assert levels["concord"] == "sequential"
+        assert levels["causal"] == "causal"
+        assert levels["read-through-ttl"] == "bounded-staleness"
+
+    def test_no_scheme_violates_its_own_invariants(self, result):
+        for row in result.rows():
+            assert row["violations"] == 0, row["scheme"]
+
+    def test_crash_cells_only_for_restartable_schemes(self, result):
+        by_scheme = {row["scheme"]: row for row in result.rows()}
+        # Zoo schemes expose restart_instance and get a crash cell...
+        assert "crash_completed" in by_scheme["write-behind"]
+        assert "crash_lost" in by_scheme["write-behind"]
+        # ...the baselines without a rejoin hook leave it blank.
+        assert "crash_completed" not in by_scheme["ofc"]
+
+    def test_nocache_is_the_degenerate_point(self, result):
+        row = next(r for r in result.rows() if r["scheme"] == "nocache")
+        assert row["hit_ratio"] == 0.0
+        assert row["stale_reads"] == 0
+
+
+def run_with_hashseed(hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", SCRIPT],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_fig20_byte_identical_across_hashseeds():
+    first = run_with_hashseed("0")
+    second = run_with_hashseed("1")
+    assert first, "fig20 produced no output"
+    assert first == second
+    assert "Scheme shootout" in first

@@ -218,6 +218,92 @@ class TestEndpointLifecycle:
         assert progress == ["start"]
 
 
+class TestMetaPiggyback:
+    """Scheme metadata rides requests and replies (the causal scheme's
+    vector clocks use exactly this channel)."""
+
+    def test_request_meta_reaches_meta_handler(self, sim, net):
+        server = Endpoint(net, "node1", "svc")
+        seen = []
+
+        def handler(endpoint, src, args, meta):
+            seen.append(meta)
+            return Reply("ok")
+            yield  # pragma: no cover - generator marker
+
+        server.register_handler("put", handler, meta=True)
+        client = Endpoint(net, "node0", "svc")
+
+        def caller(sim):
+            return (yield from client.call(
+                "node1/svc", "put", "payload", meta={"vc": 3}))
+
+        p = sim.spawn(caller(sim))
+        sim.run()
+        assert p.value == "ok"
+        assert seen == [{"vc": 3}]
+
+    def test_plain_handler_never_sees_meta(self, sim, net):
+        server = Endpoint(net, "node1", "svc")
+        server.register_handler("echo", echo_handler)  # 3-arg handler
+        client = Endpoint(net, "node0", "svc")
+
+        def caller(sim):
+            return (yield from client.call(
+                "node1/svc", "echo", "x", meta="ignored"))
+
+        p = sim.spawn(caller(sim))
+        sim.run()
+        assert p.value == "x"
+
+    def test_reply_meta_returned_with_with_meta(self, sim, net):
+        server = Endpoint(net, "node1", "svc")
+
+        def handler(endpoint, src, args):
+            return Reply("value", meta=("clock", 7))
+            yield  # pragma: no cover - generator marker
+
+        server.register_handler("get", handler)
+        client = Endpoint(net, "node0", "svc")
+
+        def caller(sim):
+            return (yield from client.call(
+                "node1/svc", "get", None, with_meta=True))
+
+        p = sim.spawn(caller(sim))
+        sim.run()
+        assert p.value == ("value", ("clock", 7))
+
+    def test_reply_meta_defaults_to_none(self, sim, net):
+        server = Endpoint(net, "node1", "svc")
+        server.register_handler("echo", echo_handler)
+        client = Endpoint(net, "node0", "svc")
+
+        def caller(sim):
+            return (yield from client.call(
+                "node1/svc", "echo", "x", with_meta=True))
+
+        p = sim.spawn(caller(sim))
+        sim.run()
+        assert p.value == ("x", None)
+
+    def test_notify_carries_meta(self, sim, net):
+        server = Endpoint(net, "node1", "svc")
+        seen = []
+
+        def handler(endpoint, src, args, meta):
+            seen.append((args, meta))
+            return Reply(True)
+            yield  # pragma: no cover - generator marker
+
+        server.register_handler("repl", handler, meta=True)
+        client = Endpoint(net, "node0", "svc")
+        client.notify("node1/svc", "repl", ("k", 1), size_bytes=8,
+                      meta={"n0": 1})
+        sim.run()
+        assert seen == [(("k", 1), {"n0": 1})]
+
+
 def sizeof_dict():
     """Size of the {"k": 1} request payload used above."""
     return 1 + 8

@@ -1,0 +1,106 @@
+"""Vector-clock algebra: unit tests plus Hypothesis properties.
+
+The property tests are gated on ``hypothesis`` being importable — the
+repo must stay runnable in environments without it, so they skip (not
+fail) when the library is absent.
+"""
+
+import pytest
+
+from repro.schemes.vclock import ZERO, VectorClock
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - optional dependency
+    HAVE_HYPOTHESIS = False
+
+NODES = ("n0", "n1", "n2", "n3")
+
+
+class TestBasics:
+    def test_zero_is_falsy_and_bottom(self):
+        assert not ZERO
+        clock = ZERO.increment("n0")
+        assert clock.dominates(ZERO)
+        assert ZERO.precedes(clock)
+        assert not ZERO.precedes(ZERO)
+
+    def test_zero_components_dropped(self):
+        assert VectorClock({"n0": 0, "n1": 2}) == VectorClock({"n1": 2})
+        assert len(VectorClock({"n0": 0})) == 0
+
+    def test_increment_and_advance(self):
+        clock = ZERO.increment("n0").increment("n0")
+        assert clock.get("n0") == 2
+        assert clock.advance("n0", 1) is clock  # no regression
+        assert clock.advance("n0", 5).get("n0") == 5
+
+    def test_items_sorted(self):
+        clock = VectorClock({"b": 1, "a": 2, "c": 3})
+        assert clock.items() == (("a", 2), ("b", 1), ("c", 3))
+        assert clock.as_tuple() == clock.items()
+
+    def test_compare_concurrent(self):
+        left = ZERO.increment("n0")
+        right = ZERO.increment("n1")
+        assert left.concurrent(right)
+        assert left.compare(right) is None
+        assert left.merge(right).compare(left) == 1
+        assert left.compare(left.merge(right)) == -1
+        assert left.compare(left) == 0
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(VectorClock({"a": 1})) == hash(
+            VectorClock({"a": 1, "b": 0}))
+
+
+if HAVE_HYPOTHESIS:
+    clocks = st.builds(
+        VectorClock,
+        st.dictionaries(st.sampled_from(NODES),
+                        st.integers(min_value=0, max_value=8)))
+
+    @settings(max_examples=200, deadline=None)
+    @given(clocks, clocks, clocks)
+    def test_merge_is_associative(a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @settings(max_examples=200, deadline=None)
+    @given(clocks, clocks)
+    def test_merge_is_commutative_and_upper_bound(a, b):
+        merged = a.merge(b)
+        assert merged == b.merge(a)
+        assert merged.dominates(a) and merged.dominates(b)
+
+    @settings(max_examples=200, deadline=None)
+    @given(clocks)
+    def test_merge_is_idempotent(a):
+        assert a.merge(a) == a
+        assert a.merge(ZERO) == a
+
+    @settings(max_examples=200, deadline=None)
+    @given(clocks, clocks)
+    def test_happens_before_is_antisymmetric(a, b):
+        assert not (a.precedes(b) and b.precedes(a))
+        # compare() agrees with the dominance predicates.
+        verdict = a.compare(b)
+        if verdict is None:
+            assert a.concurrent(b)
+        elif verdict == 0:
+            assert a == b
+        elif verdict == 1:
+            assert b.precedes(a)
+        else:
+            assert a.precedes(b)
+
+    @settings(max_examples=200, deadline=None)
+    @given(clocks, clocks, clocks)
+    def test_dominance_is_transitive(a, b, c):
+        if a.dominates(b) and b.dominates(c):
+            assert a.dominates(c)
+else:  # pragma: no cover - optional dependency
+    @pytest.mark.skip(reason="hypothesis not installed")
+    def test_vclock_properties():
+        pass

@@ -1,0 +1,277 @@
+"""Behavioral tests for the scheme zoo (WT / WB / TTL / causal)."""
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - optional dependency
+    HAVE_HYPOTHESIS = False
+
+from repro.caching import AccessContext
+from repro.cluster import Cluster
+from repro.config import SimConfig
+from repro.obs import FlightRecorder
+from repro.obs.events import CACHE_FLUSH_LOST, CAUSAL_MIGRATE
+from repro.schemes import available, build_scheme
+from repro.sim import Simulator
+from repro.storage import DataItem
+from repro.verify import check_scheme_invariants
+
+
+@pytest.fixture
+def recorder():
+    return FlightRecorder()
+
+
+@pytest.fixture
+def sim(recorder):
+    return Simulator(seed=7, obs=recorder)
+
+
+@pytest.fixture
+def cluster(sim):
+    return Cluster(sim, SimConfig(num_nodes=4))
+
+
+def run(sim, gen):
+    return sim.run_until_complete(sim.spawn(gen), limit=sim.now + 60_000.0)
+
+
+def settle(sim, ms=200.0):
+    """Let in-flight notifications (invalidations, replication) land."""
+    sim.run(until=sim.now + ms)
+
+
+def item(text, size=64):
+    return DataItem(text, size_bytes=size)
+
+
+class TestCatalogue:
+    def test_zoo_schemes_registered_with_descriptions(self):
+        catalogue = dict(available())
+        for name in ("write-through", "write-behind",
+                     "read-through-ttl", "causal"):
+            assert name in catalogue
+            assert catalogue[name]  # human-readable description
+
+    def test_consistency_levels_declared(self, cluster):
+        expected = {"write-through": "eventual",
+                    "write-behind": "eventual",
+                    "read-through-ttl": "bounded-staleness",
+                    "causal": "causal"}
+        for name, level in expected.items():
+            assert build_scheme(name, cluster).consistency == level
+
+
+class TestWriteThrough:
+    def test_write_is_synchronously_durable(self, sim, cluster):
+        wt = build_scheme("write-through", cluster)
+        run(sim, wt.write("node0", "k", item("v1")))
+        assert cluster.storage.peek("k").value == item("v1")
+
+    def test_peer_copy_invalidated(self, sim, cluster):
+        wt = build_scheme("write-through", cluster)
+        cluster.storage.preload({"k": item("v1")})
+        run(sim, wt.read("node1", "k"))
+        assert "k" in wt.instances["node1"].cache
+        run(sim, wt.write("node0", "k", item("v2")))
+        settle(sim)
+        assert "k" not in wt.instances["node1"].cache
+        assert run(sim, wt.read("node1", "k")) == item("v2")
+
+    def test_invariants_clean(self, sim, cluster):
+        wt = build_scheme("write-through", cluster)
+        run(sim, wt.write("node0", "k", item("v1")))
+        settle(sim)
+        assert check_scheme_invariants(wt, cluster) == []
+
+
+class TestWriteBehind:
+    def test_ack_before_durability_then_flush(self, sim, cluster):
+        wb = build_scheme("write-behind", cluster)
+        run(sim, wb.write("node0", "k", item("v1")))
+        # Acked from the dirty buffer; storage has not seen the write.
+        assert cluster.storage.peek("k") is None
+        assert wb.pending("node0") == 1
+        settle(sim, wb.flush_interval_ms * 4)
+        assert cluster.storage.peek("k").value == item("v1")
+        assert wb.pending() == 0
+        assert wb.writes_flushed == 1
+
+    def test_coalescing_keeps_one_slot(self, sim, cluster):
+        wb = build_scheme("write-behind", cluster,
+                          wb_flush_interval_ms=10_000.0)
+        run(sim, wb.write("node0", "k", item("v1")))
+        run(sim, wb.write("node0", "k", item("v2")))
+        assert wb.pending("node0") == 1
+        assert wb.writes_enqueued == 2
+        assert wb.writes_coalesced == 1
+        assert check_scheme_invariants(wb, cluster) == []
+
+    def test_buffer_bound_holds_under_backpressure(self, sim, cluster):
+        wb = build_scheme("write-behind", cluster, wb_buffer_entries=4,
+                          wb_flush_interval_ms=10_000.0)
+
+        def writer():
+            for index in range(16):
+                yield from wb.write("node0", f"k{index}", item("v"))
+                assert wb.pending("node0") <= wb.buffer_entries
+
+        run(sim, writer())
+        assert wb.backpressure_stalls > 0
+        assert check_scheme_invariants(wb, cluster) == []
+
+    def test_per_key_flush_preserves_write_order(self, sim, cluster):
+        wb = build_scheme("write-behind", cluster)
+        commits = []
+        cluster.storage.add_write_listener(
+            lambda key, value, version, writer: commits.append(
+                (key, value, version)))
+        run(sim, wb.write("node0", "k", item("v1")))
+        settle(sim, wb.flush_interval_ms * 4)
+        run(sim, wb.write("node0", "k", item("v2")))
+        settle(sim, wb.flush_interval_ms * 4)
+        assert [value for _k, value, _v in commits] == [item("v1"),
+                                                        item("v2")]
+        versions = [version for _k, _value, version in commits]
+        assert versions == sorted(versions)
+        assert cluster.storage.peek("k").value == item("v2")
+
+    def test_crash_loses_and_accounts_dirty_entries(self, sim, cluster,
+                                                    recorder):
+        wb = build_scheme("write-behind", cluster,
+                          wb_flush_interval_ms=10_000.0)
+        run(sim, wb.write("node0", "a", item("v1")))
+        run(sim, wb.write("node0", "b", item("v2")))
+        cluster.crash_node("node0")
+        assert wb.writes_lost == 2
+        assert cluster.storage.peek("a") is None
+        lost = [e for e in recorder.events()
+                if e.type == CACHE_FLUSH_LOST]
+        assert {e.key for e in lost} == {"a", "b"}
+        # enqueued == flushed + lost + coalesced + pending still holds.
+        assert check_scheme_invariants(wb, cluster) == []
+
+
+class TestReadThroughTtl:
+    def test_stale_within_ttl_fresh_after(self, sim, cluster):
+        ttl = build_scheme("read-through-ttl", cluster, ttl_ms=100.0)
+        cluster.storage.preload({"k": item("v1")})
+        assert run(sim, ttl.read("node0", "k")) == item("v1")
+        run(sim, cluster.storage.write("k", item("v2"), writer="ext"))
+        # Within the lease: the stale copy is still legal to serve.
+        assert run(sim, ttl.read("node0", "k")) == item("v1")
+        settle(sim, 150.0)
+        assert run(sim, ttl.read("node0", "k")) == item("v2")
+        assert ttl.ttl_expired == 1
+        assert check_scheme_invariants(ttl, cluster) == []
+
+    def test_write_deletes_local_copy(self, sim, cluster):
+        ttl = build_scheme("read-through-ttl", cluster)
+        cluster.storage.preload({"k": item("v1")})
+        run(sim, ttl.read("node0", "k"))
+        run(sim, ttl.write("node0", "k", item("v2")))
+        assert "k" not in ttl.instances["node0"].cache
+        assert run(sim, ttl.read("node0", "k")) == item("v2")
+
+    def test_rejects_nonpositive_ttl(self, cluster):
+        with pytest.raises(ValueError):
+            build_scheme("read-through-ttl", cluster, ttl_ms=0.0)
+
+
+class TestCausal:
+    def test_read_your_writes_across_migration(self, sim, cluster,
+                                               recorder):
+        causal = build_scheme("causal", cluster)
+        ctx = AccessContext(function="fn")
+        run(sim, causal.write("node0", "k", item("v1"), ctx))
+        # Same session, different node: the client migrated.
+        assert run(sim, causal.read("node2", "k", ctx)) == item("v1")
+        assert causal.migrations == 1
+        assert any(e.type == CAUSAL_MIGRATE for e in recorder.events())
+        assert check_scheme_invariants(causal, cluster) == []
+
+    def test_sessions_are_per_function(self, sim, cluster):
+        causal = build_scheme("causal", cluster)
+        run(sim, causal.write("node0", "k", item("v1"),
+                              AccessContext(function="a")))
+        run(sim, causal.read("node1", "k", AccessContext(function="b")))
+        assert causal.migrations == 0
+        assert set(causal.sessions) == {"a", "b"}
+
+    def test_dead_origin_falls_back_to_storage(self, sim, cluster):
+        causal = build_scheme("causal", cluster)
+        ctx = AccessContext(function="fn")
+        run(sim, causal.write("node0", "k", item("v1"), ctx))
+        cluster.crash_node("node0")
+        settle(sim)  # drain in-flight replication first
+        # node1 forgets everything it applied (as if it restarted); the
+        # pull to the dead origin times out and the durable write is
+        # served from storage.
+        causal._on_crash("node1")  # force the vc gap deterministically
+        assert run(sim, causal.read("node1", "k", ctx)) == item("v1")
+        assert causal.syncs >= 1
+        assert causal.sync_failures >= 1
+        assert check_scheme_invariants(causal, cluster) == []
+
+    def test_restart_keeps_epoch_component(self, sim, cluster):
+        causal = build_scheme("causal", cluster)
+        ctx = AccessContext(function="fn")
+        run(sim, causal.write("node0", "k", item("v1"), ctx))
+        seq = causal.write_seq["node0"]
+        cluster.crash_node("node0")
+        cluster.restart_node("node0")
+        run(sim, causal.restart_instance("node0"))
+        assert causal.write_seq["node0"] == seq
+        assert causal.instances["node0"].applied_vc.get("node0") == seq
+
+    def test_history_feeds_session_checker(self, sim, cluster):
+        causal = build_scheme("causal", cluster)
+        ctx = AccessContext(function="fn")
+        run(sim, causal.write("node0", "k", item("v1"), ctx))
+        run(sim, causal.read("node1", "k", ctx))
+        ops = [(op.op, op.key) for op in causal.history]
+        assert ops == [("w", "k"), ("r", "k")]
+        assert causal.verify_invariants() == []
+
+
+if HAVE_HYPOTHESIS:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3),
+                    min_size=1, max_size=24))
+    def test_wb_buffer_bound_and_flush_order(key_indices):
+        """Property: the dirty buffer never exceeds its bound, and after
+        a full drain storage holds each key's last-written value with
+        monotonically increasing per-key versions."""
+        sim = Simulator(seed=3)
+        cluster = Cluster(sim, SimConfig(num_nodes=2))
+        wb = build_scheme("write-behind", cluster, wb_buffer_entries=2,
+                          wb_flush_interval_ms=25.0)
+        commits = []
+        cluster.storage.add_write_listener(
+            lambda key, value, version, writer: commits.append(
+                (key, value, version)))
+        last = {}
+
+        def writer():
+            for index, key_index in enumerate(key_indices):
+                key = f"k{key_index}"
+                value = item(f"v{index}")
+                last[key] = value
+                yield from wb.write("node0", key, value)
+                assert wb.pending("node0") <= wb.buffer_entries
+
+        sim.run_until_complete(sim.spawn(writer()),
+                               limit=sim.now + 60_000.0)
+        sim.run(until=sim.now + 25.0 * (len(key_indices) + 4))
+        assert wb.pending() == 0
+        assert check_scheme_invariants(wb, cluster) == []
+        for key, value in last.items():
+            assert cluster.storage.peek(key).value == value
+        per_key_versions = {}
+        for key, _value, version in commits:
+            per_key_versions.setdefault(key, []).append(version)
+        for versions in per_key_versions.values():
+            assert versions == sorted(versions)

@@ -1,0 +1,122 @@
+"""Planted violations: each causal/staleness checker must fire.
+
+These fabricate operation histories the way a buggy scheme would have
+produced them and assert the checkers catch exactly the planted defect
+— the proof that a clean fig20 run means something.
+"""
+
+from repro.schemes.vclock import ZERO
+from repro.verify.causal import (
+    CausalOp,
+    check_bounded_staleness,
+    check_session_guarantees,
+)
+
+
+def w(t, session, node, key, version, vc=None):
+    return CausalOp(op="w", t_ms=t, session=session, node=node, key=key,
+                    version=version, vc=vc)
+
+
+def r(t, session, node, key, version, vc=None):
+    return CausalOp(op="r", t_ms=t, session=session, node=node, key=key,
+                    version=version, vc=vc)
+
+
+class TestSessionGuarantees:
+    def test_clean_history_passes(self):
+        vc1 = ZERO.increment("n0")
+        history = [
+            w(1.0, "s", "n0", "k", 1, vc1),
+            r(2.0, "s", "n0", "k", 1, vc1),
+            r(3.0, "s", "n1", "k", 1, vc1),   # migration, same version
+            w(4.0, "s", "n1", "k", 2, vc1.increment("n1")),
+        ]
+        assert check_session_guarantees(history) == []
+
+    def test_read_your_writes_fires(self):
+        history = [
+            w(1.0, "s", "n0", "k", 2, ZERO.increment("n0")),
+            r(2.0, "s", "n1", "k", 1),   # older than the session's write
+        ]
+        violations = check_session_guarantees(history)
+        assert len(violations) == 1
+        assert "read-your-writes" in violations[0]
+        assert "after migrating from n0" in violations[0]
+
+    def test_monotonic_reads_fires(self):
+        history = [
+            r(1.0, "s", "n0", "k", 3),
+            r(2.0, "s", "n0", "k", 2),   # regressed
+        ]
+        violations = check_session_guarantees(history)
+        assert len(violations) == 1
+        assert "monotonic-reads" in violations[0]
+
+    def test_writes_follow_reads_fires_across_migration(self):
+        seen = ZERO.increment("n0").increment("n0")
+        stale_write_vc = ZERO.increment("n1")  # does not dominate `seen`
+        history = [
+            r(1.0, "s", "n0", "a", 2, seen),
+            w(2.0, "s", "n1", "b", 1, stale_write_vc),
+        ]
+        violations = check_session_guarantees(history)
+        assert len(violations) == 1
+        assert "writes-follow-reads" in violations[0]
+        assert "after migrating from n0" in violations[0]
+
+    def test_sessions_are_independent(self):
+        # Another session's newer write must not constrain this one.
+        history = [
+            w(1.0, "other", "n0", "k", 5, ZERO.increment("n0")),
+            r(2.0, "s", "n1", "k", 1),
+        ]
+        assert check_session_guarantees(history) == []
+
+    def test_storage_fallback_reads_still_checked_per_key(self):
+        # vc=None reads (durable-storage fallbacks) carry no clock but
+        # keep participating in the per-key version checks.
+        history = [
+            r(1.0, "s", "n0", "k", 3, None),
+            r(2.0, "s", "n0", "k", 1, None),
+        ]
+        violations = check_session_guarantees(history)
+        assert len(violations) == 1
+        assert "monotonic-reads" in violations[0]
+
+    def test_malformed_op_reported(self):
+        bad = CausalOp(op="x", t_ms=1.0, session="s", node="n0",
+                       key="k", version=1)
+        violations = check_session_guarantees([bad])
+        assert len(violations) == 1
+        assert "malformed" in violations[0]
+
+
+class TestBoundedStaleness:
+    def test_fresh_and_recently_superseded_reads_pass(self):
+        writes = [(0.0, "k", 1), (100.0, "k", 2)]
+        reads = [
+            (50.0, "n0", "k", 1),    # current at serve time
+            (150.0, "n0", "k", 1),   # superseded 50ms ago (< ttl)
+            (250.0, "n0", "k", 2),   # fresh again
+        ]
+        assert check_bounded_staleness(reads, writes, ttl_ms=100.0) == []
+
+    def test_overdue_stale_read_fires(self):
+        writes = [(0.0, "k", 1), (100.0, "k", 2)]
+        reads = [(300.0, "n0", "k", 1)]   # v2 was 200ms old at serve
+        violations = check_bounded_staleness(reads, writes, ttl_ms=100.0)
+        assert len(violations) == 1
+        assert "bounded-staleness" in violations[0]
+        assert "v2" in violations[0]
+
+    def test_unknown_key_ignored(self):
+        assert check_bounded_staleness(
+            [(10.0, "n0", "ghost", 1)], [], ttl_ms=50.0) == []
+
+    def test_unsorted_write_log_tolerated(self):
+        # Fabricated logs may interleave; the checker sorts defensively.
+        writes = [(100.0, "k", 2), (0.0, "k", 1)]
+        reads = [(300.0, "n0", "k", 1)]
+        assert len(check_bounded_staleness(reads, writes,
+                                           ttl_ms=100.0)) == 1
